@@ -1,0 +1,60 @@
+// Reproduces §2.3's benchmark practice: a full CH-benCHmark run with the
+// standard execution rule (OLTP and OLAP classes run concurrently for a
+// fixed window) and the combined metrics the section discusses — the
+// tpmC-like NewOrder rate and the QphH-like analytical rate — plus a
+// per-query latency table, on the default architecture (a).
+
+#include "bench_util.h"
+
+int main() {
+  using namespace htap;
+  using namespace htap::bench;
+
+  std::printf("CH-benCHmark-style end-to-end run (architecture (a))\n\n");
+
+  ChConfig cfg;
+  cfg.warehouses = 2;
+  cfg.districts_per_warehouse = 6;
+  cfg.customers_per_district = 60;
+  cfg.items = 400;
+  cfg.initial_orders_per_district = 25;
+
+  auto db = MakeDb(ArchitectureKind::kRowPlusInMemoryColumn);
+  CreateChTables(db.get());
+  Stopwatch load_sw;
+  LoadChData(db.get(), cfg);
+  std::printf("loaded %d warehouses in %.2fs\n\n", cfg.warehouses,
+              load_sw.ElapsedSeconds());
+
+  DriverConfig dc;
+  dc.oltp_clients = 2;
+  dc.olap_clients = 1;
+  dc.duration_micros = 2'000'000;
+  const DriverReport report = RunMixedWorkload(db.get(), cfg, dc);
+
+  std::printf("Mixed run: %s\n\n", report.ToString().c_str());
+  std::printf("Headline metrics (the two the benchmarks combine):\n");
+  std::printf("  tpmC-like (NewOrder/min): %10.0f\n", report.tpmc);
+  std::printf("  QphH-like (queries/hour): %10.0f\n\n", report.qph);
+
+  // Per-query latency table over the final state.
+  db->ForceSyncAll();
+  std::printf("%-6s | %10s | %8s | %s\n", "query", "median ms", "rows",
+              "description");
+  PrintRule(96);
+  for (const ChQuery& q : ChQueries()) {
+    std::vector<double> ms;
+    size_t rows = 0;
+    for (int i = 0; i < 5; ++i) {
+      Stopwatch sw;
+      auto res = db->Query(q.plan);
+      ms.push_back(sw.ElapsedSeconds() * 1000);
+      if (res.ok()) rows = res->rows.size();
+    }
+    std::sort(ms.begin(), ms.end());
+    std::printf("%-6s | %10.2f | %8zu | %s\n", q.name.c_str(), ms[ms.size() / 2],
+                rows, q.description.c_str());
+  }
+  PrintRule(96);
+  return 0;
+}

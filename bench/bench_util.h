@@ -1,0 +1,82 @@
+// Shared helpers for the table/figure harnesses.
+
+#ifndef HTAP_BENCH_BENCH_UTIL_H_
+#define HTAP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchlib/chbench.h"
+#include "benchlib/driver.h"
+#include "core/database.h"
+
+namespace htap {
+namespace bench {
+
+/// Fresh database of the given architecture with a scratch data dir.
+inline std::unique_ptr<Database> MakeDb(ArchitectureKind arch,
+                                        int dist_shards = 3,
+                                        bool background_sync = true) {
+  static int counter = 0;
+  const std::string dir =
+      "/tmp/htap_bench_" + std::to_string(getpid()) + "_" +
+      std::to_string(counter++);
+  std::system(("mkdir -p " + dir).c_str());
+  DatabaseOptions opts;
+  opts.architecture = arch;
+  opts.data_dir = dir;
+  opts.background_sync = background_sync;
+  opts.sync_interval_micros = 10000;
+  opts.dist.num_shards = dist_shards;
+  opts.dist.learner_merge_interval = 20000;
+  // Architecture (c) is the disk-based RDBMS: commits flush the WAL.
+  if (arch == ArchitectureKind::kDiskRowPlusDistributedColumn)
+    opts.sync_on_commit = true;
+  auto res = Database::Open(opts);
+  if (!res.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", res.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*res);
+}
+
+inline const char* ShortArchName(ArchitectureKind k) {
+  switch (k) {
+    case ArchitectureKind::kRowPlusInMemoryColumn: return "(a) Row+IMC";
+    case ArchitectureKind::kDistributedRowPlusColumnReplica:
+      return "(b) DistRow+ColReplica";
+    case ArchitectureKind::kDiskRowPlusDistributedColumn:
+      return "(c) DiskRow+IMCS";
+    case ArchitectureKind::kColumnPlusDeltaRow: return "(d) Col+DeltaRow";
+  }
+  return "?";
+}
+
+inline const ArchitectureKind kAllArchitectures[] = {
+    ArchitectureKind::kRowPlusInMemoryColumn,
+    ArchitectureKind::kDistributedRowPlusColumnReplica,
+    ArchitectureKind::kDiskRowPlusDistributedColumn,
+    ArchitectureKind::kColumnPlusDeltaRow,
+};
+
+/// Maps a measured value onto the paper's High/Medium/Low vocabulary given
+/// two thresholds (descending).
+inline const char* Band(double v, double high, double medium) {
+  return v >= high ? "High" : (v >= medium ? "Medium" : "Low");
+}
+/// Same but smaller-is-better (e.g. freshness lag).
+inline const char* BandInv(double v, double high, double medium) {
+  return v <= high ? "High" : (v <= medium ? "Medium" : "Low");
+}
+
+inline void PrintRule(int width = 118) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace htap
+
+#endif  // HTAP_BENCH_BENCH_UTIL_H_

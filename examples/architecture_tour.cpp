@@ -1,0 +1,96 @@
+// Architecture tour: the same application code running on all four of the
+// survey's HTAP storage architectures, showing how the presets differ in
+// observable behavior (access paths, staging, freshness) while the API
+// stays identical.
+//
+//   ./build/examples/example_architecture_tour
+
+#include <cstdio>
+
+#include "core/database.h"
+
+using namespace htap;
+
+namespace {
+
+const char* Describe(ArchitectureKind k) {
+  switch (k) {
+    case ArchitectureKind::kRowPlusInMemoryColumn:
+      return "(a) primary row store + in-memory column store "
+             "[Oracle dual-format, SQL Server CSI]";
+    case ArchitectureKind::kDistributedRowPlusColumnReplica:
+      return "(b) distributed row store + column replica [TiDB]";
+    case ArchitectureKind::kDiskRowPlusDistributedColumn:
+      return "(c) disk row store + in-memory column cluster [Heatwave]";
+    case ArchitectureKind::kColumnPlusDeltaRow:
+      return "(d) primary column store + delta row store [SAP HANA]";
+  }
+  return "?";
+}
+
+void Tour(ArchitectureKind arch) {
+  std::printf("================================================\n%s\n",
+              Describe(arch));
+
+  DatabaseOptions options;
+  options.architecture = arch;
+  options.data_dir = "/tmp";
+  options.background_sync = false;  // make the staging visible
+  options.dist.num_shards = 2;
+  auto db = std::move(*Database::Open(options));
+
+  // Identical application code from here on.
+  db->ExecuteSql(
+      "CREATE TABLE readings (id INT64 PRIMARY KEY, sensor INT64, "
+      "temp DOUBLE)");
+  auto txn = db->Begin();
+  for (int i = 0; i < 500; ++i)
+    txn->Insert("readings",
+                Row{Value(static_cast<int64_t>(i)),
+                    Value(static_cast<int64_t>(i % 10)),
+                    Value(15.0 + (i % 40))});
+  txn->Commit();
+
+  FreshnessInfo before = db->Freshness("readings");
+  QueryExecInfo info;
+  QueryPlan hot;
+  hot.table = "readings";
+  hot.where = Predicate::Gt(2, Value(40.0));
+  hot.aggs = {AggSpec::Count("hot_readings"), AggSpec::Avg(2, "avg_temp")};
+  auto fresh_answer = db->Query(hot, &info);
+
+  std::printf("  staged changes before merge : %zu entries\n",
+              before.pending_delta_entries);
+  std::printf("  fresh query path            : %s\n", info.access_path.c_str());
+  std::printf("  hot readings (fresh)        : %s\n",
+              fresh_answer->rows[0].Get(0).ToString().c_str());
+
+  db->ForceSync("readings");
+  QueryExecInfo info2;
+  auto merged_answer = db->Query(hot, &info2);
+  const FreshnessInfo after = db->Freshness("readings");
+  std::printf("  after merge: path=%s, column store at csn %llu (lag %llu)\n",
+              info2.access_path.c_str(),
+              static_cast<unsigned long long>(after.visible_csn),
+              static_cast<unsigned long long>(after.csn_lag));
+  std::printf("  answers agree: %s\n\n",
+              fresh_answer->rows[0].Get(0) == merged_answer->rows[0].Get(0)
+                  ? "yes"
+                  : "NO (bug!)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("One API, four architectures — the survey's taxonomy, live.\n\n");
+  Tour(ArchitectureKind::kRowPlusInMemoryColumn);
+  Tour(ArchitectureKind::kDistributedRowPlusColumnReplica);
+  Tour(ArchitectureKind::kDiskRowPlusDistributedColumn);
+  Tour(ArchitectureKind::kColumnPlusDeltaRow);
+  std::printf(
+      "Each preset staged the same 500 writes differently (in-memory "
+      "delta, Raft log + learner delta files, heap + loaded columns, "
+      "L1/L2 delta) but answered identically — the storage-strategy "
+      "diversity the survey catalogues.\n");
+  return 0;
+}

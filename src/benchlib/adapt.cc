@@ -1,0 +1,70 @@
+#include "benchlib/adapt.h"
+
+namespace htap {
+namespace bench {
+
+Status SetupAdapt(Database* db, const AdaptConfig& config) {
+  HTAP_RETURN_NOT_OK(db->CreateTable(
+      "adapt_narrow", Schema({{"id", Type::kInt64},
+                              {"a", Type::kInt64},
+                              {"b", Type::kInt64}})));
+  std::vector<ColumnDef> wide_cols = {{"id", Type::kInt64}};
+  for (int c = 0; c < config.wide_cols; ++c)
+    wide_cols.emplace_back("p" + std::to_string(c), Type::kDouble);
+  HTAP_RETURN_NOT_OK(db->CreateTable("adapt_wide", Schema(wide_cols)));
+
+  Random rng(config.seed);
+  constexpr size_t kBatch = 512;
+  for (size_t i = 0; i < config.narrow_rows;) {
+    auto txn = db->Begin();
+    for (size_t j = 0; j < kBatch && i < config.narrow_rows; ++j, ++i) {
+      HTAP_RETURN_NOT_OK(txn->Insert(
+          "adapt_narrow",
+          Row{Value(static_cast<int64_t>(i)),
+              Value(static_cast<int64_t>(rng.Uniform(1000))),
+              Value(static_cast<int64_t>(rng.Uniform(1000000)))}));
+    }
+    HTAP_RETURN_NOT_OK(txn->Commit());
+  }
+  for (size_t i = 0; i < config.wide_rows;) {
+    auto txn = db->Begin();
+    for (size_t j = 0; j < kBatch && i < config.wide_rows; ++j, ++i) {
+      Row row;
+      row.Append(Value(static_cast<int64_t>(i)));
+      for (int c = 0; c < config.wide_cols; ++c)
+        row.Append(Value(rng.NextDouble() * 1000.0));
+      HTAP_RETURN_NOT_OK(txn->Insert("adapt_wide", row));
+    }
+    HTAP_RETURN_NOT_OK(txn->Commit());
+  }
+  return Status::OK();
+}
+
+QueryPlan WideScanPlan(const AdaptConfig& config, int cols_touched,
+                       PathHint path) {
+  QueryPlan plan;
+  plan.table = "adapt_wide";
+  plan.path = path;
+  if (cols_touched < 1) cols_touched = 1;
+  if (cols_touched > config.wide_cols) cols_touched = config.wide_cols;
+  plan.where = Predicate::Gt(1, Value(0.0));  // keep nearly everything
+  for (int c = 0; c < cols_touched; ++c)
+    plan.aggs.push_back(AggSpec::Sum(1 + c, "sum_p" + std::to_string(c)));
+  return plan;
+}
+
+Status NarrowPointUpdate(Database* db, const AdaptConfig& config,
+                         Random* rng) {
+  const int64_t id =
+      static_cast<int64_t>(rng->Uniform(config.narrow_rows));
+  auto txn = db->Begin();
+  Row row;
+  HTAP_RETURN_NOT_OK(txn->Get("adapt_narrow", id, &row));
+  row.Set(1, Value(row.Get(1).AsInt64() + 1));
+  row.Set(2, Value(static_cast<int64_t>(rng->Uniform(1000000))));
+  HTAP_RETURN_NOT_OK(txn->Update("adapt_narrow", row));
+  return txn->Commit();
+}
+
+}  // namespace bench
+}  // namespace htap

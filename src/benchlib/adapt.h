@@ -1,0 +1,37 @@
+// ADAPT-style micro-benchmark tables (Arulraj et al., SIGMOD'16): one
+// narrow table for point-op stress and one wide table for scan-projection
+// sweeps — used by the QO and AP technique benches to vary the fraction of
+// columns a query touches.
+
+#ifndef HTAP_BENCHLIB_ADAPT_H_
+#define HTAP_BENCHLIB_ADAPT_H_
+
+#include "common/random.h"
+#include "core/database.h"
+
+namespace htap {
+namespace bench {
+
+struct AdaptConfig {
+  size_t narrow_rows = 10000;
+  size_t wide_rows = 5000;
+  int wide_cols = 32;  // payload columns in the wide table (plus the key)
+  uint64_t seed = 7;
+};
+
+/// Creates `adapt_narrow` (key + 2 ints) and `adapt_wide`
+/// (key + wide_cols doubles) and loads them.
+Status SetupAdapt(Database* db, const AdaptConfig& config);
+
+/// A scan + aggregate touching the first `cols_touched` payload columns of
+/// the wide table.
+QueryPlan WideScanPlan(const AdaptConfig& config, int cols_touched,
+                       PathHint path = PathHint::kAuto);
+
+/// A point-update transaction against the narrow table.
+Status NarrowPointUpdate(Database* db, const AdaptConfig& config, Random* rng);
+
+}  // namespace bench
+}  // namespace htap
+
+#endif  // HTAP_BENCHLIB_ADAPT_H_

@@ -1,0 +1,74 @@
+// CH-benCHmark-style mixed workload (Cole et al., DBTest'11), rebuilt for
+// htapdb: the TPC-C transactional schema and transaction profiles plus a
+// suite of CH-style analytical queries over the same tables. This is the
+// workload behind bench_table1_architectures and bench_chbench.
+
+#ifndef HTAP_BENCHLIB_CHBENCH_H_
+#define HTAP_BENCHLIB_CHBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "benchlib/keys.h"
+#include "common/random.h"
+#include "core/database.h"
+
+namespace htap {
+namespace bench {
+
+/// Scale parameters (reduced-but-faithful TPC-C shapes).
+struct ChConfig {
+  int warehouses = 2;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 100;
+  int items = 1000;
+  int initial_orders_per_district = 30;
+  uint64_t seed = 12345;
+};
+
+/// Creates the 7 CH tables on a database.
+Status CreateChTables(Database* db);
+
+/// Loads initial data per `config`.
+Status LoadChData(Database* db, const ChConfig& config);
+
+/// One client's transaction generator. Not thread-safe; one per worker.
+class ChTransactions {
+ public:
+  ChTransactions(Database* db, const ChConfig& config, uint64_t seed);
+
+  /// TPC-C-style mix: ~45% NewOrder, ~43% Payment, ~4% Delivery,
+  /// ~8% OrderStatus. Returns the commit status of the transaction.
+  Status RunOne();
+
+  Status NewOrder();
+  Status Payment();
+  Status Delivery();
+  Status OrderStatus();
+
+  uint64_t new_orders() const { return new_orders_; }
+  uint64_t total() const { return total_; }
+  uint64_t aborts() const { return aborts_; }
+
+ private:
+  Database* db_;
+  ChConfig config_;
+  Random rng_;
+  uint64_t new_orders_ = 0, total_ = 0, aborts_ = 0;
+  int64_t clock_ = 0;  // synthetic order entry timestamp
+};
+
+/// One CH-style analytical query: name + plan builder.
+struct ChQuery {
+  std::string name;
+  std::string description;
+  QueryPlan plan;
+};
+
+/// The 12 CH-style queries (adapted to single-join plans; see DESIGN.md).
+std::vector<ChQuery> ChQueries();
+
+}  // namespace bench
+}  // namespace htap
+
+#endif  // HTAP_BENCHLIB_CHBENCH_H_

@@ -1,0 +1,52 @@
+// Mixed-workload driver: concurrent OLTP clients + OLAP clients against one
+// Database, with the CH-benCHmark execution rule (both classes run
+// continuously for a fixed duration) and its metrics (tpmC-like NewOrder
+// rate, QphH-like query rate), plus freshness probes.
+
+#ifndef HTAP_BENCHLIB_DRIVER_H_
+#define HTAP_BENCHLIB_DRIVER_H_
+
+#include "benchlib/chbench.h"
+#include "common/clock.h"
+
+namespace htap {
+namespace bench {
+
+struct DriverConfig {
+  int oltp_clients = 2;
+  int olap_clients = 1;
+  Micros duration_micros = 1'000'000;
+  bool olap_require_fresh = true;  // delta-union vs stale column-only scans
+  /// Think time between analytical queries (0 = closed loop). A fixed
+  /// OLAP arrival rate isolates merge-cadence effects from query-cost
+  /// effects in the trade-off sweeps.
+  Micros olap_think_micros = 0;
+  uint64_t seed = 99;
+};
+
+struct DriverReport {
+  double seconds = 0;
+  uint64_t txns_committed = 0;
+  uint64_t new_orders = 0;
+  uint64_t txns_aborted = 0;
+  uint64_t queries_completed = 0;
+  double tpm_total = 0;     // committed transactions per minute
+  double tpmc = 0;          // NewOrder transactions per minute
+  double qph = 0;           // analytical queries per hour
+  double avg_query_micros = 0;
+  double avg_freshness_lag_micros = 0;  // sampled after each query
+  double max_freshness_lag_micros = 0;
+
+  std::string ToString() const;
+};
+
+/// Runs the mixed workload. Multi-threaded for the local architectures;
+/// automatically degrades to an interleaved single-threaded loop for the
+/// simulator-backed distributed architecture.
+DriverReport RunMixedWorkload(Database* db, const ChConfig& ch,
+                              const DriverConfig& cfg);
+
+}  // namespace bench
+}  // namespace htap
+
+#endif  // HTAP_BENCHLIB_DRIVER_H_

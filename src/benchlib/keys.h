@@ -1,0 +1,28 @@
+// Composite-key packing for the CH-benCHmark schema: htapdb primary keys
+// are single INT64s, so TPC-C's composite business keys are bit-packed.
+
+#ifndef HTAP_BENCHLIB_KEYS_H_
+#define HTAP_BENCHLIB_KEYS_H_
+
+#include "types/row.h"
+
+namespace htap {
+namespace bench {
+
+// Field widths: warehouse 16 bits, district 8, customer/order 24, line 8.
+inline Key DistrictKey(int64_t w, int64_t d) { return (w << 8) | d; }
+inline Key CustomerKey(int64_t w, int64_t d, int64_t c) {
+  return (w << 32) | (d << 24) | c;
+}
+inline Key OrderKey(int64_t w, int64_t d, int64_t o) {
+  return (w << 32) | (d << 24) | o;
+}
+inline Key OrderLineKey(int64_t w, int64_t d, int64_t o, int64_t line) {
+  return (w << 40) | (d << 32) | (o << 8) | line;
+}
+inline Key StockKey(int64_t w, int64_t i) { return (w << 24) | i; }
+
+}  // namespace bench
+}  // namespace htap
+
+#endif  // HTAP_BENCHLIB_KEYS_H_

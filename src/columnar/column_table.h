@@ -1,0 +1,108 @@
+// ColumnTable: the main column store. An append-only sequence of immutable
+// row groups (IMCUs), each holding one Segment per column, a delete bitmap,
+// and the primary keys decoded for fast delta-override checks. Updates are
+// delete-old-position + append-new-row, applied by the sync pipeline.
+//
+// `merged_csn` is the freshness cursor: every committed change with
+// CSN <= merged_csn is reflected here; newer changes still live in a delta
+// store and must be unioned in by the scan (the in-memory delta and column
+// scan technique, Table 2 AP row).
+
+#ifndef HTAP_COLUMNAR_COLUMN_TABLE_H_
+#define HTAP_COLUMNAR_COLUMN_TABLE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/segment.h"
+#include "common/bitmap.h"
+#include "common/latch.h"
+#include "common/status.h"
+#include "txn/types.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace htap {
+
+/// One immutable horizontal slice of the table.
+struct RowGroup {
+  std::vector<Segment> columns;  // one per schema column
+  std::vector<Key> keys;         // decoded PK per row (hot path)
+  Bitmap deleted;                // positional delete bitmap
+  size_t num_rows = 0;
+
+  size_t MemoryBytes() const {
+    size_t b = sizeof(*this) + keys.capacity() * sizeof(Key) +
+               deleted.MemoryBytes();
+    for (const auto& s : columns) b += s.MemoryBytes();
+    return b;
+  }
+};
+
+class ColumnTable {
+ public:
+  explicit ColumnTable(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  // ---- Sync-pipeline write API (single writer; scans may run concurrently)
+
+  /// Appends a batch of rows as one new row group. Rows whose key already
+  /// exists are treated as updates: the old position is delete-marked first.
+  void AppendBatch(const std::vector<Row>& rows, CSN up_to_csn);
+
+  /// Positionally delete-marks the row with this key. Returns false if the
+  /// key is not present.
+  bool DeleteKey(Key key, CSN csn);
+
+  /// Drops all data (rebuild-from-primary begins with this).
+  void Clear();
+
+  /// Compacts groups: drops deleted rows and rebuilds segments. Returns
+  /// bytes reclaimed (approximate).
+  size_t Compact();
+
+  // ---- Read API -----------------------------------------------------------
+
+  size_t num_groups() const;
+  /// Stable pointer to group i (groups are never removed, only compacted in
+  /// place under the write latch; readers take the shared latch).
+  const RowGroup* group(size_t i) const;
+
+  /// Unlatched variants: caller must hold latch() shared for the duration
+  /// of use (the scan path holds it across the whole pass).
+  size_t num_groups_unlocked() const { return groups_.size(); }
+  const RowGroup* group_unlocked(size_t i) const { return groups_[i].get(); }
+
+  /// Reconstructs a full row from group/offset (for hybrid plans).
+  Row MaterializeRow(const RowGroup& g, size_t offset) const;
+
+  /// Looks up a key's position. Returns false if absent or deleted.
+  bool FindKey(Key key, size_t* group_idx, size_t* offset) const;
+
+  /// Rows not delete-marked.
+  size_t live_rows() const;
+  size_t MemoryBytes() const;
+
+  /// Freshness cursor: all committed changes at or below this CSN are
+  /// reflected in this column store.
+  CSN merged_csn() const { return merged_csn_; }
+  void set_merged_csn(CSN csn) { merged_csn_ = csn; }
+
+  /// The scan latch: scans hold shared, the sync pipeline holds exclusive.
+  RWLatch& latch() const { return latch_; }
+
+ private:
+  void AppendBatchLocked(const std::vector<Row>& rows);
+
+  Schema schema_;
+  std::vector<std::unique_ptr<RowGroup>> groups_;
+  std::unordered_map<Key, std::pair<uint32_t, uint32_t>> key_index_;
+  std::atomic<CSN> merged_csn_{0};
+  mutable RWLatch latch_;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_COLUMNAR_COLUMN_TABLE_H_

@@ -1,0 +1,69 @@
+// Column encodings: PLAIN, DICTIONARY, RLE, and FOR-bit-packing.
+//
+// These are the compression techniques the surveyed systems use in their
+// column stores (dictionary-encoded sorting merge in SAP HANA, IMCU
+// compression units in Oracle, etc.). A heuristic analyzer picks the
+// encoding per segment from value statistics.
+
+#ifndef HTAP_COLUMNAR_ENCODING_H_
+#define HTAP_COLUMNAR_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/column_vector.h"
+#include "common/status.h"
+
+namespace htap {
+
+enum class EncodingType : uint8_t {
+  kPlain = 0,
+  kDictionary = 1,
+  kRle = 2,
+  kForBitPack = 3,  // frame-of-reference + bit packing (INT64 only)
+};
+
+const char* EncodingName(EncodingType t);
+
+/// An encoded, immutable column payload.
+struct EncodedColumn {
+  EncodingType encoding = EncodingType::kPlain;
+  Type type = Type::kInt64;
+  uint32_t num_values = 0;
+
+  // PLAIN: `ints`/`doubles`/`strings` hold raw values.
+  // DICTIONARY: `strings` or `ints` hold the dictionary; `codes` the ids.
+  // RLE: `ints`/`doubles`/`strings` hold run values; `run_ends[i]` is the
+  //      exclusive end offset of run i (cumulative, binary-searchable).
+  // FOR_BITPACK: `ints[0]` = frame base, `bit_width`, `packed` words.
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<std::string> strings;
+  std::vector<uint32_t> codes;
+  std::vector<uint32_t> run_ends;
+  std::vector<uint64_t> packed;
+  uint8_t bit_width = 0;
+  Bitmap nulls;
+
+  size_t MemoryBytes() const;
+};
+
+/// Encodes `in` with the given encoding. FOR-bit-pack on non-INT64 or
+/// dictionary-on-double fall back to PLAIN.
+EncodedColumn Encode(const ColumnVector& in, EncodingType enc);
+
+/// Decodes back to a ColumnVector (encode∘decode == identity).
+ColumnVector Decode(const EncodedColumn& col);
+
+/// Picks an encoding from value statistics: RLE when average run length is
+/// high, dictionary when NDV is small, FOR-bit-pack for narrow-range ints,
+/// else plain.
+EncodingType ChooseEncoding(const ColumnVector& in);
+
+/// Random access into an encoded column without full materialization.
+Value EncodedGet(const EncodedColumn& col, size_t i);
+
+}  // namespace htap
+
+#endif  // HTAP_COLUMNAR_ENCODING_H_

@@ -1,0 +1,42 @@
+#include "columnar/segment.h"
+
+namespace htap {
+
+Segment Segment::Build(const ColumnVector& values) {
+  return BuildWithEncoding(values, ChooseEncoding(values));
+}
+
+Segment Segment::BuildWithEncoding(const ColumnVector& values,
+                                   EncodingType enc) {
+  Segment s;
+  s.data_ = Encode(values, enc);
+  bool first = true;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values.IsNull(i)) {
+      s.has_nulls_ = true;
+      continue;
+    }
+    const Value v = values.GetValue(i);
+    if (first) {
+      s.min_ = v;
+      s.max_ = v;
+      first = false;
+    } else {
+      if (v < s.min_) s.min_ = v;
+      if (s.max_ < v) s.max_ = v;
+    }
+  }
+  return s;
+}
+
+bool Segment::CanSkip(const std::string& op, const Value& v) const {
+  if (min_.is_null()) return true;  // empty or all-NULL segment
+  if (op == "=") return v < min_ || max_ < v;
+  if (op == "<") return !(min_ < v);   // need min < v
+  if (op == "<=") return v < min_;
+  if (op == ">") return !(v < max_);   // need max > v
+  if (op == ">=") return max_ < v;
+  return false;  // "!=" and unknown ops: cannot skip
+}
+
+}  // namespace htap

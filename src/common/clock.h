@@ -1,0 +1,79 @@
+// Clocks. Real components use WallClock; the discrete-event simulator and
+// freshness accounting use a VirtualClock that only advances when told to,
+// which keeps distributed tests deterministic on any host.
+
+#ifndef HTAP_COMMON_CLOCK_H_
+#define HTAP_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace htap {
+
+/// Microseconds since an arbitrary epoch.
+using Micros = int64_t;
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Micros NowMicros() const = 0;
+};
+
+/// Monotonic wall clock backed by std::chrono::steady_clock.
+class WallClock : public Clock {
+ public:
+  Micros NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide shared instance.
+  static WallClock* Default() {
+    static WallClock clock;
+    return &clock;
+  }
+};
+
+/// Manually-advanced clock for deterministic simulation.
+class VirtualClock : public Clock {
+ public:
+  Micros NowMicros() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void AdvanceTo(Micros t) {
+    Micros cur = now_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_release)) {
+    }
+  }
+
+  void AdvanceBy(Micros d) { now_.fetch_add(d, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<Micros> now_{0};
+};
+
+/// Simple stopwatch over a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock = WallClock::Default())
+      : clock_(clock), start_(clock->NowMicros()) {}
+
+  Micros ElapsedMicros() const { return clock_->NowMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+  void Restart() { start_ = clock_->NowMicros(); }
+
+ private:
+  const Clock* clock_;
+  Micros start_;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_COMMON_CLOCK_H_

@@ -1,0 +1,91 @@
+// Lightweight synchronization primitives: a spin latch for short critical
+// sections (version-chain manipulation) and a readers/writer latch for
+// structures with scan-heavy access (B+-tree, column tables).
+
+#ifndef HTAP_COMMON_LATCH_H_
+#define HTAP_COMMON_LATCH_H_
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+
+namespace htap {
+
+/// Test-and-test-and-set spin latch. Use only around a handful of
+/// instructions; yields to the OS after a bounded number of spins so a
+/// single-core host still makes progress.
+class SpinLatch {
+ public:
+  void Lock() {
+    int spins = 0;
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins > 128) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  void Unlock() { flag_.store(false, std::memory_order_release); }
+
+  bool TryLock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLatch.
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
+  ~SpinGuard() { latch_.Unlock(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLatch& latch_;
+};
+
+/// Readers/writer latch; thin wrapper so call sites read as latches, not
+/// generic mutexes.
+class RWLatch {
+ public:
+  void LockShared() { mu_.lock_shared(); }
+  void UnlockShared() { mu_.unlock_shared(); }
+  void LockExclusive() { mu_.lock(); }
+  void UnlockExclusive() { mu_.unlock(); }
+
+  std::shared_mutex& native() { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+class ReadGuard {
+ public:
+  explicit ReadGuard(RWLatch& l) : l_(l) { l_.LockShared(); }
+  ~ReadGuard() { l_.UnlockShared(); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  RWLatch& l_;
+};
+
+class WriteGuard {
+ public:
+  explicit WriteGuard(RWLatch& l) : l_(l) { l_.LockExclusive(); }
+  ~WriteGuard() { l_.UnlockExclusive(); }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+
+ private:
+  RWLatch& l_;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_COMMON_LATCH_H_

@@ -1,0 +1,103 @@
+// Deterministic pseudo-random generators used by workload generators and
+// property tests: a xorshift-based uniform generator and a Zipfian generator
+// (Gray et al.) matching the skew used in TPC-C/YCSB-style workloads.
+
+#ifndef HTAP_COMMON_RANDOM_H_
+#define HTAP_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace htap {
+
+/// Fast deterministic uniform PRNG (xorshift128+). Not thread-safe; give each
+/// worker its own instance seeded differently.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    s0_ = seed ^ 0x2545F4914F6CDD1DULL;
+    s1_ = seed * 0x9E3779B97F4A7C15ULL + 1;
+    for (int i = 0; i < 8; ++i) Next64();
+  }
+
+  uint64_t Next64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t len) {
+    std::string s(len, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+    return s;
+  }
+
+  /// TPC-C NURand non-uniform random: NURand(A, x, y).
+  int64_t NURand(int64_t a, int64_t x, int64_t y) {
+    const int64_t c = 7911;  // fixed run constant
+    return (((UniformRange(0, a) | UniformRange(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+/// Zipfian-distributed integers in [0, n). theta in (0,1); higher = more skew.
+/// Uses the classic Gray et al. rejection-free formula with cached constants.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 42)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Random rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_COMMON_RANDOM_H_

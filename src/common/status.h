@@ -1,0 +1,172 @@
+// Status and Result<T>: the library-wide error-handling vocabulary.
+//
+// htapdb does not throw exceptions across public API boundaries. Every
+// fallible operation returns either a Status (no payload) or a Result<T>
+// (Status + value). The style follows RocksDB/Arrow.
+
+#ifndef HTAP_COMMON_STATUS_H_
+#define HTAP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace htap {
+
+/// Outcome of a fallible operation.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kAlreadyExists,
+    kInvalidArgument,
+    kConflict,       // write-write conflict; transaction must abort
+    kAborted,        // transaction aborted (explicitly or by the system)
+    kIOError,
+    kCorruption,
+    kNotSupported,
+    kTimeout,
+    kResourceExhausted,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status Conflict(std::string msg = "") {
+    return Status(Code::kConflict, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Timeout(std::string msg = "") {
+    return Status(Code::kTimeout, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsConflict() const { return code_ == Code::kConflict; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsTimeout() const { return code_ == Code::kTimeout; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "CODE: message" string for logs and error surfaces.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case Code::kOk: name = "OK"; break;
+      case Code::kNotFound: name = "NotFound"; break;
+      case Code::kAlreadyExists: name = "AlreadyExists"; break;
+      case Code::kInvalidArgument: name = "InvalidArgument"; break;
+      case Code::kConflict: name = "Conflict"; break;
+      case Code::kAborted: name = "Aborted"; break;
+      case Code::kIOError: name = "IOError"; break;
+      case Code::kCorruption: name = "Corruption"; break;
+      case Code::kNotSupported: name = "NotSupported"; break;
+      case Code::kTimeout: name = "Timeout"; break;
+      case Code::kResourceExhausted: name = "ResourceExhausted"; break;
+      case Code::kInternal: name = "Internal"; break;
+    }
+    return msg_.empty() ? name : name + ": " + msg_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// A Status plus, on success, a value of type T.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define HTAP_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::htap::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+/// Evaluate a Result-returning expression; assign value or propagate Status.
+#define HTAP_ASSIGN_OR_RETURN(lhs, expr)  \
+  auto HTAP_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!HTAP_CONCAT_(_res_, __LINE__).ok())                \
+    return HTAP_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(*HTAP_CONCAT_(_res_, __LINE__))
+
+#define HTAP_CONCAT_INNER_(a, b) a##b
+#define HTAP_CONCAT_(a, b) HTAP_CONCAT_INNER_(a, b)
+
+}  // namespace htap
+
+#endif  // HTAP_COMMON_STATUS_H_

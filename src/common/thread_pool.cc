@@ -1,0 +1,81 @@
+#include "common/thread_pool.h"
+
+namespace htap {
+
+ThreadPool::ThreadPool(size_t num_threads, std::string name)
+    : name_(std::move(name)) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && running_ == 0; });
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::SetConcurrencyQuota(size_t quota) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    quota_ = quota;
+  }
+  cv_.notify_all();
+}
+
+size_t ThreadPool::concurrency_quota() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return quota_;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] {
+        return shutdown_ ||
+               (!queue_.empty() && (quota_ == 0 || running_ < quota_));
+      });
+      if (shutdown_ && queue_.empty()) return;
+      if (queue_.empty() || (quota_ != 0 && running_ >= quota_)) continue;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+    cv_.notify_one();
+  }
+}
+
+}  // namespace htap

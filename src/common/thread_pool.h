@@ -1,0 +1,60 @@
+// Fixed-size thread pool with a resizable admission quota. The resource
+// scheduler (src/sched) throttles OLTP/OLAP work not by killing threads but
+// by adjusting each pool's quota of in-flight tasks, which behaves well even
+// on single-core hosts.
+
+#ifndef HTAP_COMMON_THREAD_POOL_H_
+#define HTAP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace htap {
+
+/// A pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle.
+  void Wait();
+
+  /// Number of tasks waiting in the queue (diagnostic).
+  size_t QueueDepth() const;
+
+  /// Limit on concurrently running tasks; the scheduler adjusts this to
+  /// reapportion CPU between OLTP and OLAP pools. 0 means "no limit".
+  void SetConcurrencyQuota(size_t quota);
+  size_t concurrency_quota() const;
+
+  size_t num_threads() const { return threads_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  void WorkerLoop();
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // wakes workers
+  std::condition_variable idle_cv_;   // wakes Wait()
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t running_ = 0;
+  size_t quota_ = 0;  // 0 = unlimited
+  bool shutdown_ = false;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,55 @@
+// Catalog: table name/id registry shared by the facade, the engines, and
+// the SQL binder.
+
+#ifndef HTAP_CORE_CATALOG_H_
+#define HTAP_CORE_CATALOG_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace htap {
+
+class Catalog {
+ public:
+  Status AddTable(const std::string& name, Schema schema, TableInfo* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (by_name_.count(name) != 0)
+      return Status::AlreadyExists("table exists: " + name);
+    HTAP_RETURN_NOT_OK(schema.Validate());
+    TableInfo info;
+    info.id = next_id_++;
+    info.name = name;
+    info.schema = std::move(schema);
+    by_name_[name] = info;
+    if (out != nullptr) *out = by_name_[name];
+    return Status::OK();
+  }
+
+  /// nullptr if absent. Pointers remain valid for the catalog's lifetime
+  /// (tables are never dropped through this API).
+  const TableInfo* Find(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : &it->second;
+  }
+
+  std::vector<std::string> TableNames() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::string> out;
+    for (const auto& [name, info] : by_name_) out.push_back(name);
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TableInfo> by_name_;
+  uint32_t next_id_ = 1;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_CORE_CATALOG_H_

@@ -1,0 +1,122 @@
+#include "core/database.h"
+
+namespace htap {
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {
+  switch (options_.architecture) {
+    case ArchitectureKind::kRowPlusInMemoryColumn:
+      engine_ = std::make_unique<InMemoryHtapEngine>(options_, &catalog_);
+      break;
+    case ArchitectureKind::kDistributedRowPlusColumnReplica:
+      engine_ = std::make_unique<DistributedHtapEngine>(options_, &catalog_);
+      break;
+    case ArchitectureKind::kDiskRowPlusDistributedColumn:
+      engine_ = std::make_unique<DiskHtapEngine>(options_, &catalog_);
+      break;
+    case ArchitectureKind::kColumnPlusDeltaRow:
+      engine_ = std::make_unique<DeltaMainHtapEngine>(options_, &catalog_);
+      break;
+  }
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  auto db = std::unique_ptr<Database>(new Database(std::move(options)));
+  if (db->engine_ == nullptr) return Status::Internal("engine init failed");
+  return db;
+}
+
+Result<const TableInfo*> Database::Resolve(const std::string& table) const {
+  const TableInfo* info = catalog_.Find(table);
+  if (info == nullptr) return Status::NotFound("no table: " + table);
+  return info;
+}
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  TableInfo info;
+  HTAP_RETURN_NOT_OK(catalog_.AddTable(name, std::move(schema), &info));
+  return engine_->CreateTable(info);
+}
+
+std::unique_ptr<DbTxn> Database::Begin() {
+  return std::unique_ptr<DbTxn>(new DbTxn(this, engine_->Begin()));
+}
+
+Status Database::InsertRow(const std::string& table, const Row& row) {
+  auto txn = Begin();
+  HTAP_RETURN_NOT_OK(txn->Insert(table, row));
+  return txn->Commit();
+}
+
+Status Database::UpdateRow(const std::string& table, const Row& row) {
+  auto txn = Begin();
+  HTAP_RETURN_NOT_OK(txn->Update(table, row));
+  return txn->Commit();
+}
+
+Status Database::DeleteRow(const std::string& table, Key key) {
+  auto txn = Begin();
+  HTAP_RETURN_NOT_OK(txn->Delete(table, key));
+  return txn->Commit();
+}
+
+Status Database::GetRow(const std::string& table, Key key, Row* out) {
+  HTAP_ASSIGN_OR_RETURN(const TableInfo* info, Resolve(table));
+  return engine_->Read(*info, key, out);
+}
+
+Result<QueryResult> Database::Query(const QueryPlan& plan,
+                                    QueryExecInfo* info) {
+  return engine_->Execute(plan, info);
+}
+
+Status Database::ForceSync(const std::string& table) {
+  HTAP_ASSIGN_OR_RETURN(const TableInfo* info, Resolve(table));
+  return engine_->ForceSync(*info);
+}
+
+Status Database::ForceSyncAll() {
+  for (const std::string& name : catalog_.TableNames())
+    HTAP_RETURN_NOT_OK(ForceSync(name));
+  return Status::OK();
+}
+
+FreshnessInfo Database::Freshness(const std::string& table) {
+  const TableInfo* info = catalog_.Find(table);
+  return info == nullptr ? FreshnessInfo{} : engine_->Freshness(*info);
+}
+
+EngineStats Database::Stats() { return engine_->Stats(); }
+
+// ---------------------------------------------------------------------------
+// DbTxn
+// ---------------------------------------------------------------------------
+
+DbTxn::~DbTxn() {
+  if (ctx_ != nullptr && !ctx_->finished) db_->engine_->Abort(ctx_.get());
+}
+
+Status DbTxn::Insert(const std::string& table, const Row& row) {
+  HTAP_ASSIGN_OR_RETURN(const TableInfo* info, db_->Resolve(table));
+  return db_->engine_->Insert(ctx_.get(), *info, row);
+}
+
+Status DbTxn::Update(const std::string& table, const Row& row) {
+  HTAP_ASSIGN_OR_RETURN(const TableInfo* info, db_->Resolve(table));
+  return db_->engine_->Update(ctx_.get(), *info, row);
+}
+
+Status DbTxn::Delete(const std::string& table, Key key) {
+  HTAP_ASSIGN_OR_RETURN(const TableInfo* info, db_->Resolve(table));
+  return db_->engine_->Delete(ctx_.get(), *info, key);
+}
+
+Status DbTxn::Get(const std::string& table, Key key, Row* out) {
+  HTAP_ASSIGN_OR_RETURN(const TableInfo* info, db_->Resolve(table));
+  return db_->engine_->Get(ctx_.get(), *info, key, out);
+}
+
+Status DbTxn::Commit() { return db_->engine_->Commit(ctx_.get()); }
+
+Status DbTxn::Abort() { return db_->engine_->Abort(ctx_.get()); }
+
+}  // namespace htap

@@ -1,0 +1,257 @@
+// Architecture (a): primary row store + in-memory column store.
+
+#include <algorithm>
+
+#include "core/engines.h"
+
+namespace htap {
+
+namespace {
+
+/// Distinct columns a scan request touches (for advisor heat + costing).
+std::vector<int> TouchedColumns(const ScanRequest& req) {
+  std::vector<int> cols = req.pred->ReferencedColumns();
+  for (int c : req.projection)
+    if (std::find(cols.begin(), cols.end(), c) == cols.end())
+      cols.push_back(c);
+  if (cols.empty())
+    for (size_t i = 0; i < req.table->schema.num_columns(); ++i)
+      cols.push_back(static_cast<int>(i));
+  return cols;
+}
+
+/// If the predicate is (a conjunction containing) pk = <const>, extract it.
+bool ExtractPkPoint(const Predicate& pred, int pk_index, Key* key) {
+  for (const Predicate* c : pred.Conjuncts()) {
+    if (c->kind() == Predicate::Kind::kCompare && c->op() == CmpOp::kEq &&
+        c->column() == pk_index && c->literal().is_int64()) {
+      *key = c->literal().AsInt64();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<WalWriter> MakeWal(const DatabaseOptions& options,
+                                   const std::string& name) {
+  if (!options.wal_enabled) return nullptr;
+  WalWriter::Options wo;
+  if (!options.data_dir.empty())
+    wo.path = options.data_dir + "/" + name + ".wal";
+  wo.sync_on_commit = options.sync_on_commit;
+  return std::make_unique<WalWriter>(wo);
+}
+
+}  // namespace
+
+InMemoryHtapEngine::InMemoryHtapEngine(const DatabaseOptions& options,
+                                       Catalog* catalog)
+    : options_(options),
+      catalog_(catalog),
+      wal_(MakeWal(options, "inmemory")),
+      layer_(wal_.get()) {
+  layer_.txn_mgr()->RegisterSink(this);
+  layer_.txn_mgr()->RegisterSink(&freshness_);
+  if (options_.background_sync) {
+    daemon_ = std::make_unique<SyncDaemon>(layer_.txn_mgr(),
+                                           options_.sync_interval_micros,
+                                           options_.sync_entry_threshold);
+    daemon_->Start();
+  }
+}
+
+InMemoryHtapEngine::~InMemoryHtapEngine() {
+  if (daemon_) daemon_->Stop();
+}
+
+Status InMemoryHtapEngine::CreateTable(const TableInfo& info) {
+  HTAP_RETURN_NOT_OK(layer_.AddTable(info, wal_.get()));
+  auto ts = std::make_unique<TableState>();
+  ts->info = info;
+  ts->delta = std::make_unique<InMemoryDeltaStore>();
+  ts->columns = std::make_unique<ColumnTable>(info.schema);
+  ts->sync = std::make_unique<DataSynchronizer>(
+      SyncStrategy::kInMemoryMerge, ts->columns.get(),
+      std::make_unique<DeltaSourceAdapter<InMemoryDeltaStore>>(
+          ts->delta.get()));
+  if (daemon_) daemon_->AddTask(ts->sync.get());
+  std::lock_guard<std::mutex> lk(tables_mu_);
+  tables_[info.id] = std::move(ts);
+  return Status::OK();
+}
+
+std::unique_ptr<TxnContext> InMemoryHtapEngine::Begin() {
+  return layer_.Begin();
+}
+Status InMemoryHtapEngine::Insert(TxnContext* t, const TableInfo& tbl,
+                                  const Row& r) {
+  return layer_.Insert(t, tbl, r);
+}
+Status InMemoryHtapEngine::Update(TxnContext* t, const TableInfo& tbl,
+                                  const Row& r) {
+  return layer_.Update(t, tbl, r);
+}
+Status InMemoryHtapEngine::Delete(TxnContext* t, const TableInfo& tbl,
+                                  Key key) {
+  return layer_.Delete(t, tbl, key);
+}
+Status InMemoryHtapEngine::Get(TxnContext* t, const TableInfo& tbl, Key key,
+                               Row* out) {
+  return layer_.Get(t, tbl, key, out);
+}
+Status InMemoryHtapEngine::Commit(TxnContext* t) { return layer_.Commit(t); }
+Status InMemoryHtapEngine::Abort(TxnContext* t) { return layer_.Abort(t); }
+Status InMemoryHtapEngine::Read(const TableInfo& tbl, Key key, Row* out) {
+  return layer_.Read(tbl, key, out);
+}
+
+void InMemoryHtapEngine::OnCommit(const std::vector<ChangeEvent>& events) {
+  std::lock_guard<std::mutex> lk(tables_mu_);
+  for (auto& [tid, ts] : tables_) ts->delta->AppendBatch(events, tid);
+}
+
+ColumnTable* InMemoryHtapEngine::column_table(uint32_t table_id) {
+  std::lock_guard<std::mutex> lk(tables_mu_);
+  const auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : it->second->columns.get();
+}
+
+InMemoryDeltaStore* InMemoryHtapEngine::delta(uint32_t table_id) {
+  std::lock_guard<std::mutex> lk(tables_mu_);
+  const auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : it->second->delta.get();
+}
+
+void InMemoryHtapEngine::MaybeRefreshStats(TableState* ts) {
+  const CSN now = layer_.txn_mgr()->LastCommittedCsn();
+  if (ts->stats.row_count != 0 &&
+      now < ts->stats_at_csn + options_.stats_refresh_interval)
+    return;
+  const MvccRowStore* store = layer_.store(ts->info.id);
+  std::vector<Row> sample;
+  sample.reserve(2048);
+  store->Scan(layer_.txn_mgr()->CurrentSnapshot(),
+              [&](Key, const Row& r) {
+                sample.push_back(r);
+                return sample.size() < 2048;
+              });
+  ts->stats = TableStats::Compute(ts->info.schema, sample);
+  ts->stats.row_count = store->ApproxRowCount();
+  ts->stats_at_csn = now;
+}
+
+Result<std::vector<Row>> InMemoryHtapEngine::Scan(const ScanRequest& req,
+                                                  ScanStats* stats,
+                                                  std::string* path_desc) {
+  TableState* ts;
+  {
+    std::lock_guard<std::mutex> lk(tables_mu_);
+    const auto it = tables_.find(req.table->id);
+    if (it == tables_.end()) return Status::NotFound("no such table");
+    ts = it->second.get();
+  }
+  MaybeRefreshStats(ts);
+
+  const std::vector<int> touched = TouchedColumns(req);
+  advisor_.RecordAccess(req.table->name, touched);
+
+  AccessPath path;
+  Key pk_key = 0;
+  const bool pk_point =
+      ExtractPkPoint(*req.pred, req.table->schema.pk_index(), &pk_key);
+  switch (req.path) {
+    case PathHint::kForceRow:
+      path = AccessPath::kRowFullScan;
+      break;
+    case PathHint::kForceColumn:
+      path = AccessPath::kColumnScan;
+      break;
+    case PathHint::kAuto: {
+      AccessQuery q;
+      q.stats = &ts->stats;
+      q.pred = req.pred;
+      q.columns_needed = touched.size();
+      q.total_columns = req.table->schema.num_columns();
+      q.delta_entries = ts->delta->EntryCount();
+      q.pk_point_lookup = pk_point;
+      q.column_store_available = true;
+      const PathChoice choice = ChooseAccessPath(CostModel{}, q);
+      path = choice.path;
+      break;
+    }
+  }
+  if (path_desc != nullptr) *path_desc = AccessPathName(path);
+
+  const Snapshot snap = layer_.txn_mgr()->CurrentSnapshot();
+  const MvccRowStore* store = layer_.store(req.table->id);
+
+  if (path == AccessPath::kRowIndexLookup && pk_point) {
+    std::vector<Row> out;
+    Row row;
+    const Status st = store->Get(snap, pk_key, &row);
+    if (st.ok() && req.pred->Eval(row)) {
+      if (req.projection.empty()) {
+        out.push_back(std::move(row));
+      } else {
+        Row proj;
+        for (int c : req.projection) proj.Append(row.Get(static_cast<size_t>(c)));
+        out.push_back(std::move(proj));
+      }
+    }
+    return out;
+  }
+  if (path == AccessPath::kColumnScan) {
+    const DeltaReader* delta = req.require_fresh ? ts->delta.get() : nullptr;
+    return ScanHtap(*ts->columns, delta, snap.begin_csn, *req.pred,
+                    req.projection, stats);
+  }
+  return ScanRowStore(*store, snap, *req.pred, req.projection);
+}
+
+Result<QueryResult> InMemoryHtapEngine::Execute(const QueryPlan& plan,
+                                                QueryExecInfo* info) {
+  return RunPlan(plan, *catalog_,
+                 [this](const ScanRequest& req, ScanStats* stats,
+                        std::string* desc) { return Scan(req, stats, desc); },
+                 info);
+}
+
+Status InMemoryHtapEngine::ForceSync(const TableInfo& tbl) {
+  std::lock_guard<std::mutex> lk(tables_mu_);
+  const auto it = tables_.find(tbl.id);
+  if (it == tables_.end()) return Status::NotFound("no such table");
+  return it->second->sync->SyncTo(layer_.txn_mgr()->LastCommittedCsn());
+}
+
+FreshnessInfo InMemoryHtapEngine::Freshness(const TableInfo& tbl) {
+  FreshnessInfo f;
+  std::lock_guard<std::mutex> lk(tables_mu_);
+  const auto it = tables_.find(tbl.id);
+  if (it == tables_.end()) return f;
+  f.committed_csn = layer_.txn_mgr()->LastCommittedCsn();
+  f.visible_csn = it->second->columns->merged_csn();
+  f.csn_lag = freshness_.CsnLag(f.committed_csn, f.visible_csn);
+  f.time_lag_micros = freshness_.TimeLagMicros(f.visible_csn);
+  f.fresh_visible_csn = f.committed_csn;  // fresh scans union the delta
+  f.fresh_time_lag_micros = 0;
+  f.pending_delta_entries = it->second->delta->EntryCount();
+  return f;
+}
+
+EngineStats InMemoryHtapEngine::Stats() {
+  EngineStats s;
+  s.commits = layer_.txn_mgr()->commits();
+  s.aborts = layer_.txn_mgr()->aborts();
+  s.conflicts = layer_.txn_mgr()->conflicts();
+  s.row_store_bytes = layer_.TotalRowStoreBytes();
+  std::lock_guard<std::mutex> lk(tables_mu_);
+  for (const auto& [tid, ts] : tables_) {
+    s.merges += ts->sync->stats().merges;
+    s.entries_merged += ts->sync->stats().entries_merged;
+    s.column_store_bytes += ts->columns->MemoryBytes();
+    s.delta_bytes += ts->delta->MemoryBytes();
+  }
+  return s;
+}
+
+}  // namespace htap

@@ -1,0 +1,233 @@
+// The four architecture presets of the survey's taxonomy (Figure 1 /
+// Table 1), each an HtapEngine:
+//
+//  (a) InMemoryHtapEngine   — primary row store + in-memory column store
+//                             (Oracle dual-format / SQL Server CSI style).
+//  (b) DistributedHtapEngine — distributed row store + column replica
+//                             (TiDB style; wraps sim::DistributedDb).
+//  (c) DiskHtapEngine       — disk row store + in-memory column-store
+//                             cluster (MySQL Heatwave style).
+//  (d) DeltaMainHtapEngine  — primary column store + delta row store
+//                             (SAP HANA style).
+
+#ifndef HTAP_CORE_ENGINES_H_
+#define HTAP_CORE_ENGINES_H_
+
+#include <unordered_map>
+
+#include "core/catalog.h"
+#include "core/options.h"
+#include "core/query_runner.h"
+#include "core/row_txn_layer.h"
+#include "opt/column_advisor.h"
+#include "opt/optimizer.h"
+#include "storage/disk_row_store.h"
+
+namespace htap {
+
+// ---------------------------------------------------------------------------
+// (a) Primary row store + in-memory column store
+// ---------------------------------------------------------------------------
+
+class InMemoryHtapEngine : public HtapEngine, public ChangeSink {
+ public:
+  InMemoryHtapEngine(const DatabaseOptions& options, Catalog* catalog);
+  ~InMemoryHtapEngine() override;
+
+  Status CreateTable(const TableInfo& info) override;
+  std::unique_ptr<TxnContext> Begin() override;
+  Status Insert(TxnContext* t, const TableInfo& tbl, const Row& r) override;
+  Status Update(TxnContext* t, const TableInfo& tbl, const Row& r) override;
+  Status Delete(TxnContext* t, const TableInfo& tbl, Key key) override;
+  Status Get(TxnContext* t, const TableInfo& tbl, Key key, Row* out) override;
+  Status Commit(TxnContext* t) override;
+  Status Abort(TxnContext* t) override;
+  Status Read(const TableInfo& tbl, Key key, Row* out) override;
+  Result<QueryResult> Execute(const QueryPlan& plan,
+                              QueryExecInfo* info) override;
+  Status ForceSync(const TableInfo& tbl) override;
+  FreshnessInfo Freshness(const TableInfo& tbl) override;
+  EngineStats Stats() override;
+
+  void OnCommit(const std::vector<ChangeEvent>& events) override;
+
+  TransactionManager* txn_mgr() { return layer_.txn_mgr(); }
+  ColumnTable* column_table(uint32_t table_id);
+  InMemoryDeltaStore* delta(uint32_t table_id);
+
+ private:
+  struct TableState {
+    TableInfo info;
+    std::unique_ptr<InMemoryDeltaStore> delta;
+    std::unique_ptr<ColumnTable> columns;
+    std::unique_ptr<DataSynchronizer> sync;
+    TableStats stats;
+    uint64_t stats_at_csn = 0;
+  };
+
+  Result<std::vector<Row>> Scan(const ScanRequest& req, ScanStats* stats,
+                                std::string* path_desc);
+  void MaybeRefreshStats(TableState* ts);
+
+  DatabaseOptions options_;
+  Catalog* catalog_;
+  std::unique_ptr<WalWriter> wal_;
+  RowTxnLayer layer_;
+  FreshnessTracker freshness_;
+  ColumnAdvisor advisor_;
+  std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_;
+  std::unique_ptr<SyncDaemon> daemon_;
+  mutable std::mutex tables_mu_;
+};
+
+// ---------------------------------------------------------------------------
+// (d) Primary column store + delta row store
+// ---------------------------------------------------------------------------
+
+class DeltaMainHtapEngine : public HtapEngine, public ChangeSink {
+ public:
+  DeltaMainHtapEngine(const DatabaseOptions& options, Catalog* catalog);
+  ~DeltaMainHtapEngine() override;
+
+  Status CreateTable(const TableInfo& info) override;
+  std::unique_ptr<TxnContext> Begin() override;
+  Status Insert(TxnContext* t, const TableInfo& tbl, const Row& r) override;
+  Status Update(TxnContext* t, const TableInfo& tbl, const Row& r) override;
+  Status Delete(TxnContext* t, const TableInfo& tbl, Key key) override;
+  Status Get(TxnContext* t, const TableInfo& tbl, Key key, Row* out) override;
+  Status Commit(TxnContext* t) override;
+  Status Abort(TxnContext* t) override;
+  Status Read(const TableInfo& tbl, Key key, Row* out) override;
+  Result<QueryResult> Execute(const QueryPlan& plan,
+                              QueryExecInfo* info) override;
+  Status ForceSync(const TableInfo& tbl) override;
+  FreshnessInfo Freshness(const TableInfo& tbl) override;
+  EngineStats Stats() override;
+
+  void OnCommit(const std::vector<ChangeEvent>& events) override;
+
+  L1L2DeltaStore* delta(uint32_t table_id);
+  ColumnTable* main(uint32_t table_id);
+
+ private:
+  struct TableState {
+    TableInfo info;
+    std::unique_ptr<L1L2DeltaStore> delta;   // L1 + L2
+    std::unique_ptr<ColumnTable> main;       // the primary column store
+    std::unique_ptr<DataSynchronizer> sync;
+  };
+
+  Result<std::vector<Row>> Scan(const ScanRequest& req, ScanStats* stats,
+                                std::string* path_desc);
+
+  DatabaseOptions options_;
+  Catalog* catalog_;
+  std::unique_ptr<WalWriter> wal_;
+  RowTxnLayer layer_;  // the delta row store with MVCC semantics
+  FreshnessTracker freshness_;
+  std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_;
+  std::unique_ptr<SyncDaemon> daemon_;
+  mutable std::mutex tables_mu_;
+};
+
+// ---------------------------------------------------------------------------
+// (c) Disk row store + distributed in-memory column store
+// ---------------------------------------------------------------------------
+
+class DiskHtapEngine : public HtapEngine, public ChangeSink {
+ public:
+  DiskHtapEngine(const DatabaseOptions& options, Catalog* catalog);
+  ~DiskHtapEngine() override;
+
+  Status CreateTable(const TableInfo& info) override;
+  std::unique_ptr<TxnContext> Begin() override;
+  Status Insert(TxnContext* t, const TableInfo& tbl, const Row& r) override;
+  Status Update(TxnContext* t, const TableInfo& tbl, const Row& r) override;
+  Status Delete(TxnContext* t, const TableInfo& tbl, Key key) override;
+  Status Get(TxnContext* t, const TableInfo& tbl, Key key, Row* out) override;
+  Status Commit(TxnContext* t) override;
+  Status Abort(TxnContext* t) override;
+  Status Read(const TableInfo& tbl, Key key, Row* out) override;
+  Result<QueryResult> Execute(const QueryPlan& plan,
+                              QueryExecInfo* info) override;
+  Status ForceSync(const TableInfo& tbl) override;
+  FreshnessInfo Freshness(const TableInfo& tbl) override;
+  EngineStats Stats() override;
+
+  void OnCommit(const std::vector<ChangeEvent>& events) override;
+
+  /// Re-runs the column advisor and reloads the IMCS with the selected
+  /// columns under the configured memory budget. Returns the selection.
+  Result<ColumnAdvisor::Selection> RefreshColumnSelection(
+      const TableInfo& tbl);
+
+  /// Columns currently loaded in the IMCS for a table (base indexes).
+  std::vector<int> LoadedColumns(uint32_t table_id) const;
+
+ private:
+  struct TableState {
+    TableInfo info;
+    std::unique_ptr<DiskRowStore> heap;          // durable row heap
+    std::unique_ptr<InMemoryDeltaStore> delta;   // staged changes for IMCS
+    std::unique_ptr<ColumnTable> imcs;           // loaded-column store
+    std::vector<int> loaded;                     // base column indexes
+    TableStats stats;
+    uint64_t stats_at_csn = 0;
+  };
+
+  Result<std::vector<Row>> Scan(const ScanRequest& req, ScanStats* stats,
+                                std::string* path_desc);
+  Status SyncImcs(TableState* ts, CSN target);
+  Row ProjectToLoaded(const TableState& ts, const Row& row) const;
+  void MaybeRefreshStats(TableState* ts);
+
+  DatabaseOptions options_;
+  Catalog* catalog_;
+  std::unique_ptr<WalWriter> wal_;
+  RowTxnLayer layer_;
+  FreshnessTracker freshness_;
+  ColumnAdvisor advisor_;
+  std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_;
+  mutable std::mutex tables_mu_;
+};
+
+// ---------------------------------------------------------------------------
+// (b) Distributed row store + column store replica
+// ---------------------------------------------------------------------------
+
+class DistributedHtapEngine : public HtapEngine {
+ public:
+  DistributedHtapEngine(const DatabaseOptions& options, Catalog* catalog);
+
+  Status CreateTable(const TableInfo& info) override;
+  std::unique_ptr<TxnContext> Begin() override;
+  Status Insert(TxnContext* t, const TableInfo& tbl, const Row& r) override;
+  Status Update(TxnContext* t, const TableInfo& tbl, const Row& r) override;
+  Status Delete(TxnContext* t, const TableInfo& tbl, Key key) override;
+  Status Get(TxnContext* t, const TableInfo& tbl, Key key, Row* out) override;
+  Status Commit(TxnContext* t) override;
+  Status Abort(TxnContext* t) override;
+  Status Read(const TableInfo& tbl, Key key, Row* out) override;
+  Result<QueryResult> Execute(const QueryPlan& plan,
+                              QueryExecInfo* info) override;
+  Status ForceSync(const TableInfo& tbl) override;
+  FreshnessInfo Freshness(const TableInfo& tbl) override;
+  EngineStats Stats() override;
+
+  sim::DistributedDb* dist_db() { return db_.get(); }
+  sim::SimEnv* env() { return &env_; }
+
+ private:
+  Result<std::vector<Row>> Scan(const ScanRequest& req, ScanStats* stats,
+                                std::string* path_desc);
+
+  DatabaseOptions options_;
+  Catalog* catalog_;
+  sim::SimEnv env_;
+  std::unique_ptr<sim::DistributedDb> db_;
+  bool bootstrapped_ = false;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_CORE_ENGINES_H_

@@ -1,0 +1,65 @@
+// DatabaseOptions: everything configurable about an htapdb instance,
+// chiefly which of the survey's four storage architectures to run.
+
+#ifndef HTAP_CORE_OPTIONS_H_
+#define HTAP_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "sim/dist_db.h"
+
+namespace htap {
+
+/// The survey's taxonomy (Figure 1 / Table 1).
+enum class ArchitectureKind : uint8_t {
+  /// (a) Primary row store + in-memory column store (Oracle dual-format,
+  /// SQL Server CSI, DB2 BLU).
+  kRowPlusInMemoryColumn = 0,
+  /// (b) Distributed row store + column store replica (TiDB).
+  kDistributedRowPlusColumnReplica = 1,
+  /// (c) Disk row store + distributed in-memory column store (Heatwave).
+  kDiskRowPlusDistributedColumn = 2,
+  /// (d) Primary column store + delta row store (SAP HANA).
+  kColumnPlusDeltaRow = 3,
+};
+
+const char* ArchitectureName(ArchitectureKind k);
+
+struct DatabaseOptions {
+  ArchitectureKind architecture = ArchitectureKind::kRowPlusInMemoryColumn;
+
+  /// Directory for WAL and heap files; empty = fully in-memory WAL.
+  std::string data_dir;
+  bool wal_enabled = true;
+  bool sync_on_commit = false;  // fsync the WAL group at commit
+
+  /// Data-synchronization cadence (delta -> column store).
+  Micros sync_interval_micros = 20000;
+  size_t sync_entry_threshold = 8192;
+  /// Start the background merge thread (off for deterministic tests that
+  /// drive ForceSync explicitly).
+  bool background_sync = true;
+
+  /// HANA-style L1 delta spill threshold (architecture (d)).
+  size_t l1_spill_threshold = 4096;
+
+  /// Architecture (c): memory budget for the loaded-column store and the
+  /// buffer-pool size of the disk heap.
+  size_t column_memory_budget_bytes = 256u << 20;
+  size_t buffer_pool_pages = 256;
+
+  /// How often table statistics are recomputed (in commits).
+  uint64_t stats_refresh_interval = 4096;
+
+  /// Architecture (b): simulated cluster shape.
+  sim::DistributedDb::Options dist;
+  /// Virtual-time budget granted per pump while waiting on the simulator.
+  Micros sim_step_micros = 1000;
+  Micros sim_timeout_micros = 10'000'000;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_CORE_OPTIONS_H_

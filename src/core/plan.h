@@ -1,0 +1,63 @@
+// Logical query plan: the engine-independent description of a SELECT that
+// every architecture preset knows how to execute. Produced either directly
+// (library API) or by the SQL layer.
+
+#ifndef HTAP_CORE_PLAN_H_
+#define HTAP_CORE_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/expression.h"
+
+namespace htap {
+
+/// Access-path hint (kAuto lets the cost-based optimizer decide — the
+/// hybrid row/column scan technique).
+enum class PathHint : uint8_t { kAuto = 0, kForceRow = 1, kForceColumn = 2 };
+
+/// One table access with an optional hash equi-join, aggregation, and
+/// sort/limit. Column indexes in `where` refer to the base table; after a
+/// join, combined rows are left columns followed by right columns, and
+/// `group_by` / `aggs` / `order_by` / `projection` refer to that combined
+/// layout.
+struct QueryPlan {
+  std::string table;
+  Predicate where;
+
+  // Optional join.
+  bool has_join = false;
+  std::string join_table;
+  Predicate join_where;  // pushed down to the right side (its own layout)
+  int left_col = -1;     // equi-join columns
+  int right_col = -1;    // index within the right table's layout
+
+  // Optional aggregation (combined layout).
+  std::vector<int> group_by;
+  std::vector<AggSpec> aggs;
+
+  // Output shaping.
+  std::vector<int> projection;  // empty = all (ignored when aggs present)
+  int order_by = -1;            // output-layout column; -1 = none
+  bool order_desc = false;
+  size_t limit = 0;  // 0 = no limit
+
+  // HTAP execution knobs.
+  PathHint path = PathHint::kAuto;
+  /// false = the query tolerates stale data: engines may skip the delta
+  /// union (pure column scan, the SingleStore technique).
+  bool require_fresh = true;
+};
+
+/// What a query actually did — surfaced to benchmarks and EXPLAIN.
+struct QueryExecInfo {
+  std::string access_path;  // per AccessPathName or engine-specific
+  ScanStats scan;
+  double cost_estimate = 0;
+  double est_selectivity = 1;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_CORE_PLAN_H_

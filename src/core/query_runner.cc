@@ -1,0 +1,147 @@
+#include "core/query_runner.h"
+
+#include <algorithm>
+
+namespace htap {
+
+namespace {
+
+/// Combined (post-join) schema: left columns then right columns.
+Schema CombinedSchema(const TableInfo& left, const TableInfo* right) {
+  std::vector<ColumnDef> cols = left.schema.columns();
+  if (right != nullptr)
+    for (const auto& c : right->schema.columns()) cols.push_back(c);
+  return Schema(std::move(cols), left.schema.pk_index());
+}
+
+Type AggOutputType(const AggSpec& agg, const Schema& input) {
+  switch (agg.fn) {
+    case AggSpec::Fn::kCount:
+      return Type::kInt64;
+    case AggSpec::Fn::kSum:
+    case AggSpec::Fn::kAvg:
+      return Type::kDouble;
+    case AggSpec::Fn::kMin:
+    case AggSpec::Fn::kMax:
+      return agg.column >= 0
+                 ? input.column(static_cast<size_t>(agg.column)).type
+                 : Type::kInt64;
+  }
+  return Type::kDouble;
+}
+
+Schema OutputSchema(const QueryPlan& plan, const Schema& combined) {
+  if (!plan.aggs.empty()) {
+    std::vector<ColumnDef> cols;
+    for (int g : plan.group_by)
+      cols.push_back(combined.column(static_cast<size_t>(g)));
+    for (const auto& agg : plan.aggs)
+      cols.emplace_back(agg.name, AggOutputType(agg, combined));
+    return Schema(std::move(cols), 0);
+  }
+  if (!plan.projection.empty()) return combined.Project(plan.projection);
+  return combined;
+}
+
+}  // namespace
+
+Result<Schema> PlanOutputSchema(const QueryPlan& plan,
+                                const Catalog& catalog) {
+  const TableInfo* left = catalog.Find(plan.table);
+  if (left == nullptr) return Status::NotFound("no table: " + plan.table);
+  const TableInfo* right = nullptr;
+  if (plan.has_join) {
+    right = catalog.Find(plan.join_table);
+    if (right == nullptr)
+      return Status::NotFound("no table: " + plan.join_table);
+  }
+  return OutputSchema(plan, CombinedSchema(*left, right));
+}
+
+Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
+                            const ScanFn& scan, QueryExecInfo* info) {
+  const TableInfo* left = catalog.Find(plan.table);
+  if (left == nullptr) return Status::NotFound("no table: " + plan.table);
+  const TableInfo* right = nullptr;
+  if (plan.has_join) {
+    right = catalog.Find(plan.join_table);
+    if (right == nullptr)
+      return Status::NotFound("no table: " + plan.join_table);
+  }
+
+  QueryExecInfo local_info;
+  QueryExecInfo* xi = info != nullptr ? info : &local_info;
+
+  // Projection pushdown. Simple scans push the user's projection; single-
+  // table aggregates push exactly the columns the aggregation consumes
+  // (and remap the aggregate/group indexes onto the narrowed layout) — the
+  // core benefit of columnar access. Joins work on full rows.
+  const bool simple = !plan.has_join && plan.aggs.empty();
+  const bool narrowed_agg = !plan.has_join && !plan.aggs.empty();
+
+  std::vector<int> agg_scan_cols;       // pushed-down scan projection
+  std::vector<int> remapped_groups = plan.group_by;
+  std::vector<AggSpec> remapped_aggs = plan.aggs;
+  if (narrowed_agg) {
+    auto add_col = [&](int c) {
+      if (c < 0) return;
+      if (std::find(agg_scan_cols.begin(), agg_scan_cols.end(), c) ==
+          agg_scan_cols.end())
+        agg_scan_cols.push_back(c);
+    };
+    for (int c : plan.group_by) add_col(c);
+    for (const AggSpec& a : plan.aggs) add_col(a.column);
+    std::sort(agg_scan_cols.begin(), agg_scan_cols.end());
+    auto pos_of = [&](int c) {
+      return static_cast<int>(std::find(agg_scan_cols.begin(),
+                                        agg_scan_cols.end(), c) -
+                              agg_scan_cols.begin());
+    };
+    for (int& g : remapped_groups) g = pos_of(g);
+    for (AggSpec& a : remapped_aggs)
+      if (a.column >= 0) a.column = pos_of(a.column);
+  }
+
+  ScanRequest req;
+  req.table = left;
+  req.pred = &plan.where;
+  if (simple)
+    req.projection = plan.projection;
+  else if (narrowed_agg)
+    req.projection = agg_scan_cols;
+  req.path = plan.path;
+  req.require_fresh = plan.require_fresh;
+  HTAP_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                        scan(req, &xi->scan, &xi->access_path));
+
+  if (plan.has_join) {
+    ScanRequest rreq;
+    rreq.table = right;
+    rreq.pred = &plan.join_where;
+    rreq.path = plan.path;
+    rreq.require_fresh = plan.require_fresh;
+    HTAP_ASSIGN_OR_RETURN(std::vector<Row> rrows,
+                          scan(rreq, nullptr, nullptr));
+    rows = HashJoin(rows, rrows, plan.left_col, plan.right_col);
+  }
+
+  if (!plan.aggs.empty()) {
+    rows = narrowed_agg ? HashAggregate(rows, remapped_groups, remapped_aggs)
+                        : HashAggregate(rows, plan.group_by, plan.aggs);
+  } else if (!simple && !plan.projection.empty()) {
+    rows = Project(rows, plan.projection);
+  }
+
+  if (plan.order_by >= 0)
+    SortLimit(&rows, plan.order_by, plan.order_desc, plan.limit);
+  else if (plan.limit != 0 && rows.size() > plan.limit)
+    rows.resize(plan.limit);
+
+  QueryResult result;
+  result.schema = OutputSchema(plan, CombinedSchema(*left, right));
+  result.rows = std::move(rows);
+  result.stats = xi->scan;
+  return result;
+}
+
+}  // namespace htap

@@ -1,0 +1,36 @@
+// Shared plan execution: every engine supplies only a table-scan callback;
+// joins, aggregation, sorting, and output-schema construction are common.
+
+#ifndef HTAP_CORE_QUERY_RUNNER_H_
+#define HTAP_CORE_QUERY_RUNNER_H_
+
+#include <functional>
+
+#include "core/catalog.h"
+#include "core/plan.h"
+
+namespace htap {
+
+/// One base-table access requested by the runner.
+struct ScanRequest {
+  const TableInfo* table = nullptr;
+  const Predicate* pred = nullptr;
+  std::vector<int> projection;  // empty = all columns
+  PathHint path = PathHint::kAuto;
+  bool require_fresh = true;
+};
+
+/// Engine-supplied scan. Fills `stats`/`path_desc` (may be null).
+using ScanFn = std::function<Result<std::vector<Row>>(
+    const ScanRequest&, ScanStats* stats, std::string* path_desc)>;
+
+/// Executes `plan` against `catalog` using `scan` for base access.
+Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
+                            const ScanFn& scan, QueryExecInfo* info);
+
+/// Output schema the runner will produce for `plan` (for binders/tests).
+Result<Schema> PlanOutputSchema(const QueryPlan& plan, const Catalog& catalog);
+
+}  // namespace htap
+
+#endif  // HTAP_CORE_QUERY_RUNNER_H_

@@ -1,0 +1,163 @@
+// RowTxnLayer: the shared OLTP substrate of the three single-process
+// architectures (a), (c), (d) — a TransactionManager plus one MVCC row
+// store per table, all writing one WAL. Engines compose this and add their
+// architecture-specific AP side.
+
+#ifndef HTAP_CORE_ROW_TXN_LAYER_H_
+#define HTAP_CORE_ROW_TXN_LAYER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "storage/mvcc_row_store.h"
+#include "sync/sync.h"
+#include "txn/txn_manager.h"
+#include "wal/wal.h"
+
+namespace htap {
+
+class RowTxnLayer {
+ public:
+  explicit RowTxnLayer(WalWriter* wal) : txn_mgr_(wal) {}
+
+  Status AddTable(const TableInfo& info, WalWriter* wal) {
+    if (stores_.count(info.id) != 0)
+      return Status::AlreadyExists("table id in use");
+    stores_[info.id] = std::make_unique<MvccRowStore>(info.id, info.schema,
+                                                      &txn_mgr_, wal);
+    return Status::OK();
+  }
+
+  MvccRowStore* store(uint32_t table_id) {
+    const auto it = stores_.find(table_id);
+    return it == stores_.end() ? nullptr : it->second.get();
+  }
+  const MvccRowStore* store(uint32_t table_id) const {
+    const auto it = stores_.find(table_id);
+    return it == stores_.end() ? nullptr : it->second.get();
+  }
+
+  TransactionManager* txn_mgr() { return &txn_mgr_; }
+
+  std::unique_ptr<TxnContext> Begin() {
+    auto ctx = std::make_unique<TxnContext>();
+    ctx->local = txn_mgr_.Begin();
+    return ctx;
+  }
+
+  Status Insert(TxnContext* txn, const TableInfo& table, const Row& row) {
+    MvccRowStore* s = store(table.id);
+    if (s == nullptr) return Status::NotFound("no such table");
+    return s->Insert(txn->local.get(), row);
+  }
+  Status Update(TxnContext* txn, const TableInfo& table, const Row& row) {
+    MvccRowStore* s = store(table.id);
+    if (s == nullptr) return Status::NotFound("no such table");
+    return s->Update(txn->local.get(), row);
+  }
+  Status Delete(TxnContext* txn, const TableInfo& table, Key key) {
+    MvccRowStore* s = store(table.id);
+    if (s == nullptr) return Status::NotFound("no such table");
+    return s->Delete(txn->local.get(), key);
+  }
+  Status Get(TxnContext* txn, const TableInfo& table, Key key, Row* out) {
+    MvccRowStore* s = store(table.id);
+    if (s == nullptr) return Status::NotFound("no such table");
+    return s->Get(txn->local->snapshot(), key, out);
+  }
+  Status Read(const TableInfo& table, Key key, Row* out) const {
+    const MvccRowStore* s = store(table.id);
+    if (s == nullptr) return Status::NotFound("no such table");
+    return s->Get(txn_mgr_.CurrentSnapshot(), key, out);
+  }
+  Status Commit(TxnContext* txn) {
+    txn->finished = true;
+    return txn_mgr_.Commit(txn->local.get());
+  }
+  Status Abort(TxnContext* txn) {
+    txn->finished = true;
+    return txn_mgr_.Abort(txn->local.get());
+  }
+
+  size_t TotalRowStoreBytes() const {
+    size_t b = 0;
+    for (const auto& [id, s] : stores_) b += s->MemoryBytes();
+    return b;
+  }
+
+ private:
+  TransactionManager txn_mgr_;
+  std::map<uint32_t, std::unique_ptr<MvccRowStore>> stores_;
+};
+
+/// Background merge driver shared by the local engines: one thread syncing
+/// every registered synchronizer on interval/threshold triggers.
+class SyncDaemon {
+ public:
+  SyncDaemon(TransactionManager* txn_mgr, Micros interval_micros,
+             size_t entry_threshold)
+      : txn_mgr_(txn_mgr),
+        interval_micros_(interval_micros),
+        entry_threshold_(entry_threshold) {}
+
+  ~SyncDaemon() { Stop(); }
+
+  void AddTask(DataSynchronizer* sync) {
+    std::lock_guard<std::mutex> lk(tasks_mu_);
+    tasks_.push_back(sync);
+  }
+
+  void Start() {
+    if (thread_.joinable()) return;
+    stop_.store(false);
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  void Stop() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Status SyncAllNow() {
+    const CSN target = txn_mgr_->LastCommittedCsn();
+    std::lock_guard<std::mutex> lk(tasks_mu_);
+    for (DataSynchronizer* t : tasks_) HTAP_RETURN_NOT_OK(t->SyncTo(target));
+    return Status::OK();
+  }
+
+ private:
+  void Loop() {
+    Micros slept = 0;
+    const Micros tick = 1000;
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(tick));
+      slept += tick;
+      bool threshold_hit = false;
+      if (entry_threshold_ != 0) {
+        std::lock_guard<std::mutex> lk(tasks_mu_);
+        for (DataSynchronizer* t : tasks_)
+          threshold_hit |= t->PendingEntries() >= entry_threshold_;
+      }
+      if (slept >= interval_micros_ || threshold_hit) {
+        SyncAllNow();
+        slept = 0;
+      }
+    }
+  }
+
+  TransactionManager* const txn_mgr_;
+  const Micros interval_micros_;
+  const size_t entry_threshold_;
+  std::mutex tasks_mu_;
+  std::vector<DataSynchronizer*> tasks_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_CORE_ROW_TXN_LAYER_H_

@@ -1,0 +1,341 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace htap {
+
+namespace {
+
+Row ProjectRow(const Row& row, const std::vector<int>& projection) {
+  if (projection.empty()) return row;
+  Row out;
+  for (int c : projection) out.Append(row.Get(static_cast<size_t>(c)));
+  return out;
+}
+
+/// Filters a selection vector in place with one comparison conjunct,
+/// using a typed tight loop when the segment allows it.
+void FilterSelection(const Segment& seg, CmpOp op, const Value& lit,
+                     std::vector<uint32_t>* sel) {
+  size_t out = 0;
+  // Fast path: INT64 comparisons against an INT64 literal over a decoded
+  // buffer — this is the "SIMD-friendly" columnar inner loop.
+  if (seg.type() == Type::kInt64 && lit.is_int64() && !seg.has_nulls()) {
+    const ColumnVector decoded = seg.Decode();
+    const auto& vals = decoded.ints();
+    const int64_t x = lit.AsInt64();
+    switch (op) {
+      case CmpOp::kEq:
+        for (uint32_t i : *sel)
+          if (vals[i] == x) (*sel)[out++] = i;
+        break;
+      case CmpOp::kNe:
+        for (uint32_t i : *sel)
+          if (vals[i] != x) (*sel)[out++] = i;
+        break;
+      case CmpOp::kLt:
+        for (uint32_t i : *sel)
+          if (vals[i] < x) (*sel)[out++] = i;
+        break;
+      case CmpOp::kLe:
+        for (uint32_t i : *sel)
+          if (vals[i] <= x) (*sel)[out++] = i;
+        break;
+      case CmpOp::kGt:
+        for (uint32_t i : *sel)
+          if (vals[i] > x) (*sel)[out++] = i;
+        break;
+      case CmpOp::kGe:
+        for (uint32_t i : *sel)
+          if (vals[i] >= x) (*sel)[out++] = i;
+        break;
+    }
+    sel->resize(out);
+    return;
+  }
+  // Generic path.
+  for (uint32_t i : *sel) {
+    const Value v = seg.Get(i);
+    bool keep = false;
+    if (!v.is_null() && !lit.is_null()) {
+      const int c = v.Compare(lit);
+      switch (op) {
+        case CmpOp::kEq: keep = c == 0; break;
+        case CmpOp::kNe: keep = c != 0; break;
+        case CmpOp::kLt: keep = c < 0; break;
+        case CmpOp::kLe: keep = c <= 0; break;
+        case CmpOp::kGt: keep = c > 0; break;
+        case CmpOp::kGe: keep = c >= 0; break;
+      }
+    }
+    if (keep) (*sel)[out++] = i;
+  }
+  sel->resize(out);
+}
+
+}  // namespace
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string s;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i) s += " | ";
+    s += schema.column(i).name;
+  }
+  s += "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i) s += " | ";
+      s += rows[r].Get(i).ToString();
+    }
+    s += "\n";
+  }
+  if (rows.size() > max_rows)
+    s += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  return s;
+}
+
+std::vector<Row> ScanRowStore(const MvccRowStore& store, const Snapshot& snap,
+                              const Predicate& pred,
+                              const std::vector<int>& projection) {
+  std::vector<Row> out;
+  store.Scan(snap, [&](Key, const Row& row) {
+    if (pred.Eval(row)) out.push_back(ProjectRow(row, projection));
+    return true;
+  });
+  return out;
+}
+
+std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
+                          CSN snapshot, const Predicate& pred,
+                          const std::vector<int>& projection,
+                          ScanStats* stats) {
+  ScanStats local;
+  ScanStats* st = stats != nullptr ? stats : &local;
+
+  // 1. Collect the delta override set: latest visible entry per key.
+  std::unordered_map<Key, const DeltaEntry*> overrides;
+  std::vector<DeltaEntry> delta_entries;
+  if (delta != nullptr) {
+    delta->ScanVisible(snapshot, [&](const DeltaEntry& e) {
+      delta_entries.push_back(e);
+    });
+    st->delta_entries_read = delta_entries.size();
+    for (const auto& e : delta_entries) overrides[e.key] = &e;
+  }
+
+  std::vector<Row> out;
+
+  // 2. Scan the main column store, skipping deleted and overridden rows.
+  // Hold the table's scan latch for the whole pass so Compact() cannot
+  // invalidate group pointers mid-scan.
+  ReadGuard table_guard(table.latch());
+  const size_t ngroups = table.num_groups_unlocked();
+  st->groups_total = ngroups;
+  for (size_t gi = 0; gi < ngroups; ++gi) {
+    const RowGroup* g = table.group_unlocked(gi);
+    if (pred.CanSkipGroup(g->columns)) {
+      ++st->groups_skipped;
+      continue;
+    }
+    // Initial selection: live, non-overridden positions.
+    std::vector<uint32_t> sel;
+    sel.reserve(g->num_rows);
+    const bool any_deleted = g->deleted.AnySet();
+    for (uint32_t i = 0; i < g->num_rows; ++i) {
+      if (any_deleted && g->deleted.Test(i)) continue;
+      if (!overrides.empty() && overrides.count(g->keys[i]) != 0) continue;
+      sel.push_back(i);
+    }
+    // Apply conjuncts column-at-a-time; non-conjunctive parts row-at-a-time.
+    bool generic_needed = false;
+    for (const Predicate* conj : pred.Conjuncts()) {
+      if (conj->kind() == Predicate::Kind::kCompare) {
+        FilterSelection(g->columns[static_cast<size_t>(conj->column())],
+                        conj->op(), conj->literal(), &sel);
+      } else {
+        generic_needed = true;
+      }
+    }
+    if (generic_needed) {
+      size_t o = 0;
+      for (uint32_t i : sel)
+        if (pred.EvalColumns(g->columns, i)) sel[o++] = i;
+      sel.resize(o);
+    }
+    // Materialize the projection.
+    for (uint32_t i : sel) {
+      Row r;
+      if (projection.empty()) {
+        for (const auto& col : g->columns) r.Append(col.Get(i));
+      } else {
+        for (int c : projection)
+          r.Append(g->columns[static_cast<size_t>(c)].Get(i));
+      }
+      out.push_back(std::move(r));
+      ++st->main_rows_emitted;
+    }
+  }
+
+  // 3. Emit surviving delta rows (latest state per key, non-deletes).
+  for (const auto& [key, e] : overrides) {
+    if (e->op == ChangeOp::kDelete) continue;
+    if (!pred.Eval(e->row)) continue;
+    out.push_back(ProjectRow(e->row, projection));
+    ++st->delta_rows_emitted;
+  }
+  return out;
+}
+
+std::vector<Row> HashJoin(const std::vector<Row>& left,
+                          const std::vector<Row>& right, int left_col,
+                          int right_col) {
+  std::unordered_multimap<uint64_t, const Row*> build;
+  build.reserve(right.size());
+  for (const Row& r : right) {
+    const Value& k = r.Get(static_cast<size_t>(right_col));
+    if (k.is_null()) continue;
+    build.emplace(k.Hash(), &r);
+  }
+  std::vector<Row> out;
+  for (const Row& l : left) {
+    const Value& k = l.Get(static_cast<size_t>(left_col));
+    if (k.is_null()) continue;
+    const auto range = build.equal_range(k.Hash());
+    for (auto it = range.first; it != range.second; ++it) {
+      const Row& r = *it->second;
+      if (r.Get(static_cast<size_t>(right_col)) != k) continue;  // hash collision
+      Row joined = l;
+      for (const Value& v : r.values()) joined.Append(v);
+      out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  Value min, max;
+  bool any = false;
+
+  void Update(const Value& v) {
+    ++count;
+    if (v.is_null()) return;
+    if (v.is_int64() || v.is_double()) sum += v.AsDouble();
+    if (!any || v < min) min = v;
+    if (!any || max < v) max = v;
+    any = true;
+  }
+};
+
+}  // namespace
+
+std::vector<Row> HashAggregate(const std::vector<Row>& rows,
+                               const std::vector<int>& group_cols,
+                               const std::vector<AggSpec>& aggs) {
+  struct GroupData {
+    Row key_row;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<uint64_t, std::vector<GroupData>> groups;
+
+  auto group_hash = [&](const Row& row) {
+    uint64_t h = 1469598103934665603ULL;
+    for (int c : group_cols)
+      h = h * 1099511628211ULL ^ row.Get(static_cast<size_t>(c)).Hash();
+    return h;
+  };
+  auto same_group = [&](const Row& row, const Row& key_row) {
+    for (size_t i = 0; i < group_cols.size(); ++i)
+      if (row.Get(static_cast<size_t>(group_cols[i])) != key_row.Get(i))
+        return false;
+    return true;
+  };
+
+  for (const Row& row : rows) {
+    const uint64_t h = group_hash(row);
+    auto& bucket = groups[h];
+    GroupData* gd = nullptr;
+    for (auto& cand : bucket)
+      if (same_group(row, cand.key_row)) {
+        gd = &cand;
+        break;
+      }
+    if (gd == nullptr) {
+      GroupData fresh;
+      for (int c : group_cols)
+        fresh.key_row.Append(row.Get(static_cast<size_t>(c)));
+      fresh.states.resize(aggs.size());
+      bucket.push_back(std::move(fresh));
+      gd = &bucket.back();
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      if (aggs[a].column < 0)
+        gd->states[a].Update(Value(static_cast<int64_t>(1)));
+      else
+        gd->states[a].Update(row.Get(static_cast<size_t>(aggs[a].column)));
+    }
+  }
+
+  std::vector<Row> out;
+  if (groups.empty() && group_cols.empty()) {
+    // Global aggregate over zero rows: COUNT=0, others NULL.
+    Row r;
+    for (const auto& agg : aggs)
+      r.Append(agg.fn == AggSpec::Fn::kCount ? Value(static_cast<int64_t>(0))
+                                             : Value::Null());
+    out.push_back(std::move(r));
+    return out;
+  }
+  for (auto& [h, bucket] : groups) {
+    for (auto& gd : bucket) {
+      Row r = gd.key_row;
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        const AggState& s = gd.states[a];
+        switch (aggs[a].fn) {
+          case AggSpec::Fn::kCount: r.Append(Value(s.count)); break;
+          case AggSpec::Fn::kSum:
+            r.Append(s.any ? Value(s.sum) : Value::Null());
+            break;
+          case AggSpec::Fn::kMin: r.Append(s.any ? s.min : Value::Null()); break;
+          case AggSpec::Fn::kMax: r.Append(s.any ? s.max : Value::Null()); break;
+          case AggSpec::Fn::kAvg:
+            r.Append(s.any ? Value(s.sum / static_cast<double>(s.count))
+                           : Value::Null());
+            break;
+        }
+      }
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+void SortLimit(std::vector<Row>* rows, int col, bool desc, size_t limit) {
+  auto cmp = [col, desc](const Row& a, const Row& b) {
+    const int c = a.Get(static_cast<size_t>(col))
+                      .Compare(b.Get(static_cast<size_t>(col)));
+    return desc ? c > 0 : c < 0;
+  };
+  if (limit != 0 && limit < rows->size()) {
+    std::partial_sort(rows->begin(),
+                      rows->begin() + static_cast<long>(limit), rows->end(),
+                      cmp);
+    rows->resize(limit);
+  } else {
+    std::stable_sort(rows->begin(), rows->end(), cmp);
+  }
+}
+
+std::vector<Row> Project(const std::vector<Row>& rows,
+                         const std::vector<int>& projection) {
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (const Row& r : rows) out.push_back(ProjectRow(r, projection));
+  return out;
+}
+
+}  // namespace htap

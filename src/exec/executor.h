@@ -1,0 +1,81 @@
+// The block executor: scans (row, columnar, HTAP delta+column union),
+// hash join, hash aggregation, sort/limit, projection.
+//
+// Operators materialize their full output — at the scale of this library the
+// simplicity is worth more than pipelining, and the benchmark comparisons
+// (row vs column vs hybrid access paths) are unaffected because all paths
+// share the same materialization discipline.
+
+#ifndef HTAP_EXEC_EXECUTOR_H_
+#define HTAP_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "columnar/column_table.h"
+#include "delta/delta.h"
+#include "exec/expression.h"
+#include "storage/mvcc_row_store.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace htap {
+
+/// Counters a scan fills in; benchmarks and the optimizer's feedback loop
+/// read these.
+struct ScanStats {
+  size_t groups_total = 0;
+  size_t groups_skipped = 0;   // zone-map pruning
+  size_t main_rows_emitted = 0;
+  size_t delta_rows_emitted = 0;
+  size_t delta_entries_read = 0;
+};
+
+/// A materialized query result.
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+  ScanStats stats;
+
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Scans an MVCC row store at a snapshot. `projection` lists output columns
+/// (empty = all).
+std::vector<Row> ScanRowStore(const MvccRowStore& store, const Snapshot& snap,
+                              const Predicate& pred,
+                              const std::vector<int>& projection);
+
+/// The HTAP scan: main column store unioned with a delta store at snapshot
+/// CSN `snapshot`. Pass delta == nullptr for a pure column scan (the
+/// SingleStore-style technique — fast, but blind to unmerged changes).
+///
+/// Correctness contract (tested as the delta/column-union invariant): the
+/// result equals scanning a row-store snapshot at `snapshot`, provided
+/// every change with csn <= snapshot is in the column store or the delta.
+std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
+                          CSN snapshot, const Predicate& pred,
+                          const std::vector<int>& projection,
+                          ScanStats* stats = nullptr);
+
+/// Hash inner-equi-join: emits left ++ right rows. Builds on `right`.
+std::vector<Row> HashJoin(const std::vector<Row>& left,
+                          const std::vector<Row>& right, int left_col,
+                          int right_col);
+
+/// Hash aggregation. With empty `group_cols`, emits one global row. Output
+/// row layout: group values then one value per AggSpec.
+std::vector<Row> HashAggregate(const std::vector<Row>& rows,
+                               const std::vector<int>& group_cols,
+                               const std::vector<AggSpec>& aggs);
+
+/// Sorts by `col` (ascending unless `desc`), keeps first `limit` rows
+/// (limit == 0 means all).
+void SortLimit(std::vector<Row>* rows, int col, bool desc, size_t limit);
+
+/// Keeps only `projection` columns of each row.
+std::vector<Row> Project(const std::vector<Row>& rows,
+                         const std::vector<int>& projection);
+
+}  // namespace htap
+
+#endif  // HTAP_EXEC_EXECUTOR_H_

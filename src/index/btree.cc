@@ -1,0 +1,274 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace htap {
+
+struct BTree::Node {
+  bool leaf = true;
+  std::vector<Key> keys;
+  std::vector<uint64_t> payloads;   // leaves only; parallel to keys
+  std::vector<Node*> children;      // internal only; keys.size()+1
+  Node* parent = nullptr;
+  Node* next = nullptr;             // leaf chain
+  Node* prev = nullptr;
+
+  int IndexInParent() const {
+    for (size_t i = 0; i < parent->children.size(); ++i)
+      if (parent->children[i] == this) return static_cast<int>(i);
+    assert(false && "node not found in parent");
+    return -1;
+  }
+};
+
+BTree::BTree(int order)
+    : order_(order < 4 ? 4 : order),
+      min_keys_((order_ - 1) / 2),
+      root_(new Node()) {}
+
+BTree::~BTree() { FreeSubtree(root_); }
+
+void BTree::FreeSubtree(Node* node) {
+  if (!node->leaf)
+    for (Node* c : node->children) FreeSubtree(c);
+  delete node;
+}
+
+BTree::Node* BTree::FindLeaf(Key key) const {
+  Node* n = root_;
+  while (!n->leaf) {
+    // First child whose subtree may contain `key`: children[i] holds keys in
+    // [keys[i-1], keys[i]).
+    const size_t i = static_cast<size_t>(
+        std::upper_bound(n->keys.begin(), n->keys.end(), key) -
+        n->keys.begin());
+    n = n->children[i];
+  }
+  return n;
+}
+
+bool BTree::Insert(Key key, uint64_t payload) {
+  WriteGuard g(latch_);
+  Node* leaf = FindLeaf(key);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  const size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  if (it != leaf->keys.end() && *it == key) {
+    leaf->payloads[pos] = payload;
+    return false;
+  }
+  leaf->keys.insert(it, key);
+  leaf->payloads.insert(leaf->payloads.begin() + static_cast<long>(pos),
+                        payload);
+  ++size_;
+
+  if (static_cast<int>(leaf->keys.size()) < order_) return true;
+
+  // Split the leaf.
+  Node* right = new Node();
+  right->leaf = true;
+  const size_t mid = leaf->keys.size() / 2;
+  right->keys.assign(leaf->keys.begin() + static_cast<long>(mid),
+                     leaf->keys.end());
+  right->payloads.assign(leaf->payloads.begin() + static_cast<long>(mid),
+                         leaf->payloads.end());
+  leaf->keys.resize(mid);
+  leaf->payloads.resize(mid);
+  right->next = leaf->next;
+  if (right->next) right->next->prev = right;
+  right->prev = leaf;
+  leaf->next = right;
+  InsertIntoParent(leaf, right->keys.front(), right);
+  return true;
+}
+
+void BTree::InsertIntoParent(Node* left, Key sep, Node* right) {
+  if (left->parent == nullptr) {
+    Node* new_root = new Node();
+    new_root->leaf = false;
+    new_root->keys.push_back(sep);
+    new_root->children = {left, right};
+    left->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  Node* parent = left->parent;
+  right->parent = parent;
+  const int idx = left->IndexInParent();
+  parent->keys.insert(parent->keys.begin() + idx, sep);
+  parent->children.insert(parent->children.begin() + idx + 1, right);
+
+  if (static_cast<int>(parent->keys.size()) < order_) return;
+
+  // Split the internal node: middle key moves up.
+  Node* sibling = new Node();
+  sibling->leaf = false;
+  const size_t mid = parent->keys.size() / 2;
+  const Key up = parent->keys[mid];
+  sibling->keys.assign(parent->keys.begin() + static_cast<long>(mid) + 1,
+                       parent->keys.end());
+  sibling->children.assign(
+      parent->children.begin() + static_cast<long>(mid) + 1,
+      parent->children.end());
+  for (Node* c : sibling->children) c->parent = sibling;
+  parent->keys.resize(mid);
+  parent->children.resize(mid + 1);
+  InsertIntoParent(parent, up, sibling);
+}
+
+bool BTree::Erase(Key key) {
+  WriteGuard g(latch_);
+  Node* leaf = FindLeaf(key);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return false;
+  const size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  leaf->keys.erase(it);
+  leaf->payloads.erase(leaf->payloads.begin() + static_cast<long>(pos));
+  --size_;
+  RebalanceAfterErase(leaf);
+  return true;
+}
+
+void BTree::RebalanceAfterErase(Node* node) {
+  if (node == root_) {
+    if (!node->leaf && node->keys.empty()) {
+      root_ = node->children[0];
+      root_->parent = nullptr;
+      delete node;
+    }
+    return;
+  }
+  if (static_cast<int>(node->keys.size()) >= min_keys_) return;
+
+  Node* parent = node->parent;
+  const int idx = node->IndexInParent();
+  Node* left = idx > 0 ? parent->children[static_cast<size_t>(idx) - 1] : nullptr;
+  Node* right = static_cast<size_t>(idx) + 1 < parent->children.size()
+                    ? parent->children[static_cast<size_t>(idx) + 1]
+                    : nullptr;
+
+  if (node->leaf) {
+    if (left && static_cast<int>(left->keys.size()) > min_keys_) {
+      node->keys.insert(node->keys.begin(), left->keys.back());
+      node->payloads.insert(node->payloads.begin(), left->payloads.back());
+      left->keys.pop_back();
+      left->payloads.pop_back();
+      parent->keys[static_cast<size_t>(idx) - 1] = node->keys.front();
+      return;
+    }
+    if (right && static_cast<int>(right->keys.size()) > min_keys_) {
+      node->keys.push_back(right->keys.front());
+      node->payloads.push_back(right->payloads.front());
+      right->keys.erase(right->keys.begin());
+      right->payloads.erase(right->payloads.begin());
+      parent->keys[static_cast<size_t>(idx)] = right->keys.front();
+      return;
+    }
+    // Merge with a sibling (into the left one of the pair).
+    Node* dst = left ? left : node;
+    Node* src = left ? node : right;
+    const int sep_idx = left ? idx - 1 : idx;
+    dst->keys.insert(dst->keys.end(), src->keys.begin(), src->keys.end());
+    dst->payloads.insert(dst->payloads.end(), src->payloads.begin(),
+                         src->payloads.end());
+    dst->next = src->next;
+    if (dst->next) dst->next->prev = dst;
+    parent->keys.erase(parent->keys.begin() + sep_idx);
+    parent->children.erase(parent->children.begin() + sep_idx + 1);
+    delete src;
+    RebalanceAfterErase(parent);
+    return;
+  }
+
+  // Internal node.
+  if (left && static_cast<int>(left->keys.size()) > min_keys_) {
+    node->keys.insert(node->keys.begin(),
+                      parent->keys[static_cast<size_t>(idx) - 1]);
+    parent->keys[static_cast<size_t>(idx) - 1] = left->keys.back();
+    left->keys.pop_back();
+    Node* moved = left->children.back();
+    left->children.pop_back();
+    moved->parent = node;
+    node->children.insert(node->children.begin(), moved);
+    return;
+  }
+  if (right && static_cast<int>(right->keys.size()) > min_keys_) {
+    node->keys.push_back(parent->keys[static_cast<size_t>(idx)]);
+    parent->keys[static_cast<size_t>(idx)] = right->keys.front();
+    right->keys.erase(right->keys.begin());
+    Node* moved = right->children.front();
+    right->children.erase(right->children.begin());
+    moved->parent = node;
+    node->children.push_back(moved);
+    return;
+  }
+  Node* dst = left ? left : node;
+  Node* src = left ? node : right;
+  const int sep_idx = left ? idx - 1 : idx;
+  dst->keys.push_back(parent->keys[static_cast<size_t>(sep_idx)]);
+  dst->keys.insert(dst->keys.end(), src->keys.begin(), src->keys.end());
+  for (Node* c : src->children) c->parent = dst;
+  dst->children.insert(dst->children.end(), src->children.begin(),
+                       src->children.end());
+  parent->keys.erase(parent->keys.begin() + sep_idx);
+  parent->children.erase(parent->children.begin() + sep_idx + 1);
+  delete src;
+  RebalanceAfterErase(parent);
+}
+
+bool BTree::Lookup(Key key, uint64_t* payload) const {
+  ReadGuard g(latch_);
+  Node* leaf = FindLeaf(key);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return false;
+  *payload = leaf->payloads[static_cast<size_t>(it - leaf->keys.begin())];
+  return true;
+}
+
+void BTree::Scan(Key lo, Key hi,
+                 const std::function<bool(Key, uint64_t)>& visit) const {
+  ReadGuard g(latch_);
+  const Node* leaf = FindLeaf(lo);
+  size_t i = static_cast<size_t>(
+      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) -
+      leaf->keys.begin());
+  while (leaf) {
+    for (; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] > hi) return;
+      if (!visit(leaf->keys[i], leaf->payloads[i])) return;
+    }
+    leaf = leaf->next;
+    i = 0;
+  }
+}
+
+void BTree::ScanAll(const std::function<bool(Key, uint64_t)>& visit) const {
+  Scan(std::numeric_limits<Key>::min(), std::numeric_limits<Key>::max(),
+       visit);
+}
+
+size_t BTree::size() const {
+  ReadGuard g(latch_);
+  return size_;
+}
+
+int BTree::height() const {
+  ReadGuard g(latch_);
+  int h = 1;
+  const Node* n = root_;
+  while (!n->leaf) {
+    n = n->children[0];
+    ++h;
+  }
+  return h;
+}
+
+size_t BTree::MemoryBytes() const {
+  ReadGuard g(latch_);
+  // Estimate from entry count; exact accounting would require a full walk.
+  return size_ * (sizeof(Key) + sizeof(uint64_t)) * 3 / 2 + sizeof(*this);
+}
+
+}  // namespace htap

@@ -1,0 +1,76 @@
+// In-memory B+-tree mapping int64 keys to 64-bit payloads.
+//
+// Used as (1) the primary-key index of the MVCC row store (payload = pointer
+// to the version chain), (2) the key index over TiDB-style log-delta files
+// (payload = offset of the latest delta entry), and (3) secondary indexes.
+//
+// Concurrency: one readers/writer latch for the whole tree. Fine-grained
+// latch coupling is deliberately out of scope — the survey's claims under
+// test concern architecture-level behaviour, not index microcontention.
+
+#ifndef HTAP_INDEX_BTREE_H_
+#define HTAP_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "types/row.h"
+
+namespace htap {
+
+/// B+-tree with configurable fanout. Keys are unique; Insert overwrites.
+class BTree {
+ public:
+  /// `order`: max children of an internal node (max keys = order-1).
+  explicit BTree(int order = 64);
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts or overwrites. Returns true if the key was new.
+  bool Insert(Key key, uint64_t payload);
+
+  /// Removes the key. Returns true if it existed.
+  bool Erase(Key key);
+
+  /// Point lookup.
+  bool Lookup(Key key, uint64_t* payload) const;
+
+  /// Visits entries with lo <= key <= hi in order; stop early by returning
+  /// false from the callback.
+  void Scan(Key lo, Key hi,
+            const std::function<bool(Key, uint64_t)>& visit) const;
+
+  /// Visits all entries in order.
+  void ScanAll(const std::function<bool(Key, uint64_t)>& visit) const;
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+  int height() const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  struct Node;
+
+  Node* FindLeaf(Key key) const;
+  void InsertIntoParent(Node* left, Key sep, Node* right);
+  void RebalanceAfterErase(Node* node);
+  void FreeSubtree(Node* node);
+
+  const int order_;
+  const int min_keys_;
+  Node* root_;
+  size_t size_ = 0;
+  mutable RWLatch latch_;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_INDEX_BTREE_H_

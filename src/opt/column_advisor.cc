@@ -1,0 +1,78 @@
+#include "opt/column_advisor.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace htap {
+
+void ColumnAdvisor::RecordAccess(const std::string& table,
+                                 const std::vector<int>& columns,
+                                 double weight) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& heat = heat_[table];
+  for (int c : columns) {
+    if (c < 0) continue;
+    if (static_cast<size_t>(c) >= heat.size()) heat.resize(c + 1, 0.0);
+    heat[static_cast<size_t>(c)] += weight;
+  }
+}
+
+std::vector<double> ColumnAdvisor::Heat(const std::string& table) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = heat_.find(table);
+  return it == heat_.end() ? std::vector<double>{} : it->second;
+}
+
+ColumnAdvisor::Selection ColumnAdvisor::Advise(
+    const std::string& table, const std::vector<size_t>& col_bytes,
+    size_t memory_budget_bytes) const {
+  Selection sel;
+  std::vector<double> heat = Heat(table);
+  heat.resize(col_bytes.size(), 0.0);
+  const double total_heat =
+      std::accumulate(heat.begin(), heat.end(), 0.0);
+
+  // Rank by heat density (heat per byte); break ties toward smaller columns.
+  std::vector<int> order(col_bytes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double da =
+        heat[static_cast<size_t>(a)] / static_cast<double>(col_bytes[static_cast<size_t>(a)] + 1);
+    const double db =
+        heat[static_cast<size_t>(b)] / static_cast<double>(col_bytes[static_cast<size_t>(b)] + 1);
+    if (da != db) return da > db;
+    return col_bytes[static_cast<size_t>(a)] < col_bytes[static_cast<size_t>(b)];
+  });
+
+  double covered = 0;
+  for (int c : order) {
+    if (heat[static_cast<size_t>(c)] <= 0) break;  // cold columns stay out
+    const size_t bytes = col_bytes[static_cast<size_t>(c)];
+    if (sel.bytes_used + bytes > memory_budget_bytes) continue;
+    sel.columns.push_back(c);
+    sel.bytes_used += bytes;
+    covered += heat[static_cast<size_t>(c)];
+  }
+  std::sort(sel.columns.begin(), sel.columns.end());
+  sel.heat_covered = total_heat > 0 ? covered / total_heat : 0.0;
+  return sel;
+}
+
+void ColumnAdvisor::Decay() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [table, heat] : heat_)
+    for (double& h : heat) h *= decay_;
+}
+
+std::vector<size_t> EstimateColumnBytes(const Schema& schema,
+                                        const TableStats& stats) {
+  std::vector<size_t> out(schema.num_columns(), 0);
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const double width =
+        c < stats.columns.size() ? stats.columns[c].avg_width : 8.0;
+    out[c] = static_cast<size_t>(width * static_cast<double>(stats.row_count)) + 64;
+  }
+  return out;
+}
+
+}  // namespace htap

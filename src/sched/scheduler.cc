@@ -1,0 +1,109 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+
+namespace htap {
+
+const char* SchedulingPolicyName(SchedulingPolicy p) {
+  switch (p) {
+    case SchedulingPolicy::kStatic: return "static";
+    case SchedulingPolicy::kWorkloadDriven: return "workload-driven";
+    case SchedulingPolicy::kFreshnessDriven: return "freshness-driven";
+  }
+  return "?";
+}
+
+ResourceScheduler::ResourceScheduler(Options options,
+                                     std::function<Micros()> freshness_probe,
+                                     std::function<void()> force_sync)
+    : options_(options),
+      freshness_probe_(std::move(freshness_probe)),
+      force_sync_(std::move(force_sync)),
+      oltp_pool_(options.oltp_threads, "oltp"),
+      olap_pool_(options.olap_threads, "olap") {
+  // Start with an even split of in-flight work.
+  oltp_pool_.SetConcurrencyQuota(options.oltp_threads);
+  olap_pool_.SetConcurrencyQuota(options.olap_threads);
+  if (options_.policy != SchedulingPolicy::kStatic)
+    controller_ = std::thread([this] { ControlLoop(); });
+}
+
+ResourceScheduler::~ResourceScheduler() { Stop(); }
+
+void ResourceScheduler::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (controller_.joinable()) controller_.join();
+}
+
+void ResourceScheduler::SubmitOltp(std::function<void()> task) {
+  oltp_pool_.Submit([this, task = std::move(task)] {
+    task();
+    oltp_done_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+void ResourceScheduler::SubmitOlap(std::function<void()> task) {
+  olap_pool_.Submit([this, task = std::move(task)] {
+    task();
+    olap_done_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+void ResourceScheduler::Drain() {
+  oltp_pool_.Wait();
+  olap_pool_.Wait();
+}
+
+void ResourceScheduler::ControlLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.adjust_interval_micros));
+    switch (options_.policy) {
+      case SchedulingPolicy::kWorkloadDriven:
+        AdjustWorkloadDriven();
+        break;
+      case SchedulingPolicy::kFreshnessDriven:
+        AdjustFreshnessDriven();
+        break;
+      case SchedulingPolicy::kStatic:
+        break;
+    }
+  }
+}
+
+void ResourceScheduler::AdjustWorkloadDriven() {
+  // Re-apportion in-flight quotas by queue pressure: the class with the
+  // deeper backlog gets more concurrency (the survey's "decrease the
+  // parallelism of OLAP while enlarging the OLTP threads" behaviour).
+  const double q_tp = static_cast<double>(oltp_pool_.QueueDepth());
+  const double q_ap = static_cast<double>(olap_pool_.QueueDepth());
+  const size_t total = options_.oltp_threads + options_.olap_threads;
+  if (q_tp + q_ap < 1) return;  // idle: leave quotas alone
+  const double tp_share = (q_tp + 0.5) / (q_tp + q_ap + 1.0);
+  size_t tp_quota = static_cast<size_t>(
+      std::clamp(tp_share * static_cast<double>(total), 1.0,
+                 static_cast<double>(total - 1)));
+  oltp_pool_.SetConcurrencyQuota(tp_quota);
+  olap_pool_.SetConcurrencyQuota(total - tp_quota);
+}
+
+void ResourceScheduler::AdjustFreshnessDriven() {
+  if (!freshness_probe_) return;
+  const Micros lag = freshness_probe_();
+  const ExecutionMode cur = mode();
+  if (lag > options_.freshness_sla_micros) {
+    // Freshness violated: enter shared mode and merge immediately.
+    if (cur != ExecutionMode::kShared) {
+      mode_.store(ExecutionMode::kShared, std::memory_order_release);
+      mode_switches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (force_sync_) force_sync_();
+  } else if (cur == ExecutionMode::kShared &&
+             lag < options_.freshness_sla_micros / 4) {
+    // Comfortably fresh again: back to isolated execution for throughput.
+    mode_.store(ExecutionMode::kIsolated, std::memory_order_release);
+    mode_switches_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace htap

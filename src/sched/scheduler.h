@@ -1,0 +1,97 @@
+// HTAP resource scheduling (Table 2, RS row): dynamic allocation of
+// execution resources between the OLTP and OLAP workload classes.
+//
+// Two controllers from the survey:
+//  * Workload-driven (SAP HANA / Siper style): watches queue pressure per
+//    class and re-apportions worker concurrency quotas — high throughput,
+//    freshness-blind.
+//  * Freshness-driven (RDE style): watches the freshness signal and toggles
+//    between ISOLATED execution (OLAP reads only the merged column store;
+//    sync is lazy; maximal throughput) and SHARED execution (OLAP unions
+//    the delta; sync is eager; maximal freshness).
+
+#ifndef HTAP_SCHED_SCHEDULER_H_
+#define HTAP_SCHED_SCHEDULER_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/thread_pool.h"
+
+namespace htap {
+
+enum class SchedulingPolicy : uint8_t {
+  kStatic = 0,           // fixed 50/50 split, no adaptation (baseline)
+  kWorkloadDriven = 1,
+  kFreshnessDriven = 2,
+};
+
+const char* SchedulingPolicyName(SchedulingPolicy p);
+
+/// Execution mode toggled by the freshness-driven controller.
+enum class ExecutionMode : uint8_t {
+  kIsolated = 0,  // OLAP reads merged column data only; sync is periodic
+  kShared = 1,    // OLAP unions the delta; sync is eager
+};
+
+class ResourceScheduler {
+ public:
+  struct Options {
+    SchedulingPolicy policy = SchedulingPolicy::kStatic;
+    size_t oltp_threads = 2;
+    size_t olap_threads = 2;
+    Micros adjust_interval_micros = 5000;
+    Micros freshness_sla_micros = 20000;  // freshness-driven threshold
+  };
+
+  /// `freshness_probe` returns the current visibility lag in microseconds;
+  /// `force_sync` triggers an immediate merge. Both may be null when the
+  /// policy does not need them.
+  ResourceScheduler(Options options,
+                    std::function<Micros()> freshness_probe = nullptr,
+                    std::function<void()> force_sync = nullptr);
+  ~ResourceScheduler();
+
+  void SubmitOltp(std::function<void()> task);
+  void SubmitOlap(std::function<void()> task);
+
+  /// Waits for both queues to drain.
+  void Drain();
+
+  ExecutionMode mode() const { return mode_.load(std::memory_order_acquire); }
+
+  // Observability.
+  uint64_t oltp_completed() const { return oltp_done_.load(std::memory_order_relaxed); }
+  uint64_t olap_completed() const { return olap_done_.load(std::memory_order_relaxed); }
+  uint64_t mode_switches() const { return mode_switches_.load(std::memory_order_relaxed); }
+  size_t oltp_quota() const { return oltp_pool_.concurrency_quota(); }
+  size_t olap_quota() const { return olap_pool_.concurrency_quota(); }
+
+  void Stop();
+
+ private:
+  void ControlLoop();
+  void AdjustWorkloadDriven();
+  void AdjustFreshnessDriven();
+
+  const Options options_;
+  std::function<Micros()> freshness_probe_;
+  std::function<void()> force_sync_;
+
+  ThreadPool oltp_pool_;
+  ThreadPool olap_pool_;
+
+  std::atomic<ExecutionMode> mode_{ExecutionMode::kIsolated};
+  std::atomic<uint64_t> oltp_done_{0};
+  std::atomic<uint64_t> olap_done_{0};
+  std::atomic<uint64_t> mode_switches_{0};
+
+  std::atomic<bool> stop_{false};
+  std::thread controller_;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_SCHED_SCHEDULER_H_

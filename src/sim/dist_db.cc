@@ -1,0 +1,468 @@
+#include "sim/dist_db.h"
+
+#include <algorithm>
+
+#include "sync/sync.h"
+
+namespace htap {
+namespace sim {
+
+// ---------------------------------------------------------------------------
+// ShardStateMachine
+// ---------------------------------------------------------------------------
+
+void ShardStateMachine::EncodeWrites(const std::vector<WriteOp>& writes,
+                                     std::string* out) {
+  Value(static_cast<int64_t>(writes.size())).EncodeTo(out);
+  for (const WriteOp& w : writes) {
+    out->push_back(static_cast<char>(w.op));
+    Value(static_cast<int64_t>(w.table_id)).EncodeTo(out);
+    Value(w.key).EncodeTo(out);
+    w.row.EncodeTo(out);
+  }
+}
+
+bool ShardStateMachine::DecodeWrites(const std::string& in, size_t* pos,
+                                     std::vector<WriteOp>* out) {
+  Value n;
+  if (!Value::DecodeFrom(in, pos, &n) || !n.is_int64()) return false;
+  for (int64_t i = 0; i < n.AsInt64(); ++i) {
+    WriteOp w;
+    if (*pos >= in.size()) return false;
+    w.op = static_cast<ChangeOp>(in[(*pos)++]);
+    Value v;
+    if (!Value::DecodeFrom(in, pos, &v) || !v.is_int64()) return false;
+    w.table_id = static_cast<uint32_t>(v.AsInt64());
+    if (!Value::DecodeFrom(in, pos, &v) || !v.is_int64()) return false;
+    w.key = v.AsInt64();
+    if (!Row::DecodeFrom(in, pos, &w.row)) return false;
+    out->push_back(std::move(w));
+  }
+  return true;
+}
+
+std::string ShardStateMachine::EncodeApplyWrites(
+    uint64_t txn_id, CSN csn, const std::vector<WriteOp>& writes) {
+  std::string out;
+  out.push_back(static_cast<char>(ShardCmdType::kApplyWrites));
+  Value(static_cast<int64_t>(txn_id)).EncodeTo(&out);
+  Value(static_cast<int64_t>(csn)).EncodeTo(&out);
+  EncodeWrites(writes, &out);
+  return out;
+}
+
+std::string ShardStateMachine::EncodePrepare(
+    uint64_t txn_id, const std::vector<WriteOp>& writes) {
+  std::string out;
+  out.push_back(static_cast<char>(ShardCmdType::kPrepare));
+  Value(static_cast<int64_t>(txn_id)).EncodeTo(&out);
+  Value(static_cast<int64_t>(0)).EncodeTo(&out);
+  EncodeWrites(writes, &out);
+  return out;
+}
+
+std::string ShardStateMachine::EncodeCommitTxn(uint64_t txn_id, CSN csn) {
+  std::string out;
+  out.push_back(static_cast<char>(ShardCmdType::kCommitTxn));
+  Value(static_cast<int64_t>(txn_id)).EncodeTo(&out);
+  Value(static_cast<int64_t>(csn)).EncodeTo(&out);
+  EncodeWrites({}, &out);
+  return out;
+}
+
+std::string ShardStateMachine::EncodeAbortTxn(uint64_t txn_id) {
+  std::string out;
+  out.push_back(static_cast<char>(ShardCmdType::kAbortTxn));
+  Value(static_cast<int64_t>(txn_id)).EncodeTo(&out);
+  Value(static_cast<int64_t>(0)).EncodeTo(&out);
+  EncodeWrites({}, &out);
+  return out;
+}
+
+bool ShardStateMachine::Apply(const std::string& payload) {
+  size_t pos = 0;
+  if (payload.empty()) return false;
+  const auto type = static_cast<ShardCmdType>(payload[pos++]);
+  Value v;
+  if (!Value::DecodeFrom(payload, &pos, &v) || !v.is_int64()) return false;
+  const uint64_t txn_id = static_cast<uint64_t>(v.AsInt64());
+  if (!Value::DecodeFrom(payload, &pos, &v) || !v.is_int64()) return false;
+  const CSN csn = static_cast<CSN>(v.AsInt64());
+  std::vector<WriteOp> writes;
+  if (!DecodeWrites(payload, &pos, &writes)) return false;
+
+  switch (type) {
+    case ShardCmdType::kApplyWrites:
+      ApplyWrites(csn, writes);
+      return true;
+
+    case ShardCmdType::kPrepare: {
+      // All-or-nothing lock acquisition; deterministic on every replica.
+      for (const WriteOp& w : writes) {
+        const auto it = locks_.find(w.key);
+        if (it != locks_.end() && it->second != txn_id) return false;
+      }
+      for (const WriteOp& w : writes) locks_[w.key] = txn_id;
+      prepared_[txn_id] = std::move(writes);
+      return true;
+    }
+
+    case ShardCmdType::kCommitTxn: {
+      const auto it = prepared_.find(txn_id);
+      if (it == prepared_.end()) return false;
+      ApplyWrites(csn, it->second);
+      for (const WriteOp& w : it->second) locks_.erase(w.key);
+      prepared_.erase(it);
+      return true;
+    }
+
+    case ShardCmdType::kAbortTxn: {
+      const auto it = prepared_.find(txn_id);
+      if (it == prepared_.end()) return false;
+      for (const WriteOp& w : it->second) locks_.erase(w.key);
+      prepared_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ShardStateMachine::ApplyWrites(CSN csn,
+                                    const std::vector<WriteOp>& writes) {
+  std::vector<ChangeEvent> events;
+  events.reserve(writes.size());
+  for (const WriteOp& w : writes) {
+    switch (w.op) {
+      case ChangeOp::kInsert:
+      case ChangeOp::kUpdate:
+        data_[{w.table_id, w.key}] = w.row;
+        break;
+      case ChangeOp::kDelete:
+        data_.erase({w.table_id, w.key});
+        break;
+    }
+    events.push_back(ChangeEvent{w.table_id, w.op, w.key, w.row, csn});
+  }
+  last_csn_ = std::max(last_csn_, csn);
+  if (change_sink_ && !events.empty()) change_sink_(events);
+}
+
+bool ShardStateMachine::Get(uint32_t table_id, Key key, Row* out) const {
+  const auto it = data_.find({table_id, key});
+  if (it == data_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+size_t ShardStateMachine::row_count() const { return data_.size(); }
+
+// ---------------------------------------------------------------------------
+// DistributedDb
+// ---------------------------------------------------------------------------
+
+DistributedDb::DistributedDb(SimEnv* env, Options options)
+    : env_(env), options_(options), net_(env, options.net) {
+  gateway_id_ = 100000;
+  tso_id_ = 100001;
+  gateway_ = std::make_unique<SimNode>(env_, gateway_id_);
+  tso_ = std::make_unique<SimNode>(env_, tso_id_);
+
+  shards_.resize(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    ShardRuntime& rt = shards_[static_cast<size_t>(s)];
+    std::vector<NodeId> voters;
+    for (int r = 0; r < options_.replicas_per_shard; ++r)
+      voters.push_back(s * 100 + r);
+    std::vector<NodeId> learners;
+    if (options_.with_learners) {
+      rt.learner_id = s * 100 + options_.replicas_per_shard;
+      learners.push_back(rt.learner_id);
+    }
+
+    for (NodeId id : voters)
+      rt.machines[id] = std::make_unique<ShardStateMachine>();
+    if (options_.with_learners) {
+      ShardRuntime* rtp = &rt;
+      rt.machines[rt.learner_id] = std::make_unique<ShardStateMachine>(
+          [rtp](const std::vector<ChangeEvent>& events) {
+            for (auto& [tid, delta] : rtp->learner.deltas)
+              delta->AppendBatch(events, tid);
+          });
+    }
+
+    ShardRuntime* rtp = &rt;
+    groups_.push_back(std::make_unique<RaftGroup>(
+        env_, &net_, voters, learners, options_.raft,
+        [rtp](NodeId id) -> RaftApplyFn {
+          ShardStateMachine* sm = rtp->machines.at(id).get();
+          return [sm](uint64_t, const std::string& payload) {
+            sm->Apply(payload);
+          };
+        }));
+  }
+}
+
+void DistributedDb::RegisterTable(uint32_t table_id, Schema schema) {
+  schemas_.emplace(table_id, schema);
+  for (auto& rt : shards_) {
+    if (rt.learner_id < 0) continue;
+    rt.learner.deltas[table_id] = std::make_unique<LogDeltaStore>();
+    rt.learner.tables[table_id] = std::make_unique<ColumnTable>(schema);
+  }
+}
+
+void DistributedDb::Bootstrap() {
+  for (auto& g : groups_) g->WaitForLeader();
+  if (options_.with_learners && options_.learner_merge_interval > 0)
+    ScheduleLearnerMerge();
+}
+
+void DistributedDb::ScheduleLearnerMerge() {
+  // Periodic learner merge, like TiFlash's background delta merge. The
+  // event re-arms itself; simulations must use RunUntil (never Run).
+  env_->Schedule(options_.learner_merge_interval, [this] {
+    SyncLearners();
+    ScheduleLearnerMerge();
+  });
+}
+
+void DistributedDb::WithLeader(int shard, int attempts,
+                               std::function<void(RaftNode*)> fn,
+                               std::function<void()> on_fail) {
+  RaftNode* leader = groups_[static_cast<size_t>(shard)]->leader();
+  if (leader != nullptr) {
+    fn(leader);
+    return;
+  }
+  if (attempts <= 0) {
+    on_fail();
+    return;
+  }
+  env_->Schedule(5000, [this, shard, attempts, fn = std::move(fn),
+                        on_fail = std::move(on_fail)]() mutable {
+    WithLeader(shard, attempts - 1, std::move(fn), std::move(on_fail));
+  });
+}
+
+void DistributedDb::ExecuteTxn(std::vector<WriteOp> writes,
+                               std::function<void(bool)> done) {
+  gateway_->Execute(options_.gateway_cpu_cost, [this, writes = std::move(writes),
+                                                done = std::move(done)]() mutable {
+    std::map<int, std::vector<WriteOp>> by_shard;
+    for (WriteOp& w : writes) by_shard[ShardOf(w.key)].push_back(std::move(w));
+    const uint64_t txn_id = next_txn_id_++;
+
+    // Fetch a commit timestamp from the TSO (one network round trip).
+    net_.Send(gateway_id_, tso_id_, [this, txn_id,
+                                     by_shard = std::move(by_shard),
+                                     done = std::move(done)]() mutable {
+      tso_->Execute(options_.tso_cpu_cost, [this, txn_id,
+                                            by_shard = std::move(by_shard),
+                                            done = std::move(done)]() mutable {
+        const CSN csn = next_csn_++;
+        net_.Send(tso_id_, gateway_id_, [this, txn_id, csn,
+                                         by_shard = std::move(by_shard),
+                                         done = std::move(done)]() mutable {
+          if (by_shard.size() == 1) {
+            // Single-shard fast path: one Raft proposal.
+            const int shard = by_shard.begin()->first;
+            const std::string cmd = ShardStateMachine::EncodeApplyWrites(
+                txn_id, csn, by_shard.begin()->second);
+            WithLeader(
+                shard, 40,
+                [this, cmd, csn, done](RaftNode* leader) mutable {
+                  const bool ok = leader->Propose(
+                      cmd, [this, csn, done](bool committed, uint64_t) {
+                        if (committed) {
+                          ++committed_;
+                          commit_times_[csn] = env_->Now();
+                          done(true);
+                        } else {
+                          ++aborted_;
+                          done(false);
+                        }
+                      });
+                  if (!ok) {
+                    ++aborted_;
+                    done(false);
+                  }
+                },
+                [this, done] {
+                  ++aborted_;
+                  done(false);
+                });
+          } else {
+            RunTwoPhaseCommit(txn_id, csn, std::move(by_shard),
+                              std::move(done));
+          }
+        });
+      });
+    });
+  });
+}
+
+void DistributedDb::RunTwoPhaseCommit(
+    uint64_t txn_id, CSN csn, std::map<int, std::vector<WriteOp>> by_shard,
+    std::function<void(bool)> done) {
+  struct TpcState {
+    size_t waiting = 0;
+    bool any_failed = false;
+    std::vector<int> shards;
+  };
+  auto st = std::make_shared<TpcState>();
+  for (const auto& [shard, writes] : by_shard) st->shards.push_back(shard);
+  st->waiting = st->shards.size();
+
+  auto self = this;
+  auto finish_phase2 = [self, st, txn_id, csn, done](bool commit) {
+    auto remaining = std::make_shared<size_t>(st->shards.size());
+    for (int shard : st->shards) {
+      const std::string cmd =
+          commit ? ShardStateMachine::EncodeCommitTxn(txn_id, csn)
+                 : ShardStateMachine::EncodeAbortTxn(txn_id);
+      self->WithLeader(
+          shard, 40,
+          [cmd, remaining, commit, self, csn, done](RaftNode* leader) {
+            leader->Propose(cmd, [remaining, commit, self, csn, done](
+                                     bool, uint64_t) {
+              if (--(*remaining) == 0) {
+                if (commit) {
+                  ++self->committed_;
+                  self->commit_times_[csn] = self->env_->Now();
+                } else {
+                  ++self->aborted_;
+                }
+                done(commit);
+              }
+            });
+          },
+          [remaining, commit, self, done, csn] {
+            if (--(*remaining) == 0) {
+              if (commit) {
+                ++self->committed_;
+                self->commit_times_[csn] = self->env_->Now();
+              } else {
+                ++self->aborted_;
+              }
+              done(commit);
+            }
+          });
+    }
+  };
+
+  // Phase 1: PREPARE on every shard through its Raft log.
+  for (const auto& [shard, writes] : by_shard) {
+    const std::string cmd = ShardStateMachine::EncodePrepare(txn_id, writes);
+    const int shard_copy = shard;
+    WithLeader(
+        shard, 40,
+        [this, cmd, st, txn_id, shard_copy, finish_phase2](RaftNode* leader) {
+          const NodeId leader_id = leader->id();
+          const bool ok = leader->Propose(
+              cmd, [this, st, txn_id, shard_copy, leader_id, finish_phase2](
+                       bool committed, uint64_t) {
+                bool vote_yes = false;
+                if (committed) {
+                  // Deterministic outcome: read it off the leader's machine.
+                  const auto& machines =
+                      shards_[static_cast<size_t>(shard_copy)].machines;
+                  const auto it = machines.find(leader_id);
+                  vote_yes = it != machines.end() &&
+                             it->second->PrepareSucceeded(txn_id);
+                }
+                if (!vote_yes) st->any_failed = true;
+                if (--st->waiting == 0) finish_phase2(!st->any_failed);
+              });
+          if (!ok) {
+            st->any_failed = true;
+            if (--st->waiting == 0) finish_phase2(false);
+          }
+        },
+        [st, finish_phase2] {
+          st->any_failed = true;
+          if (--st->waiting == 0) finish_phase2(false);
+        });
+  }
+}
+
+bool DistributedDb::Read(uint32_t table_id, Key key, Row* out) {
+  const int shard = ShardOf(key);
+  RaftNode* leader = groups_[static_cast<size_t>(shard)]->leader();
+  if (leader == nullptr) return false;
+  const auto& machines = shards_[static_cast<size_t>(shard)].machines;
+  const auto it = machines.find(leader->id());
+  if (it == machines.end()) return false;
+  return it->second->Get(table_id, key, out);
+}
+
+std::vector<Row> DistributedDb::AnalyticalScan(
+    uint32_t table_id, const Predicate& pred,
+    const std::vector<int>& projection, bool include_delta,
+    ScanStats* stats) {
+  std::vector<Row> out;
+  for (auto& rt : shards_) {
+    if (rt.learner_id < 0) continue;
+    const auto tit = rt.learner.tables.find(table_id);
+    if (tit == rt.learner.tables.end()) continue;
+    const DeltaReader* delta = nullptr;
+    if (include_delta) {
+      const auto dit = rt.learner.deltas.find(table_id);
+      if (dit != rt.learner.deltas.end()) delta = dit->second.get();
+    }
+    ScanStats local;
+    auto part = ScanHtap(*tit->second, delta, kMaxCSN, pred, projection,
+                         &local);
+    if (stats != nullptr) {
+      stats->groups_total += local.groups_total;
+      stats->groups_skipped += local.groups_skipped;
+      stats->main_rows_emitted += local.main_rows_emitted;
+      stats->delta_rows_emitted += local.delta_rows_emitted;
+      stats->delta_entries_read += local.delta_entries_read;
+    }
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+void DistributedDb::SyncLearners() {
+  for (auto& rt : shards_) {
+    if (rt.learner_id < 0) continue;
+    for (auto& [tid, delta] : rt.learner.deltas) {
+      auto entries = delta->DrainUpTo(kMaxCSN);
+      if (entries.empty()) continue;
+      CSN up_to = rt.learner.tables[tid]->merged_csn();
+      for (const auto& e : entries) up_to = std::max(up_to, e.csn);
+      ApplyEntriesToColumnTable(rt.learner.tables[tid].get(), entries, up_to);
+    }
+  }
+}
+
+CSN DistributedDb::LearnerMergedCsn(uint32_t table_id) const {
+  CSN csn = 0;
+  for (const auto& rt : shards_) {
+    const auto it = rt.learner.tables.find(table_id);
+    if (it != rt.learner.tables.end())
+      csn = std::max(csn, it->second->merged_csn());
+  }
+  return csn;
+}
+
+CSN DistributedDb::LearnerReplicatedCsn(uint32_t) const {
+  CSN csn = 0;
+  for (const auto& rt : shards_) {
+    if (rt.learner_id < 0) continue;
+    const auto it = rt.machines.find(rt.learner_id);
+    if (it != rt.machines.end())
+      csn = std::max(csn, it->second->last_applied_csn());
+  }
+  return csn;
+}
+
+Micros DistributedDb::CommitTimeOf(CSN csn) const {
+  const auto it = commit_times_.lower_bound(csn);
+  return it == commit_times_.end() ? 0 : it->second;
+}
+
+}  // namespace sim
+}  // namespace htap

@@ -1,0 +1,197 @@
+// The survey's architecture (b): a TiDB-style distributed HTAP database on
+// the simulated network.
+//
+//  * Data is hash-sharded; each shard is a Raft group of `replicas` voting
+//    row-store replicas plus one non-voting LEARNER.
+//  * Transactions: a gateway ("SQL engine") node fetches a commit timestamp
+//    from a TSO node, then commits single-shard transactions with one Raft
+//    proposal and multi-shard transactions with 2PC (Prepare/Commit
+//    proposals through each shard's Raft log) — "2PC + Raft + logging".
+//  * Learners apply the same Raft log into a LogDeltaStore (encoded delta
+//    files) and periodically merge into a ColumnTable — "log-based delta
+//    and column scan" with "log-based delta merge".
+//
+// Everything runs in virtual time, so throughput/scalability/freshness
+// numbers are deterministic and host-independent.
+
+#ifndef HTAP_SIM_DIST_DB_H_
+#define HTAP_SIM_DIST_DB_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "columnar/column_table.h"
+#include "delta/delta.h"
+#include "exec/executor.h"
+#include "sim/raft.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace htap {
+namespace sim {
+
+/// One write in a distributed transaction.
+struct WriteOp {
+  uint32_t table_id = 0;
+  ChangeOp op = ChangeOp::kInsert;
+  Key key = 0;
+  Row row;
+};
+
+/// Commands in the shard state machine's Raft log.
+enum class ShardCmdType : uint8_t {
+  kApplyWrites = 0,  // one-shot commit (single-shard transaction)
+  kPrepare = 1,
+  kCommitTxn = 2,
+  kAbortTxn = 3,
+};
+
+/// The replicated state machine every member of a shard group applies.
+/// Deterministic: all replicas (and the learner) reach identical state.
+class ShardStateMachine {
+ public:
+  /// `change_sink`: called with the ChangeEvents of each applied commit
+  /// (the learner wires this into its LogDeltaStore). May be null.
+  explicit ShardStateMachine(
+      std::function<void(const std::vector<ChangeEvent>&)> change_sink =
+          nullptr)
+      : change_sink_(std::move(change_sink)) {}
+
+  /// Applies one encoded command; returns true if it represents a
+  /// successful mutation (prepare-ok / committed).
+  bool Apply(const std::string& payload);
+
+  /// Reads the current value of a key (leader-side point reads).
+  bool Get(uint32_t table_id, Key key, Row* out) const;
+  size_t row_count() const;
+  CSN last_applied_csn() const { return last_csn_; }
+
+  /// Did transaction `txn_id`'s PREPARE succeed on this shard?
+  bool PrepareSucceeded(uint64_t txn_id) const {
+    return prepared_.count(txn_id) != 0;
+  }
+
+  // ---- Command codec ----
+  static std::string EncodeApplyWrites(uint64_t txn_id, CSN csn,
+                                       const std::vector<WriteOp>& writes);
+  static std::string EncodePrepare(uint64_t txn_id,
+                                   const std::vector<WriteOp>& writes);
+  static std::string EncodeCommitTxn(uint64_t txn_id, CSN csn);
+  static std::string EncodeAbortTxn(uint64_t txn_id);
+
+ private:
+  void ApplyWrites(CSN csn, const std::vector<WriteOp>& writes);
+  static void EncodeWrites(const std::vector<WriteOp>& writes,
+                           std::string* out);
+  static bool DecodeWrites(const std::string& in, size_t* pos,
+                           std::vector<WriteOp>* out);
+
+  std::map<std::pair<uint32_t, Key>, Row> data_;
+  std::unordered_map<Key, uint64_t> locks_;  // key -> preparing txn
+  std::unordered_map<uint64_t, std::vector<WriteOp>> prepared_;
+  CSN last_csn_ = 0;
+  std::function<void(const std::vector<ChangeEvent>&)> change_sink_;
+};
+
+/// Per-shard learner replica state: encoded delta files + column store.
+struct LearnerState {
+  std::unordered_map<uint32_t, std::unique_ptr<LogDeltaStore>> deltas;
+  std::unordered_map<uint32_t, std::unique_ptr<ColumnTable>> tables;
+};
+
+class DistributedDb {
+ public:
+  struct Options {
+    int num_shards = 3;
+    int replicas_per_shard = 3;
+    bool with_learners = true;
+    SimNetwork::Options net;
+    RaftConfig raft;
+    Micros gateway_cpu_cost = 10;   // per txn routing cost
+    Micros tso_cpu_cost = 2;
+    Micros learner_merge_interval = 50000;
+  };
+
+  DistributedDb(SimEnv* env, Options options);
+
+  /// Registers a table (co-sharded by key with all others).
+  void RegisterTable(uint32_t table_id, Schema schema);
+
+  /// Runs elections until every shard has a leader.
+  void Bootstrap();
+
+  /// Executes a transaction asynchronously inside the simulation; `done`
+  /// fires with commit/abort. Single-shard fast path, 2PC otherwise.
+  void ExecuteTxn(std::vector<WriteOp> writes,
+                  std::function<void(bool committed)> done);
+
+  /// Leader-side point read (linearizable enough for the benches).
+  bool Read(uint32_t table_id, Key key, Row* out);
+
+  /// Columnar scan over the learner replicas (log-delta + column union
+  /// when `include_delta`; pure column scan otherwise). Freshness depends
+  /// on replication + merge lag.
+  std::vector<Row> AnalyticalScan(uint32_t table_id, const Predicate& pred,
+                                  const std::vector<int>& projection,
+                                  bool include_delta = true,
+                                  ScanStats* stats = nullptr);
+
+  /// Forces all learner deltas to merge into their column tables.
+  void SyncLearners();
+
+  int ShardOf(Key key) const {
+    return static_cast<int>((static_cast<uint64_t>(key) * 2654435761u) %
+                            static_cast<uint64_t>(options_.num_shards));
+  }
+
+  RaftGroup* shard_group(int shard) { return groups_[shard].get(); }
+  SimEnv* env() { return env_; }
+  SimNetwork* network() { return &net_; }
+
+  // Observability.
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+  CSN last_csn() const { return next_csn_; }
+  /// Newest CSN visible to a learner scan of this table across all shards
+  /// when merged only (no delta).
+  CSN LearnerMergedCsn(uint32_t table_id) const;
+  /// Newest CSN present in learner deltas+tables (replication frontier).
+  CSN LearnerReplicatedCsn(uint32_t table_id) const;
+  /// Virtual-time lag between last commit and the learner frontier.
+  Micros CommitTimeOf(CSN csn) const;
+
+ private:
+  struct ShardRuntime {
+    std::map<NodeId, std::unique_ptr<ShardStateMachine>> machines;
+    NodeId learner_id = -1;
+    LearnerState learner;
+  };
+
+  void WithLeader(int shard, int attempts,
+                  std::function<void(RaftNode*)> fn,
+                  std::function<void()> on_fail);
+  void ScheduleLearnerMerge();
+  void RunTwoPhaseCommit(uint64_t txn_id, CSN csn,
+                         std::map<int, std::vector<WriteOp>> by_shard,
+                         std::function<void(bool)> done);
+
+  SimEnv* env_;
+  Options options_;
+  SimNetwork net_;
+  std::unordered_map<uint32_t, Schema> schemas_;
+  std::vector<std::unique_ptr<RaftGroup>> groups_;
+  std::vector<ShardRuntime> shards_;
+  NodeId gateway_id_, tso_id_;
+  std::unique_ptr<SimNode> gateway_, tso_;
+  uint64_t next_txn_id_ = 1;
+  CSN next_csn_ = 1;
+  uint64_t committed_ = 0, aborted_ = 0;
+  std::map<CSN, Micros> commit_times_;
+};
+
+}  // namespace sim
+}  // namespace htap
+
+#endif  // HTAP_SIM_DIST_DB_H_

@@ -1,0 +1,184 @@
+// Deterministic discrete-event simulation environment.
+//
+// The survey's distributed architectures (TiDB-style Raft clusters, the
+// Heatwave column-store cluster) run multiple machines; this library runs
+// them in one process on a virtual clock. Every network hop and every unit
+// of simulated CPU work is an event; execution is fully deterministic given
+// a seed, which makes the Raft/2PC property tests exact and the scalability
+// benchmarks host-independent (reported in virtual time).
+
+#ifndef HTAP_SIM_ENV_H_
+#define HTAP_SIM_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+
+namespace htap {
+namespace sim {
+
+using NodeId = int;
+
+/// The event loop + virtual clock.
+class SimEnv {
+ public:
+  explicit SimEnv(uint64_t seed = 7) : rng_(seed) {}
+
+  Micros Now() const { return now_; }
+
+  /// Schedules `fn` to run at Now() + delay.
+  void Schedule(Micros delay, std::function<void()> fn) {
+    queue_.push(Event{now_ + (delay < 0 ? 0 : delay), next_seq_++,
+                      std::move(fn)});
+  }
+
+  /// Runs events until the queue is empty (or `max_events` fires).
+  void Run(uint64_t max_events = ~0ULL) {
+    uint64_t fired = 0;
+    while (!queue_.empty() && fired < max_events) {
+      Step();
+      ++fired;
+    }
+  }
+
+  /// Runs events with time <= deadline.
+  void RunUntil(Micros deadline) {
+    while (!queue_.empty() && queue_.top().time <= deadline) Step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  bool Idle() const { return queue_.empty(); }
+  size_t pending_events() const { return queue_.size(); }
+  Random& rng() { return rng_; }
+
+ private:
+  struct Event {
+    Micros time;
+    uint64_t seq;  // FIFO tie-break for determinism
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void Step() {
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = e.time;
+    e.fn();
+  }
+
+  Micros now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Random rng_;
+};
+
+/// Point-to-point message fabric with configurable latency, loss, and
+/// partitions. Messages are delivery closures (the receiving node's handler
+/// bound to decoded arguments).
+class SimNetwork {
+ public:
+  struct Options {
+    Micros base_latency_micros = 500;   // one-way
+    Micros jitter_micros = 100;         // uniform [0, jitter)
+    double drop_probability = 0.0;
+  };
+
+  SimNetwork(SimEnv* env, Options options) : env_(env), options_(options) {}
+
+  /// Delivers `handler` on the destination after simulated latency, unless
+  /// dropped or partitioned.
+  void Send(NodeId from, NodeId to, std::function<void()> handler) {
+    ++messages_sent_;
+    if (Partitioned(from, to)) {
+      ++messages_dropped_;
+      return;
+    }
+    if (options_.drop_probability > 0 &&
+        env_->rng().NextDouble() < options_.drop_probability) {
+      ++messages_dropped_;
+      return;
+    }
+    const Micros jitter =
+        options_.jitter_micros > 0
+            ? static_cast<Micros>(env_->rng().Uniform(
+                  static_cast<uint64_t>(options_.jitter_micros)))
+            : 0;
+    env_->Schedule(options_.base_latency_micros + jitter, std::move(handler));
+  }
+
+  void Partition(NodeId a, NodeId b) {
+    partitions_.insert({std::min(a, b), std::max(a, b)});
+  }
+  void Heal(NodeId a, NodeId b) {
+    partitions_.erase({std::min(a, b), std::max(a, b)});
+  }
+  void HealAll() { partitions_.clear(); }
+  bool Partitioned(NodeId a, NodeId b) const {
+    return partitions_.count({std::min(a, b), std::max(a, b)}) != 0;
+  }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  SimEnv* env() { return env_; }
+
+ private:
+  SimEnv* env_;
+  Options options_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+/// A simulated machine with a single-core CPU: work items serialize on the
+/// busy-until cursor, which is what makes per-node throughput saturate and
+/// sharding show real scalability curves in virtual time.
+class SimNode {
+ public:
+  SimNode(SimEnv* env, NodeId id) : env_(env), id_(id) {}
+  virtual ~SimNode() = default;
+
+  NodeId id() const { return id_; }
+  bool alive() const { return alive_; }
+
+  /// Simulated crash: drops future work; volatile state reset is the
+  /// subclass's job (see Raft).
+  virtual void Crash() { alive_ = false; }
+  virtual void Restart() {
+    alive_ = true;
+    busy_until_ = env_->Now();
+  }
+
+  /// Runs `fn` after `cpu_cost` of simulated CPU time, queueing behind any
+  /// work already scheduled on this node.
+  void Execute(Micros cpu_cost, std::function<void()> fn) {
+    if (!alive_) return;
+    const Micros start = std::max(busy_until_, env_->Now());
+    busy_until_ = start + cpu_cost;
+    const Micros delay = busy_until_ - env_->Now();
+    env_->Schedule(delay, [this, fn = std::move(fn)] {
+      if (alive_) fn();
+    });
+  }
+
+  /// Total simulated CPU consumed (busy time).
+  Micros busy_until() const { return busy_until_; }
+
+ protected:
+  SimEnv* env_;
+  NodeId id_;
+  bool alive_ = true;
+  Micros busy_until_ = 0;
+};
+
+}  // namespace sim
+}  // namespace htap
+
+#endif  // HTAP_SIM_ENV_H_

@@ -1,0 +1,350 @@
+#include "sim/raft.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace htap {
+namespace sim {
+
+const char* RaftRoleName(RaftRole r) {
+  switch (r) {
+    case RaftRole::kFollower: return "follower";
+    case RaftRole::kCandidate: return "candidate";
+    case RaftRole::kLeader: return "leader";
+    case RaftRole::kLearner: return "learner";
+  }
+  return "?";
+}
+
+RaftNode::RaftNode(SimEnv* env, SimNetwork* net, NodeId id,
+                   std::vector<NodeId> voters, std::vector<NodeId> learners,
+                   RaftConfig config, RaftApplyFn apply)
+    : SimNode(env, id),
+      net_(net),
+      voters_(std::move(voters)),
+      learners_(std::move(learners)),
+      config_(config),
+      apply_(std::move(apply)) {
+  if (!IsVoter()) role_ = RaftRole::kLearner;
+}
+
+bool RaftNode::IsVoter() const {
+  return std::find(voters_.begin(), voters_.end(), id_) != voters_.end();
+}
+
+void RaftNode::Start() {
+  if (role_ != RaftRole::kLearner) ArmElectionTimer();
+}
+
+void RaftNode::Crash() {
+  SimNode::Crash();
+  // Volatile state is lost.
+  if (role_ != RaftRole::kLearner) role_ = RaftRole::kFollower;
+  FailPendingProposals();
+  next_index_.clear();
+  match_index_.clear();
+  votes_received_ = 0;
+  ++timer_epoch_;  // cancels outstanding timers
+}
+
+void RaftNode::Restart() {
+  SimNode::Restart();
+  if (role_ != RaftRole::kLearner) {
+    role_ = RaftRole::kFollower;
+    ArmElectionTimer();
+  }
+}
+
+void RaftNode::ArmElectionTimer() {
+  const uint64_t epoch = ++timer_epoch_;
+  const Micros span =
+      config_.election_timeout_max - config_.election_timeout_min;
+  const Micros timeout =
+      config_.election_timeout_min +
+      static_cast<Micros>(env_->rng().Uniform(
+          static_cast<uint64_t>(span > 0 ? span : 1)));
+  env_->Schedule(timeout, [this, epoch] {
+    if (!alive_ || epoch != timer_epoch_) return;
+    if (role_ == RaftRole::kLeader || role_ == RaftRole::kLearner) return;
+    StartElection();
+  });
+}
+
+void RaftNode::StartElection() {
+  ++term_;
+  role_ = RaftRole::kCandidate;
+  voted_for_ = id_;
+  votes_received_ = 1;  // self
+  FailPendingProposals();
+  ArmElectionTimer();  // retry if split
+
+  const VoteArgs args{term_, id_, LastLogIndex(), LastLogTerm()};
+  for (NodeId peer : voters_) {
+    if (peer == id_) continue;
+    RaftNode* p = resolve_(peer);
+    net_->Send(id_, peer, [p, args] {
+      p->Execute(p->config_.rpc_cpu_cost, [p, args] { p->HandleVote(args); });
+    });
+  }
+  if (votes_received_ >= Majority()) BecomeLeader();  // single-voter group
+}
+
+void RaftNode::HandleVote(const VoteArgs& args) {
+  if (args.term > term_) BecomeFollower(args.term);
+  bool granted = false;
+  if (args.term == term_ && (voted_for_ == -1 || voted_for_ == args.candidate)) {
+    // §5.4.1 up-to-date check.
+    const bool up_to_date =
+        args.last_log_term > LastLogTerm() ||
+        (args.last_log_term == LastLogTerm() &&
+         args.last_log_index >= LastLogIndex());
+    if (up_to_date) {
+      granted = true;
+      voted_for_ = args.candidate;
+      ArmElectionTimer();
+    }
+  }
+  const VoteReply reply{term_, granted, id_};
+  RaftNode* c = resolve_(args.candidate);
+  net_->Send(id_, args.candidate, [c, reply] {
+    c->Execute(c->config_.rpc_cpu_cost,
+               [c, reply] { c->HandleVoteReply(reply); });
+  });
+}
+
+void RaftNode::HandleVoteReply(const VoteReply& reply) {
+  if (reply.term > term_) {
+    BecomeFollower(reply.term);
+    return;
+  }
+  if (role_ != RaftRole::kCandidate || reply.term != term_ || !reply.granted)
+    return;
+  ++votes_received_;
+  if (votes_received_ >= Majority()) BecomeLeader();
+}
+
+void RaftNode::BecomeFollower(uint64_t term) {
+  if (term > term_) {
+    term_ = term;
+    voted_for_ = -1;
+  }
+  if (role_ == RaftRole::kLearner) return;
+  const bool was_leader = role_ == RaftRole::kLeader;
+  role_ = RaftRole::kFollower;
+  if (was_leader) FailPendingProposals();
+  ArmElectionTimer();
+}
+
+void RaftNode::BecomeLeader() {
+  if (role_ != RaftRole::kCandidate) return;
+  role_ = RaftRole::kLeader;
+  leader_hint_ = id_;
+  ++timer_epoch_;  // stop election timer
+  next_index_.clear();
+  match_index_.clear();
+  for (NodeId peer : voters_) {
+    next_index_[peer] = LastLogIndex() + 1;
+    match_index_[peer] = 0;
+  }
+  for (NodeId peer : learners_) {
+    next_index_[peer] = LastLogIndex() + 1;
+    match_index_[peer] = 0;
+  }
+  match_index_[id_] = LastLogIndex();
+  BroadcastAppend();
+  ArmHeartbeat();
+}
+
+bool RaftNode::Propose(std::string payload,
+                       std::function<void(bool, uint64_t)> on_commit) {
+  if (!IsLeader()) return false;
+  log_.push_back(RaftEntry{term_, std::move(payload)});
+  const uint64_t index = LastLogIndex();
+  match_index_[id_] = index;
+  if (on_commit) pending_[index] = std::move(on_commit);
+  if (voters_.size() == 1) AdvanceLeaderCommit();
+  BroadcastAppend();
+  return true;
+}
+
+void RaftNode::BroadcastAppend() {
+  if (!IsLeader()) return;
+  for (NodeId peer : voters_)
+    if (peer != id_) SendAppendTo(peer);
+  for (NodeId peer : learners_) SendAppendTo(peer);
+}
+
+void RaftNode::ArmHeartbeat() {
+  // Exactly one heartbeat chain per leadership: re-armed only from its own
+  // tick, so Propose-triggered broadcasts never multiply timers.
+  const uint64_t epoch = timer_epoch_;
+  const uint64_t term_snapshot = term_;
+  env_->Schedule(config_.heartbeat_interval, [this, epoch, term_snapshot] {
+    if (!alive_ || epoch != timer_epoch_ || term_ != term_snapshot) return;
+    if (role_ != RaftRole::kLeader) return;
+    BroadcastAppend();
+    ArmHeartbeat();
+  });
+}
+
+void RaftNode::SendAppendTo(NodeId peer) {
+  const uint64_t next = next_index_.count(peer) ? next_index_[peer]
+                                                : LastLogIndex() + 1;
+  AppendArgs args;
+  args.term = term_;
+  args.leader = id_;
+  args.prev_index = next - 1;
+  args.prev_term =
+      args.prev_index == 0 ? 0 : log_[args.prev_index - 1].term;
+  args.leader_commit = commit_index_;
+  const uint64_t last = LastLogIndex();
+  for (uint64_t i = next;
+       i <= last && args.entries.size() < config_.max_entries_per_append; ++i)
+    args.entries.push_back(log_[i - 1]);
+
+  RaftNode* p = resolve_(peer);
+  net_->Send(id_, peer, [p, args] {
+    const Micros cost = p->config_.rpc_cpu_cost +
+                        static_cast<Micros>(args.entries.size()) *
+                            p->config_.entry_cpu_cost;
+    p->Execute(cost, [p, args] { p->HandleAppend(args); });
+  });
+}
+
+void RaftNode::HandleAppend(const AppendArgs& args) {
+  if (args.term > term_) BecomeFollower(args.term);
+  AppendReply reply{term_, false, 0, id_};
+
+  if (args.term == term_) {
+    if (role_ == RaftRole::kCandidate) role_ = RaftRole::kFollower;
+    leader_hint_ = args.leader;
+    if (role_ != RaftRole::kLearner) ArmElectionTimer();
+
+    // Log-matching check.
+    const bool prev_ok =
+        args.prev_index == 0 ||
+        (args.prev_index <= LastLogIndex() &&
+         log_[args.prev_index - 1].term == args.prev_term);
+    if (prev_ok) {
+      // Append/overwrite entries.
+      uint64_t idx = args.prev_index;
+      for (const RaftEntry& e : args.entries) {
+        ++idx;
+        if (idx <= LastLogIndex()) {
+          if (log_[idx - 1].term != e.term) {
+            log_.resize(idx - 1);  // conflict: truncate suffix
+            log_.push_back(e);
+          }
+        } else {
+          log_.push_back(e);
+        }
+      }
+      reply.success = true;
+      reply.match_index = args.prev_index + args.entries.size();
+      if (args.leader_commit > commit_index_) {
+        commit_index_ = std::min(args.leader_commit, LastLogIndex());
+        ApplyCommitted();
+      }
+    }
+  }
+
+  RaftNode* l = resolve_(args.leader);
+  net_->Send(id_, args.leader, [l, reply] {
+    l->Execute(l->config_.rpc_cpu_cost,
+               [l, reply] { l->HandleAppendReply(reply); });
+  });
+}
+
+void RaftNode::HandleAppendReply(const AppendReply& reply) {
+  if (reply.term > term_) {
+    BecomeFollower(reply.term);
+    return;
+  }
+  if (!IsLeader() || reply.term != term_) return;
+  if (reply.success) {
+    match_index_[reply.from] =
+        std::max(match_index_[reply.from], reply.match_index);
+    next_index_[reply.from] = match_index_[reply.from] + 1;
+    AdvanceLeaderCommit();
+    if (next_index_[reply.from] <= LastLogIndex())
+      SendAppendTo(reply.from);  // more to stream
+  } else {
+    // Back off and retry.
+    uint64_t& next = next_index_[reply.from];
+    next = next > 1 ? next - 1 : 1;
+    SendAppendTo(reply.from);
+  }
+}
+
+void RaftNode::AdvanceLeaderCommit() {
+  // Find the highest index replicated on a majority with entry.term == term_.
+  for (uint64_t n = LastLogIndex(); n > commit_index_; --n) {
+    if (log_[n - 1].term != term_) break;  // §5.4.2: only own-term entries
+    size_t count = 0;
+    for (NodeId v : voters_)
+      if (match_index_.count(v) && match_index_[v] >= n) ++count;
+    if (count >= Majority()) {
+      commit_index_ = n;
+      ApplyCommitted();
+      break;
+    }
+  }
+}
+
+void RaftNode::ApplyCommitted() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    const RaftEntry& e = log_[last_applied_ - 1];
+    if (apply_) apply_(last_applied_, e.payload);
+    const auto it = pending_.find(last_applied_);
+    if (it != pending_.end()) {
+      auto cb = std::move(it->second);
+      pending_.erase(it);
+      cb(true, last_applied_);
+    }
+  }
+}
+
+void RaftNode::FailPendingProposals() {
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [index, cb] : pending) cb(false, 0);
+}
+
+RaftGroup::RaftGroup(SimEnv* env, SimNetwork* net,
+                     std::vector<NodeId> voter_ids,
+                     std::vector<NodeId> learner_ids, RaftConfig config,
+                     std::function<RaftApplyFn(NodeId)> apply_factory)
+    : env_(env), voter_ids_(voter_ids), learner_ids_(learner_ids) {
+  auto make = [&](NodeId id) {
+    RaftApplyFn apply = apply_factory ? apply_factory(id) : RaftApplyFn{};
+    nodes_[id] = std::make_unique<RaftNode>(env, net, id, voter_ids,
+                                            learner_ids, config,
+                                            std::move(apply));
+  };
+  for (NodeId id : voter_ids_) make(id);
+  for (NodeId id : learner_ids_) make(id);
+  for (auto& [id, node] : nodes_)
+    node->SetPeerResolver([this](NodeId nid) { return nodes_.at(nid).get(); });
+  for (auto& [id, node] : nodes_) node->Start();
+}
+
+RaftNode* RaftGroup::leader() {
+  for (auto& [id, node] : nodes_)
+    if (node->IsLeader()) return node.get();
+  return nullptr;
+}
+
+RaftNode* RaftGroup::WaitForLeader(Micros deadline_from_now) {
+  const Micros deadline = env_->Now() + deadline_from_now;
+  while (env_->Now() < deadline) {
+    RaftNode* l = leader();
+    if (l != nullptr) return l;
+    if (env_->Idle()) break;
+    env_->RunUntil(env_->Now() + 1000);
+  }
+  return leader();
+}
+
+}  // namespace sim
+}  // namespace htap

@@ -1,0 +1,176 @@
+// Raft consensus over the simulated network: leader election, log
+// replication, commitment, and non-voting LEARNER replicas — the substrate
+// of the survey's architecture (b) (TiDB ships Raft logs to row-store
+// followers and columnar learners).
+//
+// The implementation follows the Raft paper's §5 rules. Persistent state
+// (term, vote, log) survives Crash()/Restart(); volatile state does not.
+
+#ifndef HTAP_SIM_RAFT_H_
+#define HTAP_SIM_RAFT_H_
+
+#include <functional>
+#include <memory>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/env.h"
+
+namespace htap {
+namespace sim {
+
+struct RaftEntry {
+  uint64_t term = 0;
+  std::string payload;
+};
+
+enum class RaftRole : uint8_t { kFollower, kCandidate, kLeader, kLearner };
+
+const char* RaftRoleName(RaftRole r);
+
+struct RaftConfig {
+  Micros election_timeout_min = 15000;
+  Micros election_timeout_max = 30000;
+  Micros heartbeat_interval = 4000;
+  Micros rpc_cpu_cost = 20;        // CPU to process one RPC
+  Micros entry_cpu_cost = 5;       // CPU per log entry appended/applied
+  size_t max_entries_per_append = 64;
+};
+
+/// Callback invoked exactly once per committed entry, in log order, on
+/// every live node (voters and learners).
+using RaftApplyFn =
+    std::function<void(uint64_t index, const std::string& payload)>;
+
+class RaftNode : public SimNode {
+ public:
+  /// `voters` lists ALL voting members (including this node if it votes);
+  /// `learners` lists non-voting members. Call SetPeerResolver + Start
+  /// after constructing the whole group.
+  RaftNode(SimEnv* env, SimNetwork* net, NodeId id,
+           std::vector<NodeId> voters, std::vector<NodeId> learners,
+           RaftConfig config, RaftApplyFn apply);
+
+  /// How the node finds other RaftNode instances by id.
+  void SetPeerResolver(std::function<RaftNode*(NodeId)> resolver) {
+    resolve_ = std::move(resolver);
+  }
+
+  /// Arms the first election timeout (learners skip straight to waiting).
+  void Start();
+
+  /// Leader-only: appends a command. `on_commit(true, index)` fires when
+  /// the entry commits; `on_commit(false, 0)` if leadership is lost first.
+  /// Returns false (and does not call back) if this node is not the leader.
+  bool Propose(std::string payload,
+               std::function<void(bool, uint64_t)> on_commit = nullptr);
+
+  RaftRole role() const { return role_; }
+  bool IsLeader() const { return alive_ && role_ == RaftRole::kLeader; }
+  uint64_t term() const { return term_; }
+  uint64_t commit_index() const { return commit_index_; }
+  uint64_t last_applied() const { return last_applied_; }
+  size_t log_size() const { return log_.size(); }
+  const RaftEntry& log_entry(uint64_t index) const {
+    return log_[index - 1];
+  }
+
+  void Crash() override;
+  void Restart() override;
+
+ private:
+  struct AppendArgs {
+    uint64_t term;
+    NodeId leader;
+    uint64_t prev_index, prev_term;
+    std::vector<RaftEntry> entries;
+    uint64_t leader_commit;
+  };
+  struct AppendReply {
+    uint64_t term;
+    bool success;
+    uint64_t match_index;
+    NodeId from;
+  };
+  struct VoteArgs {
+    uint64_t term;
+    NodeId candidate;
+    uint64_t last_log_index, last_log_term;
+  };
+  struct VoteReply {
+    uint64_t term;
+    bool granted;
+    NodeId from;
+  };
+
+  void HandleAppend(const AppendArgs& args);
+  void HandleAppendReply(const AppendReply& reply);
+  void HandleVote(const VoteArgs& args);
+  void HandleVoteReply(const VoteReply& reply);
+
+  void ArmElectionTimer();
+  void StartElection();
+  void BecomeFollower(uint64_t term);
+  void BecomeLeader();
+  void BroadcastAppend();
+  void ArmHeartbeat();
+  void SendAppendTo(NodeId peer);
+  void AdvanceLeaderCommit();
+  void ApplyCommitted();
+  void FailPendingProposals();
+
+  uint64_t LastLogIndex() const { return log_.size(); }
+  uint64_t LastLogTerm() const { return log_.empty() ? 0 : log_.back().term; }
+  size_t Majority() const { return voters_.size() / 2 + 1; }
+  bool IsVoter() const;
+
+  SimNetwork* net_;
+  std::vector<NodeId> voters_;
+  std::vector<NodeId> learners_;
+  RaftConfig config_;
+  RaftApplyFn apply_;
+  std::function<RaftNode*(NodeId)> resolve_;
+
+  // Persistent state (survives Crash/Restart).
+  uint64_t term_ = 0;
+  NodeId voted_for_ = -1;
+  std::vector<RaftEntry> log_;  // log_[i] is entry index i+1
+
+  // Volatile state.
+  RaftRole role_ = RaftRole::kFollower;
+  uint64_t commit_index_ = 0;
+  uint64_t last_applied_ = 0;
+  NodeId leader_hint_ = -1;
+  uint64_t timer_epoch_ = 0;
+  size_t votes_received_ = 0;
+  std::map<NodeId, uint64_t> next_index_;
+  std::map<NodeId, uint64_t> match_index_;
+  std::map<uint64_t, std::function<void(bool, uint64_t)>> pending_;
+};
+
+/// A Raft group: constructs the nodes, wires the resolver, runs elections.
+class RaftGroup {
+ public:
+  RaftGroup(SimEnv* env, SimNetwork* net, std::vector<NodeId> voter_ids,
+            std::vector<NodeId> learner_ids, RaftConfig config,
+            std::function<RaftApplyFn(NodeId)> apply_factory);
+
+  RaftNode* node(NodeId id) { return nodes_.at(id).get(); }
+  RaftNode* leader();  // nullptr if none elected
+  const std::vector<NodeId>& voter_ids() const { return voter_ids_; }
+  const std::vector<NodeId>& learner_ids() const { return learner_ids_; }
+
+  /// Runs the sim until some node is a live leader (or deadline).
+  RaftNode* WaitForLeader(Micros deadline_from_now = 2'000'000);
+
+ private:
+  SimEnv* env_;
+  std::vector<NodeId> voter_ids_, learner_ids_;
+  std::map<NodeId, std::unique_ptr<RaftNode>> nodes_;
+};
+
+}  // namespace sim
+}  // namespace htap
+
+#endif  // HTAP_SIM_RAFT_H_

@@ -1,0 +1,448 @@
+// Binds parsed SQL to the library API: name resolution against the
+// catalog, Expr -> Predicate lowering, SELECT -> QueryPlan construction,
+// and DML execution. Implements Database::ExecuteSql.
+
+#include <algorithm>
+
+#include "core/database.h"
+#include "sql/sql.h"
+
+namespace htap {
+
+namespace {
+
+using sql::Expr;
+using sql::SelectItem;
+using sql::Statement;
+
+/// Strips an optional "table." prefix when it matches `table_name`.
+std::string StripPrefix(const std::string& name,
+                        const std::string& table_name) {
+  const size_t dot = name.find('.');
+  if (dot == std::string::npos) return name;
+  std::string prefix = name.substr(0, dot);
+  std::string rest = name.substr(dot + 1);
+  auto ieq = [](const std::string& a, const std::string& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i)
+      if (std::tolower(a[i]) != std::tolower(b[i])) return false;
+    return true;
+  };
+  return ieq(prefix, table_name) ? rest : name;
+}
+
+/// Resolves a (possibly qualified) column name within a single table.
+int ResolveInTable(const std::string& name, const TableInfo& table) {
+  return table.schema.FindColumn(StripPrefix(name, table.name));
+}
+
+/// Resolves within the combined (left ++ right) layout.
+Result<int> ResolveCombined(const std::string& name, const TableInfo& left,
+                            const TableInfo* right) {
+  int idx = ResolveInTable(name, left);
+  if (idx >= 0) return idx;
+  if (right != nullptr) {
+    idx = ResolveInTable(name, *right);
+    if (idx >= 0) return idx + static_cast<int>(left.schema.num_columns());
+  }
+  return Status::InvalidArgument("unknown column: " + name);
+}
+
+CmpOp ParseCmpOp(const std::string& op) {
+  if (op == "=") return CmpOp::kEq;
+  if (op == "!=") return CmpOp::kNe;
+  if (op == "<") return CmpOp::kLt;
+  if (op == "<=") return CmpOp::kLe;
+  if (op == ">") return CmpOp::kGt;
+  return CmpOp::kGe;
+}
+
+/// Lowers an Expr to a Predicate with a caller-supplied column resolver.
+Result<Predicate> LowerExpr(
+    const Expr& e, const std::function<Result<int>(const std::string&)>& res) {
+  switch (e.kind) {
+    case Expr::Kind::kCompare: {
+      HTAP_ASSIGN_OR_RETURN(int col, res(e.column));
+      return Predicate::Compare(col, ParseCmpOp(e.op),
+                                e.children[0].literal);
+    }
+    case Expr::Kind::kBetween: {
+      HTAP_ASSIGN_OR_RETURN(int col, res(e.column));
+      return Predicate::Between(col, e.children[0].literal,
+                                e.children[1].literal);
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      std::vector<Predicate> children;
+      for (const Expr& c : e.children) {
+        HTAP_ASSIGN_OR_RETURN(Predicate p, LowerExpr(c, res));
+        children.push_back(std::move(p));
+      }
+      return e.kind == Expr::Kind::kAnd ? Predicate::And(std::move(children))
+                                        : Predicate::Or(std::move(children));
+    }
+    case Expr::Kind::kNot: {
+      HTAP_ASSIGN_OR_RETURN(Predicate p, LowerExpr(e.children[0], res));
+      return Predicate::Not(std::move(p));
+    }
+    default:
+      return Status::InvalidArgument("unsupported expression");
+  }
+}
+
+/// Columns referenced by an Expr.
+void CollectColumns(const Expr& e, std::vector<std::string>* out) {
+  if (e.kind == Expr::Kind::kCompare || e.kind == Expr::Kind::kBetween)
+    out->push_back(e.column);
+  for (const Expr& c : e.children) CollectColumns(c, out);
+}
+
+/// Splits the WHERE of a join into left-only and right-only conjuncts.
+Status SplitJoinWhere(const Expr& where, const TableInfo& left,
+                      const TableInfo& right, std::vector<Expr>* left_out,
+                      std::vector<Expr>* right_out) {
+  // Flatten top-level ANDs, classify each conjunct by referenced side.
+  if (where.kind == Expr::Kind::kAnd) {
+    for (const Expr& c : where.children)
+      HTAP_RETURN_NOT_OK(SplitJoinWhere(c, left, right, left_out, right_out));
+    return Status::OK();
+  }
+  std::vector<std::string> cols;
+  CollectColumns(where, &cols);
+  bool all_left = true, all_right = true;
+  for (const std::string& c : cols) {
+    if (ResolveInTable(c, left) < 0) all_left = false;
+    if (ResolveInTable(c, right) < 0) all_right = false;
+  }
+  if (all_left) {
+    left_out->push_back(where);
+    return Status::OK();
+  }
+  if (all_right) {
+    right_out->push_back(where);
+    return Status::OK();
+  }
+  return Status::NotSupported(
+      "predicates spanning both join sides are not supported");
+}
+
+AggSpec::Fn ParseAggFn(const std::string& f) {
+  if (f == "COUNT") return AggSpec::Fn::kCount;
+  if (f == "SUM") return AggSpec::Fn::kSum;
+  if (f == "AVG") return AggSpec::Fn::kAvg;
+  if (f == "MIN") return AggSpec::Fn::kMin;
+  return AggSpec::Fn::kMax;
+}
+
+std::string DefaultAggName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  std::string f = item.func;
+  for (char& c : f) c = static_cast<char>(std::tolower(c));
+  return item.column == "*" ? f : f + "_" + StripPrefix(item.column, "");
+}
+
+Result<QueryPlan> BindSelect(const sql::SelectStmt& stmt,
+                             const Catalog& catalog,
+                             std::vector<int>* out_perm) {
+  const TableInfo* left = catalog.Find(stmt.table);
+  if (left == nullptr)
+    return Status::NotFound("no table: " + stmt.table);
+  const TableInfo* right = nullptr;
+  std::vector<size_t> agg_positions;
+
+  QueryPlan plan;
+  plan.table = stmt.table;
+
+  if (!stmt.join_table.empty()) {
+    right = catalog.Find(stmt.join_table);
+    if (right == nullptr)
+      return Status::NotFound("no table: " + stmt.join_table);
+    plan.has_join = true;
+    plan.join_table = stmt.join_table;
+    // Join columns: try left name on the left table, right on the right;
+    // accept either order.
+    int l = ResolveInTable(stmt.join_left_col, *left);
+    int r = ResolveInTable(stmt.join_right_col, *right);
+    if (l < 0 || r < 0) {
+      l = ResolveInTable(stmt.join_right_col, *left);
+      r = ResolveInTable(stmt.join_left_col, *right);
+    }
+    if (l < 0 || r < 0)
+      return Status::InvalidArgument("cannot resolve join columns");
+    plan.left_col = l;
+    plan.right_col = r;
+  }
+
+  auto resolve_combined = [&](const std::string& name) {
+    return ResolveCombined(name, *left, right);
+  };
+
+  if (stmt.where.has_value()) {
+    if (plan.has_join) {
+      std::vector<Expr> lconj, rconj;
+      HTAP_RETURN_NOT_OK(
+          SplitJoinWhere(*stmt.where, *left, *right, &lconj, &rconj));
+      auto res_left = [&](const std::string& n) -> Result<int> {
+        const int i = ResolveInTable(n, *left);
+        if (i < 0) return Status::InvalidArgument("unknown column: " + n);
+        return i;
+      };
+      auto res_right = [&](const std::string& n) -> Result<int> {
+        const int i = ResolveInTable(n, *right);
+        if (i < 0) return Status::InvalidArgument("unknown column: " + n);
+        return i;
+      };
+      std::vector<Predicate> lp, rp;
+      for (const Expr& e : lconj) {
+        HTAP_ASSIGN_OR_RETURN(Predicate p, LowerExpr(e, res_left));
+        lp.push_back(std::move(p));
+      }
+      for (const Expr& e : rconj) {
+        HTAP_ASSIGN_OR_RETURN(Predicate p, LowerExpr(e, res_right));
+        rp.push_back(std::move(p));
+      }
+      if (!lp.empty()) plan.where = Predicate::And(std::move(lp));
+      if (!rp.empty()) plan.join_where = Predicate::And(std::move(rp));
+    } else {
+      auto res = [&](const std::string& n) -> Result<int> {
+        const int i = ResolveInTable(n, *left);
+        if (i < 0) return Status::InvalidArgument("unknown column: " + n);
+        return i;
+      };
+      HTAP_ASSIGN_OR_RETURN(Predicate p, LowerExpr(*stmt.where, res));
+      plan.where = std::move(p);
+    }
+  }
+
+  // GROUP BY + select list.
+  const bool has_aggs = std::any_of(
+      stmt.items.begin(), stmt.items.end(), [](const SelectItem& i) {
+        return i.kind == SelectItem::Kind::kAggregate;
+      });
+
+  if (has_aggs) {
+    for (const std::string& g : stmt.group_by) {
+      HTAP_ASSIGN_OR_RETURN(int idx, resolve_combined(g));
+      plan.group_by.push_back(idx);
+    }
+    // The runner emits [group columns..., aggregates...]; `out_perm` maps
+    // each select item to its position there so the result can be reshaped
+    // into the user's select-list order.
+    std::vector<bool> group_used(plan.group_by.size(), false);
+    size_t agg_serial = 0;
+    for (const SelectItem& item : stmt.items) {
+      if (item.kind == SelectItem::Kind::kColumn) {
+        HTAP_ASSIGN_OR_RETURN(int idx, resolve_combined(item.column));
+        bool matched = false;
+        for (size_t g = 0; g < plan.group_by.size(); ++g) {
+          if (!group_used[g] && plan.group_by[g] == idx) {
+            group_used[g] = true;
+            out_perm->push_back(static_cast<int>(g));
+            matched = true;
+            break;
+          }
+        }
+        if (!matched)
+          return Status::NotSupported(
+              "non-aggregate select item must appear in GROUP BY: " +
+              item.column);
+      } else if (item.kind == SelectItem::Kind::kAggregate) {
+        AggSpec agg;
+        agg.fn = ParseAggFn(item.func);
+        agg.name = DefaultAggName(item);
+        if (item.column == "*") {
+          agg.column = -1;
+        } else {
+          HTAP_ASSIGN_OR_RETURN(int idx, resolve_combined(item.column));
+          agg.column = idx;
+        }
+        plan.aggs.push_back(std::move(agg));
+        out_perm->push_back(-1);  // patched below once group count is known
+        agg_positions.push_back(out_perm->size() - 1);
+      } else {
+        return Status::NotSupported("SELECT * cannot mix with aggregates");
+      }
+    }
+    for (size_t a = 0; a < agg_positions.size(); ++a)
+      (*out_perm)[agg_positions[a]] =
+          static_cast<int>(plan.group_by.size() + a);
+    (void)agg_serial;
+    // Identity permutations need no reshaping.
+    bool identity = out_perm->size() == plan.group_by.size() + plan.aggs.size();
+    for (size_t i = 0; identity && i < out_perm->size(); ++i)
+      identity = (*out_perm)[i] == static_cast<int>(i);
+    if (identity) out_perm->clear();
+  } else {
+    if (!stmt.group_by.empty())
+      return Status::NotSupported("GROUP BY without aggregates");
+    for (const SelectItem& item : stmt.items) {
+      if (item.kind == SelectItem::Kind::kStar) {
+        plan.projection.clear();
+        break;
+      }
+      HTAP_ASSIGN_OR_RETURN(int idx, resolve_combined(item.column));
+      plan.projection.push_back(idx);
+    }
+  }
+
+  // ORDER BY resolves against the runner's output layout (the final
+  // select-list reshaping happens after sorting, on the same columns).
+  if (!stmt.order_by.empty()) {
+    int out_idx = -1;
+    if (has_aggs) {
+      // Aggregate aliases first, then group-by columns.
+      for (size_t a = 0; a < plan.aggs.size(); ++a) {
+        if (plan.aggs[a].name == stmt.order_by) {
+          out_idx = static_cast<int>(plan.group_by.size() + a);
+          break;
+        }
+      }
+      if (out_idx < 0) {
+        auto idx_res = resolve_combined(stmt.order_by);
+        if (idx_res.ok()) {
+          for (size_t g = 0; g < plan.group_by.size(); ++g) {
+            if (*idx_res == plan.group_by[g]) {
+              out_idx = static_cast<int>(g);
+              break;
+            }
+          }
+        }
+      }
+    } else if (!plan.projection.empty()) {
+      HTAP_ASSIGN_OR_RETURN(int idx, resolve_combined(stmt.order_by));
+      for (size_t p = 0; p < plan.projection.size(); ++p)
+        if (plan.projection[p] == idx) out_idx = static_cast<int>(p);
+    } else {
+      HTAP_ASSIGN_OR_RETURN(int idx, resolve_combined(stmt.order_by));
+      out_idx = idx;
+    }
+    if (out_idx < 0)
+      return Status::InvalidArgument("ORDER BY column not in output: " +
+                                     stmt.order_by);
+    plan.order_by = out_idx;
+    plan.order_desc = stmt.order_desc;
+  }
+  plan.limit = stmt.limit;
+  return plan;
+}
+
+QueryResult MakeDmlResult(const std::string& counter_name, int64_t n) {
+  QueryResult r;
+  r.schema = Schema({ColumnDef(counter_name, Type::kInt64)});
+  r.rows.push_back(Row{Value(n)});
+  return r;
+}
+
+}  // namespace
+
+Result<QueryResult> Database::ExecuteSql(const std::string& sql_text) {
+  HTAP_ASSIGN_OR_RETURN(Statement stmt, sql::Parse(sql_text));
+
+  switch (stmt.kind) {
+    case Statement::Kind::kCreateTable: {
+      Schema schema(stmt.create.columns, stmt.create.pk_index);
+      HTAP_RETURN_NOT_OK(CreateTable(stmt.create.table, std::move(schema)));
+      return MakeDmlResult("tables_created", 1);
+    }
+
+    case Statement::Kind::kInsert: {
+      const TableInfo* info = catalog_.Find(stmt.insert.table);
+      if (info == nullptr)
+        return Status::NotFound("no table: " + stmt.insert.table);
+      auto txn = Begin();
+      for (const auto& vals : stmt.insert.rows) {
+        if (vals.size() != info->schema.num_columns())
+          return Status::InvalidArgument("INSERT arity mismatch");
+        HTAP_RETURN_NOT_OK(txn->Insert(stmt.insert.table, Row(vals)));
+      }
+      HTAP_RETURN_NOT_OK(txn->Commit());
+      return MakeDmlResult("rows_inserted",
+                           static_cast<int64_t>(stmt.insert.rows.size()));
+    }
+
+    case Statement::Kind::kUpdate: {
+      const TableInfo* info = catalog_.Find(stmt.update.table);
+      if (info == nullptr)
+        return Status::NotFound("no table: " + stmt.update.table);
+      // Resolve assignments.
+      std::vector<std::pair<int, Value>> sets;
+      for (const auto& [name, value] : stmt.update.assignments) {
+        const int idx = ResolveInTable(name, *info);
+        if (idx < 0) return Status::InvalidArgument("unknown column: " + name);
+        sets.emplace_back(idx, value);
+      }
+      // Find matching rows via a row-path scan, then update in one txn.
+      QueryPlan plan;
+      plan.table = stmt.update.table;
+      plan.path = PathHint::kForceRow;
+      if (stmt.update.where.has_value()) {
+        auto res = [&](const std::string& n) -> Result<int> {
+          const int i = ResolveInTable(n, *info);
+          if (i < 0) return Status::InvalidArgument("unknown column: " + n);
+          return i;
+        };
+        HTAP_ASSIGN_OR_RETURN(Predicate p, LowerExpr(*stmt.update.where, res));
+        plan.where = std::move(p);
+      }
+      HTAP_ASSIGN_OR_RETURN(QueryResult matched, Query(plan, nullptr));
+      auto txn = Begin();
+      for (Row row : matched.rows) {
+        for (const auto& [idx, value] : sets)
+          row.Set(static_cast<size_t>(idx), value);
+        HTAP_RETURN_NOT_OK(txn->Update(stmt.update.table, row));
+      }
+      HTAP_RETURN_NOT_OK(txn->Commit());
+      return MakeDmlResult("rows_updated",
+                           static_cast<int64_t>(matched.rows.size()));
+    }
+
+    case Statement::Kind::kDelete: {
+      const TableInfo* info = catalog_.Find(stmt.del.table);
+      if (info == nullptr)
+        return Status::NotFound("no table: " + stmt.del.table);
+      QueryPlan plan;
+      plan.table = stmt.del.table;
+      plan.path = PathHint::kForceRow;
+      plan.projection = {info->schema.pk_index()};
+      if (stmt.del.where.has_value()) {
+        auto res = [&](const std::string& n) -> Result<int> {
+          const int i = ResolveInTable(n, *info);
+          if (i < 0) return Status::InvalidArgument("unknown column: " + n);
+          return i;
+        };
+        HTAP_ASSIGN_OR_RETURN(Predicate p, LowerExpr(*stmt.del.where, res));
+        plan.where = std::move(p);
+      }
+      HTAP_ASSIGN_OR_RETURN(QueryResult matched, Query(plan, nullptr));
+      auto txn = Begin();
+      for (const Row& row : matched.rows)
+        HTAP_RETURN_NOT_OK(txn->Delete(stmt.del.table, row.Get(0).AsInt64()));
+      HTAP_RETURN_NOT_OK(txn->Commit());
+      return MakeDmlResult("rows_deleted",
+                           static_cast<int64_t>(matched.rows.size()));
+    }
+
+    case Statement::Kind::kSelect: {
+      std::vector<int> out_perm;
+      HTAP_ASSIGN_OR_RETURN(QueryPlan plan,
+                            BindSelect(stmt.select, catalog_, &out_perm));
+      HTAP_ASSIGN_OR_RETURN(QueryResult result, Query(plan, nullptr));
+      if (!out_perm.empty()) {
+        // Reshape [groups..., aggs...] into the user's select-list order.
+        std::vector<ColumnDef> cols;
+        for (int p : out_perm)
+          cols.push_back(result.schema.column(static_cast<size_t>(p)));
+        for (Row& row : result.rows) {
+          Row reshaped;
+          for (int p : out_perm) reshaped.Append(row.Get(static_cast<size_t>(p)));
+          row = std::move(reshaped);
+        }
+        result.schema = Schema(std::move(cols), 0);
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace htap

@@ -1,0 +1,448 @@
+#include <cctype>
+
+#include "sql/sql.h"
+
+namespace htap {
+namespace sql {
+
+namespace {
+
+// ---- Lexer -----------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;   // uppercased for idents
+  std::string raw;    // original spelling
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& in) : in_(in) { Advance(); }
+
+  const Token& peek() const { return cur_; }
+
+  Token Take() {
+    Token t = cur_;
+    Advance();
+    return t;
+  }
+
+  bool AcceptIdent(const std::string& upper) {
+    if (cur_.kind == Token::Kind::kIdent && cur_.text == upper) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(const std::string& s) {
+    if (cur_.kind == Token::Kind::kSymbol && cur_.text == s) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectIdent(const std::string& upper) {
+    if (!AcceptIdent(upper))
+      return Status::InvalidArgument("expected " + upper + " near '" +
+                                     cur_.raw + "'");
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const std::string& s) {
+    if (!AcceptSymbol(s))
+      return Status::InvalidArgument("expected '" + s + "' near '" +
+                                     cur_.raw + "'");
+    return Status::OK();
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < in_.size() && std::isspace(static_cast<unsigned char>(in_[pos_])))
+      ++pos_;
+    cur_ = Token{};
+    if (pos_ >= in_.size()) {
+      cur_.kind = Token::Kind::kEnd;
+      return;
+    }
+    const char c = in_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < in_.size() &&
+             (std::isalnum(static_cast<unsigned char>(in_[pos_])) ||
+              in_[pos_] == '_' || in_[pos_] == '.'))
+        ++pos_;
+      cur_.kind = Token::Kind::kIdent;
+      cur_.raw = in_.substr(start, pos_ - start);
+      cur_.text = cur_.raw;
+      for (char& ch : cur_.text) ch = static_cast<char>(std::toupper(ch));
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < in_.size() &&
+         std::isdigit(static_cast<unsigned char>(in_[pos_ + 1])))) {
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < in_.size() &&
+             (std::isdigit(static_cast<unsigned char>(in_[pos_])) ||
+              in_[pos_] == '.'))
+        ++pos_;
+      cur_.kind = Token::Kind::kNumber;
+      cur_.raw = cur_.text = in_.substr(start, pos_ - start);
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < in_.size() && in_[pos_] != '\'') ++pos_;
+      cur_.kind = Token::Kind::kString;
+      cur_.raw = cur_.text = in_.substr(start, pos_ - start);
+      if (pos_ < in_.size()) ++pos_;  // closing quote
+      return;
+    }
+    // Multi-char operators.
+    static const char* two_char[] = {"<=", ">=", "!=", "<>"};
+    for (const char* op : two_char) {
+      if (in_.compare(pos_, 2, op) == 0) {
+        cur_.kind = Token::Kind::kSymbol;
+        cur_.raw = cur_.text = op;
+        pos_ += 2;
+        return;
+      }
+    }
+    cur_.kind = Token::Kind::kSymbol;
+    cur_.raw = cur_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+  Token cur_;
+};
+
+// ---- Parser ----------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(const std::string& in) : lex_(in) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (lex_.AcceptIdent("SELECT")) {
+      stmt.kind = Statement::Kind::kSelect;
+      HTAP_RETURN_NOT_OK(ParseSelect(&stmt.select));
+    } else if (lex_.AcceptIdent("CREATE")) {
+      stmt.kind = Statement::Kind::kCreateTable;
+      HTAP_RETURN_NOT_OK(ParseCreate(&stmt.create));
+    } else if (lex_.AcceptIdent("INSERT")) {
+      stmt.kind = Statement::Kind::kInsert;
+      HTAP_RETURN_NOT_OK(ParseInsert(&stmt.insert));
+    } else if (lex_.AcceptIdent("UPDATE")) {
+      stmt.kind = Statement::Kind::kUpdate;
+      HTAP_RETURN_NOT_OK(ParseUpdate(&stmt.update));
+    } else if (lex_.AcceptIdent("DELETE")) {
+      stmt.kind = Statement::Kind::kDelete;
+      HTAP_RETURN_NOT_OK(ParseDelete(&stmt.del));
+    } else {
+      return Status::InvalidArgument("expected a statement keyword");
+    }
+    lex_.AcceptSymbol(";");
+    if (lex_.peek().kind != Token::Kind::kEnd)
+      return Status::InvalidArgument("trailing input after statement");
+    return stmt;
+  }
+
+ private:
+  Result<Value> ParseLiteral() {
+    const Token t = lex_.Take();
+    if (t.kind == Token::Kind::kNumber) {
+      if (t.text.find('.') != std::string::npos)
+        return Value(std::stod(t.text));
+      return Value(static_cast<int64_t>(std::stoll(t.text)));
+    }
+    if (t.kind == Token::Kind::kString) return Value(t.raw);
+    if (t.kind == Token::Kind::kIdent && t.text == "NULL") return Value::Null();
+    return Status::InvalidArgument("expected literal near '" + t.raw + "'");
+  }
+
+  // expr := or_term; or_term := and_term (OR and_term)*;
+  // and_term := factor (AND factor)*; factor := NOT factor | ( expr ) | cmp
+  Result<Expr> ParseExpr() {
+    HTAP_ASSIGN_OR_RETURN(Expr lhs, ParseAnd());
+    while (lex_.AcceptIdent("OR")) {
+      HTAP_ASSIGN_OR_RETURN(Expr rhs, ParseAnd());
+      Expr e;
+      e.kind = Expr::Kind::kOr;
+      e.children = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseAnd() {
+    HTAP_ASSIGN_OR_RETURN(Expr lhs, ParseFactor());
+    while (lex_.AcceptIdent("AND")) {
+      HTAP_ASSIGN_OR_RETURN(Expr rhs, ParseFactor());
+      Expr e;
+      e.kind = Expr::Kind::kAnd;
+      e.children = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseFactor() {
+    if (lex_.AcceptIdent("NOT")) {
+      HTAP_ASSIGN_OR_RETURN(Expr inner, ParseFactor());
+      Expr e;
+      e.kind = Expr::Kind::kNot;
+      e.children.push_back(std::move(inner));
+      return e;
+    }
+    if (lex_.AcceptSymbol("(")) {
+      HTAP_ASSIGN_OR_RETURN(Expr inner, ParseExpr());
+      HTAP_RETURN_NOT_OK(lex_.ExpectSymbol(")"));
+      return inner;
+    }
+    // column op literal | column BETWEEN lit AND lit
+    const Token col = lex_.Take();
+    if (col.kind != Token::Kind::kIdent)
+      return Status::InvalidArgument("expected column near '" + col.raw + "'");
+    if (lex_.AcceptIdent("BETWEEN")) {
+      HTAP_ASSIGN_OR_RETURN(Value lo, ParseLiteral());
+      HTAP_RETURN_NOT_OK(lex_.ExpectIdent("AND"));
+      HTAP_ASSIGN_OR_RETURN(Value hi, ParseLiteral());
+      Expr e;
+      e.kind = Expr::Kind::kBetween;
+      e.column = col.raw;
+      Expr lo_e, hi_e;
+      lo_e.kind = Expr::Kind::kLiteral;
+      lo_e.literal = std::move(lo);
+      hi_e.kind = Expr::Kind::kLiteral;
+      hi_e.literal = std::move(hi);
+      e.children = {std::move(lo_e), std::move(hi_e)};
+      return e;
+    }
+    const Token op = lex_.Take();
+    if (op.kind != Token::Kind::kSymbol)
+      return Status::InvalidArgument("expected operator near '" + op.raw + "'");
+    std::string o = op.text;
+    if (o == "<>") o = "!=";
+    if (o != "=" && o != "!=" && o != "<" && o != "<=" && o != ">" &&
+        o != ">=")
+      return Status::InvalidArgument("unknown operator '" + o + "'");
+    HTAP_ASSIGN_OR_RETURN(Value lit, ParseLiteral());
+    Expr e;
+    e.kind = Expr::Kind::kCompare;
+    e.column = col.raw;
+    e.op = o;
+    Expr lit_e;
+    lit_e.kind = Expr::Kind::kLiteral;
+    lit_e.literal = std::move(lit);
+    e.children.push_back(std::move(lit_e));
+    return e;
+  }
+
+  Status ParseSelect(SelectStmt* out) {
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (lex_.AcceptSymbol("*")) {
+        item.kind = SelectItem::Kind::kStar;
+      } else {
+        const Token t = lex_.Take();
+        if (t.kind != Token::Kind::kIdent)
+          return Status::InvalidArgument("bad select item near '" + t.raw + "'");
+        const std::string upper = t.text;
+        if ((upper == "COUNT" || upper == "SUM" || upper == "AVG" ||
+             upper == "MIN" || upper == "MAX") &&
+            lex_.AcceptSymbol("(")) {
+          item.kind = SelectItem::Kind::kAggregate;
+          item.func = upper;
+          if (lex_.AcceptSymbol("*")) {
+            item.column = "*";
+          } else {
+            const Token arg = lex_.Take();
+            if (arg.kind != Token::Kind::kIdent)
+              return Status::InvalidArgument("bad aggregate argument");
+            item.column = arg.raw;
+          }
+          HTAP_RETURN_NOT_OK(lex_.ExpectSymbol(")"));
+        } else {
+          item.kind = SelectItem::Kind::kColumn;
+          item.column = t.raw;
+        }
+      }
+      if (lex_.AcceptIdent("AS")) {
+        const Token a = lex_.Take();
+        if (a.kind != Token::Kind::kIdent)
+          return Status::InvalidArgument("bad alias");
+        item.alias = a.raw;
+      }
+      out->items.push_back(std::move(item));
+      if (!lex_.AcceptSymbol(",")) break;
+    }
+
+    HTAP_RETURN_NOT_OK(lex_.ExpectIdent("FROM"));
+    Token t = lex_.Take();
+    if (t.kind != Token::Kind::kIdent)
+      return Status::InvalidArgument("expected table name");
+    out->table = t.raw;
+
+    if (lex_.AcceptIdent("JOIN")) {
+      t = lex_.Take();
+      if (t.kind != Token::Kind::kIdent)
+        return Status::InvalidArgument("expected join table");
+      out->join_table = t.raw;
+      HTAP_RETURN_NOT_OK(lex_.ExpectIdent("ON"));
+      const Token l = lex_.Take();
+      HTAP_RETURN_NOT_OK(lex_.ExpectSymbol("="));
+      const Token r = lex_.Take();
+      if (l.kind != Token::Kind::kIdent || r.kind != Token::Kind::kIdent)
+        return Status::InvalidArgument("bad join condition");
+      out->join_left_col = l.raw;
+      out->join_right_col = r.raw;
+    }
+
+    if (lex_.AcceptIdent("WHERE")) {
+      HTAP_ASSIGN_OR_RETURN(Expr e, ParseExpr());
+      out->where = std::move(e);
+    }
+    if (lex_.AcceptIdent("GROUP")) {
+      HTAP_RETURN_NOT_OK(lex_.ExpectIdent("BY"));
+      while (true) {
+        const Token g = lex_.Take();
+        if (g.kind != Token::Kind::kIdent)
+          return Status::InvalidArgument("bad GROUP BY column");
+        out->group_by.push_back(g.raw);
+        if (!lex_.AcceptSymbol(",")) break;
+      }
+    }
+    if (lex_.AcceptIdent("ORDER")) {
+      HTAP_RETURN_NOT_OK(lex_.ExpectIdent("BY"));
+      const Token o = lex_.Take();
+      if (o.kind != Token::Kind::kIdent)
+        return Status::InvalidArgument("bad ORDER BY column");
+      out->order_by = o.raw;
+      if (lex_.AcceptIdent("DESC"))
+        out->order_desc = true;
+      else
+        lex_.AcceptIdent("ASC");
+    }
+    if (lex_.AcceptIdent("LIMIT")) {
+      const Token n = lex_.Take();
+      if (n.kind != Token::Kind::kNumber)
+        return Status::InvalidArgument("bad LIMIT");
+      out->limit = static_cast<size_t>(std::stoull(n.text));
+    }
+    return Status::OK();
+  }
+
+  Status ParseCreate(CreateTableStmt* out) {
+    HTAP_RETURN_NOT_OK(lex_.ExpectIdent("TABLE"));
+    const Token t = lex_.Take();
+    if (t.kind != Token::Kind::kIdent)
+      return Status::InvalidArgument("expected table name");
+    out->table = t.raw;
+    HTAP_RETURN_NOT_OK(lex_.ExpectSymbol("("));
+    bool pk_seen = false;
+    while (true) {
+      const Token name = lex_.Take();
+      if (name.kind != Token::Kind::kIdent)
+        return Status::InvalidArgument("expected column name");
+      const Token type = lex_.Take();
+      Type ty;
+      if (type.text == "INT64" || type.text == "INT" || type.text == "BIGINT")
+        ty = Type::kInt64;
+      else if (type.text == "DOUBLE" || type.text == "FLOAT" ||
+               type.text == "DECIMAL")
+        ty = Type::kDouble;
+      else if (type.text == "STRING" || type.text == "TEXT" ||
+               type.text == "VARCHAR")
+        ty = Type::kString;
+      else
+        return Status::InvalidArgument("unknown type '" + type.raw + "'");
+      out->columns.emplace_back(name.raw, ty);
+      if (lex_.AcceptIdent("PRIMARY")) {
+        HTAP_RETURN_NOT_OK(lex_.ExpectIdent("KEY"));
+        out->pk_index = static_cast<int>(out->columns.size()) - 1;
+        pk_seen = true;
+      }
+      if (!lex_.AcceptSymbol(",")) break;
+    }
+    HTAP_RETURN_NOT_OK(lex_.ExpectSymbol(")"));
+    if (!pk_seen) out->pk_index = 0;
+    return Status::OK();
+  }
+
+  Status ParseInsert(InsertStmt* out) {
+    HTAP_RETURN_NOT_OK(lex_.ExpectIdent("INTO"));
+    const Token t = lex_.Take();
+    if (t.kind != Token::Kind::kIdent)
+      return Status::InvalidArgument("expected table name");
+    out->table = t.raw;
+    HTAP_RETURN_NOT_OK(lex_.ExpectIdent("VALUES"));
+    while (true) {
+      HTAP_RETURN_NOT_OK(lex_.ExpectSymbol("("));
+      std::vector<Value> row;
+      while (true) {
+        HTAP_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        row.push_back(std::move(v));
+        if (!lex_.AcceptSymbol(",")) break;
+      }
+      HTAP_RETURN_NOT_OK(lex_.ExpectSymbol(")"));
+      out->rows.push_back(std::move(row));
+      if (!lex_.AcceptSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseUpdate(UpdateStmt* out) {
+    const Token t = lex_.Take();
+    if (t.kind != Token::Kind::kIdent)
+      return Status::InvalidArgument("expected table name");
+    out->table = t.raw;
+    HTAP_RETURN_NOT_OK(lex_.ExpectIdent("SET"));
+    while (true) {
+      const Token col = lex_.Take();
+      if (col.kind != Token::Kind::kIdent)
+        return Status::InvalidArgument("expected column in SET");
+      HTAP_RETURN_NOT_OK(lex_.ExpectSymbol("="));
+      HTAP_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      out->assignments.emplace_back(col.raw, std::move(v));
+      if (!lex_.AcceptSymbol(",")) break;
+    }
+    if (lex_.AcceptIdent("WHERE")) {
+      HTAP_ASSIGN_OR_RETURN(Expr e, ParseExpr());
+      out->where = std::move(e);
+    }
+    return Status::OK();
+  }
+
+  Status ParseDelete(DeleteStmt* out) {
+    HTAP_RETURN_NOT_OK(lex_.ExpectIdent("FROM"));
+    const Token t = lex_.Take();
+    if (t.kind != Token::Kind::kIdent)
+      return Status::InvalidArgument("expected table name");
+    out->table = t.raw;
+    if (lex_.AcceptIdent("WHERE")) {
+      HTAP_ASSIGN_OR_RETURN(Expr e, ParseExpr());
+      out->where = std::move(e);
+    }
+    return Status::OK();
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& input) {
+  Parser p(input);
+  return p.ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace htap

@@ -1,0 +1,397 @@
+#include "storage/mvcc_row_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "txn/txn_manager.h"
+
+namespace htap {
+
+MvccRowStore::MvccRowStore(uint32_t table_id, Schema schema,
+                           TransactionManager* txn_mgr, WalWriter* wal)
+    : table_id_(table_id),
+      schema_(std::move(schema)),
+      txn_mgr_(txn_mgr),
+      wal_(wal) {}
+
+MvccRowStore::~MvccRowStore() {
+  for (auto& chain : chains_) {
+    RowVersion* v = chain->latest;
+    while (v != nullptr) {
+      RowVersion* older = v->older;
+      delete v;
+      v = older;
+    }
+  }
+}
+
+VersionChain* MvccRowStore::GetOrCreateChain(Key key) {
+  uint64_t payload;
+  if (index_.Lookup(key, &payload))
+    return reinterpret_cast<VersionChain*>(payload);
+  SpinGuard g(chains_latch_);
+  // Double-check under the latch: another writer may have created it.
+  if (index_.Lookup(key, &payload))
+    return reinterpret_cast<VersionChain*>(payload);
+  chains_.push_back(std::make_unique<VersionChain>());
+  VersionChain* chain = chains_.back().get();
+  chain->key = key;
+  index_.Insert(key, reinterpret_cast<uint64_t>(chain));
+  mem_bytes_.fetch_add(sizeof(VersionChain) + 24, std::memory_order_relaxed);
+  return chain;
+}
+
+VersionChain* MvccRowStore::FindChain(Key key) const {
+  uint64_t payload;
+  if (!index_.Lookup(key, &payload)) return nullptr;
+  return reinterpret_cast<VersionChain*>(payload);
+}
+
+bool MvccRowStore::Visible(const RowVersion* v, const Snapshot& snap) const {
+  // Resolve the begin stamp.
+  while (true) {
+    const uint64_t raw_b = v->begin.load(std::memory_order_acquire);
+    if (IsTxnId(raw_b)) {
+      if (raw_b == snap.txn_id) break;  // our own write
+      CSN csn;
+      TxnState state;
+      if (!txn_mgr_->GetCommitInfo(raw_b, &csn, &state)) continue;  // re-read
+      if (state == TxnState::kCommitted && csn != 0 && csn <= snap.begin_csn)
+        break;
+      return false;  // active, aborted, or committed after our snapshot
+    }
+    if (raw_b > snap.begin_csn) return false;
+    break;
+  }
+  // Resolve the end stamp.
+  while (true) {
+    const uint64_t raw_e = v->end.load(std::memory_order_acquire);
+    if (raw_e == kMaxCSN) return true;
+    if (IsTxnId(raw_e)) {
+      if (raw_e == snap.txn_id) return false;  // we superseded/deleted it
+      CSN csn;
+      TxnState state;
+      if (!txn_mgr_->GetCommitInfo(raw_e, &csn, &state)) continue;  // re-read
+      if (state == TxnState::kCommitted && csn != 0)
+        return csn > snap.begin_csn;
+      return true;  // deleter still in flight or aborted: visible to us
+    }
+    return raw_e > snap.begin_csn;
+  }
+}
+
+void MvccRowStore::LogDml(Transaction* txn, WalRecordType type, Key key,
+                          const Row& row) {
+  if (wal_ == nullptr) return;
+  WalRecord rec;
+  rec.type = type;
+  rec.txn_id = txn->id();
+  rec.table_id = table_id_;
+  rec.key = key;
+  rec.row = row;
+  wal_->Append(rec);
+}
+
+Status MvccRowStore::Insert(Transaction* txn, const Row& row) {
+  if (row.size() != schema_.num_columns())
+    return Status::InvalidArgument("row arity mismatch");
+  const Key key = row.GetKey(schema_);
+  VersionChain* chain = GetOrCreateChain(key);
+  SpinGuard g(chain->latch);
+
+  RowVersion* latest = chain->latest;
+  if (latest != nullptr) {
+    const uint64_t raw_b = latest->begin.load(std::memory_order_acquire);
+    const uint64_t raw_e = latest->end.load(std::memory_order_acquire);
+    if (raw_e == kMaxCSN) {
+      // A live version exists (or is being created).
+      if (IsTxnId(raw_b) && raw_b != txn->id()) {
+        txn_mgr_->RecordConflict();
+        return Status::Conflict("uncommitted insert by another txn");
+      }
+      return Status::AlreadyExists("key exists: " + std::to_string(key));
+    }
+    if (IsTxnId(raw_e) && raw_e != txn->id()) {
+      txn_mgr_->RecordConflict();
+      return Status::Conflict("uncommitted delete by another txn");
+    }
+    if (!IsTxnId(raw_e) && raw_e > txn->begin_csn()) {
+      // Deleted after our snapshot began: write-write conflict under SI.
+      txn_mgr_->RecordConflict();
+      return Status::Conflict("key deleted after snapshot");
+    }
+  }
+
+  auto* v = new RowVersion();
+  v->begin.store(txn->id(), std::memory_order_release);
+  v->data = row;
+  v->older = latest;
+  chain->latest = v;
+
+  txn->undo().push_back(
+      UndoEntry{UndoEntry::Kind::kInsert, this, chain, v, nullptr});
+  txn->changes().push_back(
+      ChangeEvent{table_id_, ChangeOp::kInsert, key, row, 0});
+  LogDml(txn, WalRecordType::kInsert, key, row);
+  versions_.fetch_add(1, std::memory_order_relaxed);
+  mem_bytes_.fetch_add(sizeof(RowVersion) + row.MemoryBytes(),
+                       std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status MvccRowStore::Update(Transaction* txn, const Row& row) {
+  if (row.size() != schema_.num_columns())
+    return Status::InvalidArgument("row arity mismatch");
+  const Key key = row.GetKey(schema_);
+  VersionChain* chain = FindChain(key);
+  if (chain == nullptr) return Status::NotFound("no such key");
+  SpinGuard g(chain->latch);
+
+  RowVersion* latest = chain->latest;
+  if (latest == nullptr) return Status::NotFound("no such key");
+  const uint64_t raw_b = latest->begin.load(std::memory_order_acquire);
+  const uint64_t raw_e = latest->end.load(std::memory_order_acquire);
+
+  if (raw_e != kMaxCSN) {
+    if (IsTxnId(raw_e)) {
+      if (raw_e == txn->id()) return Status::NotFound("deleted by this txn");
+      txn_mgr_->RecordConflict();
+      return Status::Conflict("row claimed by another txn");
+    }
+    if (raw_e > txn->begin_csn()) {
+      txn_mgr_->RecordConflict();
+      return Status::Conflict("row deleted after snapshot");
+    }
+    return Status::NotFound("row deleted");
+  }
+  if (IsTxnId(raw_b)) {
+    if (raw_b != txn->id()) {
+      txn_mgr_->RecordConflict();
+      return Status::Conflict("uncommitted insert by another txn");
+    }
+    // Updating our own uncommitted version: mutate in place.
+    mem_bytes_.fetch_add(row.MemoryBytes(), std::memory_order_relaxed);
+    mem_bytes_.fetch_sub(
+        std::min(mem_bytes_.load(std::memory_order_relaxed),
+                 latest->data.MemoryBytes()),
+        std::memory_order_relaxed);
+    latest->data = row;
+    txn->changes().push_back(
+        ChangeEvent{table_id_, ChangeOp::kUpdate, key, row, 0});
+    LogDml(txn, WalRecordType::kUpdate, key, row);
+    return Status::OK();
+  }
+  if (raw_b > txn->begin_csn()) {
+    txn_mgr_->RecordConflict();
+    return Status::Conflict("row written after snapshot");
+  }
+
+  auto* v = new RowVersion();
+  v->begin.store(txn->id(), std::memory_order_release);
+  v->data = row;
+  v->older = latest;
+  latest->end.store(txn->id(), std::memory_order_release);
+  chain->latest = v;
+
+  txn->undo().push_back(
+      UndoEntry{UndoEntry::Kind::kUpdate, this, chain, v, latest});
+  txn->changes().push_back(
+      ChangeEvent{table_id_, ChangeOp::kUpdate, key, row, 0});
+  LogDml(txn, WalRecordType::kUpdate, key, row);
+  versions_.fetch_add(1, std::memory_order_relaxed);
+  mem_bytes_.fetch_add(sizeof(RowVersion) + row.MemoryBytes(),
+                       std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status MvccRowStore::Delete(Transaction* txn, Key key) {
+  VersionChain* chain = FindChain(key);
+  if (chain == nullptr) return Status::NotFound("no such key");
+  SpinGuard g(chain->latch);
+
+  RowVersion* latest = chain->latest;
+  if (latest == nullptr) return Status::NotFound("no such key");
+  const uint64_t raw_b = latest->begin.load(std::memory_order_acquire);
+  const uint64_t raw_e = latest->end.load(std::memory_order_acquire);
+
+  if (raw_e != kMaxCSN) {
+    if (IsTxnId(raw_e)) {
+      if (raw_e == txn->id()) return Status::NotFound("already deleted");
+      txn_mgr_->RecordConflict();
+      return Status::Conflict("row claimed by another txn");
+    }
+    if (raw_e > txn->begin_csn()) {
+      txn_mgr_->RecordConflict();
+      return Status::Conflict("row deleted after snapshot");
+    }
+    return Status::NotFound("row deleted");
+  }
+  if (IsTxnId(raw_b) && raw_b != txn->id()) {
+    txn_mgr_->RecordConflict();
+    return Status::Conflict("uncommitted insert by another txn");
+  }
+  if (!IsTxnId(raw_b) && raw_b > txn->begin_csn()) {
+    txn_mgr_->RecordConflict();
+    return Status::Conflict("row written after snapshot");
+  }
+
+  latest->end.store(txn->id(), std::memory_order_release);
+  txn->undo().push_back(
+      UndoEntry{UndoEntry::Kind::kDelete, this, chain, nullptr, latest});
+  txn->changes().push_back(
+      ChangeEvent{table_id_, ChangeOp::kDelete, key, Row{}, 0});
+  LogDml(txn, WalRecordType::kDelete, key, Row{});
+  return Status::OK();
+}
+
+Status MvccRowStore::Get(const Snapshot& snap, Key key, Row* out) const {
+  VersionChain* chain = FindChain(key);
+  if (chain == nullptr) return Status::NotFound("no such key");
+  SpinGuard g(chain->latch);
+  for (const RowVersion* v = chain->latest; v != nullptr; v = v->older) {
+    if (Visible(v, snap)) {
+      *out = v->data;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no visible version");
+}
+
+void MvccRowStore::Scan(
+    const Snapshot& snap,
+    const std::function<bool(Key, const Row&)>& visit) const {
+  ScanRange(snap, std::numeric_limits<Key>::min(),
+            std::numeric_limits<Key>::max(), visit);
+}
+
+void MvccRowStore::ScanRange(
+    const Snapshot& snap, Key lo, Key hi,
+    const std::function<bool(Key, const Row&)>& visit) const {
+  index_.Scan(lo, hi, [&](Key key, uint64_t payload) {
+    auto* chain = reinterpret_cast<VersionChain*>(payload);
+    SpinGuard g(chain->latch);
+    for (const RowVersion* v = chain->latest; v != nullptr; v = v->older) {
+      if (Visible(v, snap)) return visit(key, v->data);
+    }
+    return true;  // no visible version for this key; keep scanning
+  });
+}
+
+void MvccRowStore::ApplyCommitted(ChangeOp op, Key key, const Row& row,
+                                  CSN csn) {
+  VersionChain* chain = GetOrCreateChain(key);
+  SpinGuard g(chain->latch);
+  switch (op) {
+    case ChangeOp::kInsert:
+    case ChangeOp::kUpdate: {
+      auto* v = new RowVersion();
+      v->begin.store(csn, std::memory_order_release);
+      v->data = row;
+      v->older = chain->latest;
+      if (chain->latest != nullptr &&
+          chain->latest->end.load(std::memory_order_acquire) == kMaxCSN) {
+        chain->latest->end.store(csn, std::memory_order_release);
+      } else if (chain->latest == nullptr || op == ChangeOp::kInsert) {
+        live_rows_.fetch_add(1, std::memory_order_relaxed);
+      }
+      chain->latest = v;
+      versions_.fetch_add(1, std::memory_order_relaxed);
+      mem_bytes_.fetch_add(sizeof(RowVersion) + row.MemoryBytes(),
+                           std::memory_order_relaxed);
+      break;
+    }
+    case ChangeOp::kDelete: {
+      if (chain->latest != nullptr &&
+          chain->latest->end.load(std::memory_order_acquire) == kMaxCSN) {
+        chain->latest->end.store(csn, std::memory_order_release);
+        live_rows_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+  }
+}
+
+void MvccRowStore::AccountCommittedEntry(const UndoEntry& u) {
+  switch (u.kind) {
+    case UndoEntry::Kind::kInsert:
+      live_rows_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case UndoEntry::Kind::kDelete:
+      live_rows_.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    case UndoEntry::Kind::kUpdate:
+      break;
+  }
+}
+
+void MvccRowStore::RollbackEntry(const UndoEntry& u) {
+  SpinGuard g(u.chain->latch);
+  switch (u.kind) {
+    case UndoEntry::Kind::kInsert: {
+      assert(u.chain->latest == u.new_version);
+      u.chain->latest = u.new_version->older;
+      mem_bytes_.fetch_sub(
+          std::min(mem_bytes_.load(std::memory_order_relaxed),
+                   sizeof(RowVersion) + u.new_version->data.MemoryBytes()),
+          std::memory_order_relaxed);
+      delete u.new_version;
+      versions_.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    }
+    case UndoEntry::Kind::kUpdate: {
+      assert(u.chain->latest == u.new_version);
+      u.chain->latest = u.old_version;
+      u.old_version->end.store(kMaxCSN, std::memory_order_release);
+      mem_bytes_.fetch_sub(
+          std::min(mem_bytes_.load(std::memory_order_relaxed),
+                   sizeof(RowVersion) + u.new_version->data.MemoryBytes()),
+          std::memory_order_relaxed);
+      delete u.new_version;
+      versions_.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    }
+    case UndoEntry::Kind::kDelete: {
+      u.old_version->end.store(kMaxCSN, std::memory_order_release);
+      break;
+    }
+  }
+}
+
+size_t MvccRowStore::Vacuum(CSN watermark) {
+  size_t reclaimed = 0;
+  SpinGuard chains_guard(chains_latch_);
+  for (auto& chain_ptr : chains_) {
+    VersionChain* chain = chain_ptr.get();
+    SpinGuard g(chain->latch);
+    if (chain->latest == nullptr) continue;
+    // Keep the latest version; free any older version whose end CSN is at or
+    // below the watermark (unreachable by every active or future snapshot).
+    RowVersion* keep = chain->latest;
+    RowVersion* v = keep->older;
+    while (v != nullptr) {
+      const uint64_t raw_e = v->end.load(std::memory_order_acquire);
+      if (!IsTxnId(raw_e) && raw_e != kMaxCSN && raw_e <= watermark) {
+        // This and everything older is dead.
+        keep->older = nullptr;
+        while (v != nullptr) {
+          RowVersion* older = v->older;
+          mem_bytes_.fetch_sub(
+              std::min(mem_bytes_.load(std::memory_order_relaxed),
+                       sizeof(RowVersion) + v->data.MemoryBytes()),
+              std::memory_order_relaxed);
+          delete v;
+          versions_.fetch_sub(1, std::memory_order_relaxed);
+          ++reclaimed;
+          v = older;
+        }
+        break;
+      }
+      keep = v;
+      v = v->older;
+    }
+  }
+  return reclaimed;
+}
+
+}  // namespace htap

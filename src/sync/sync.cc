@@ -1,0 +1,161 @@
+#include "sync/sync.h"
+
+#include <unordered_map>
+
+namespace htap {
+
+const char* SyncStrategyName(SyncStrategy s) {
+  switch (s) {
+    case SyncStrategy::kInMemoryMerge: return "in-memory-delta-merge";
+    case SyncStrategy::kLogMerge: return "log-based-delta-merge";
+    case SyncStrategy::kRebuild: return "rebuild-from-primary";
+  }
+  return "?";
+}
+
+void FreshnessTracker::OnCommit(const std::vector<ChangeEvent>& events) {
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  samples_.emplace_back(events.back().csn, clock_->NowMicros());
+  // Bound memory: keep a generous window; freshness questions are about the
+  // recent past.
+  while (samples_.size() > 100000) samples_.pop_front();
+}
+
+Micros FreshnessTracker::TimeLagMicros(CSN visible_csn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Oldest commit newer than what is visible.
+  for (const auto& [csn, t] : samples_) {
+    if (csn > visible_csn) return clock_->NowMicros() - t;
+  }
+  return 0;
+}
+
+DataSynchronizer::DataSynchronizer(SyncStrategy strategy, ColumnTable* table,
+                                   std::unique_ptr<DeltaSource> source,
+                                   const Clock* clock)
+    : strategy_(strategy),
+      table_(table),
+      source_(std::move(source)),
+      clock_(clock) {}
+
+DataSynchronizer::DataSynchronizer(ColumnTable* table,
+                                   const MvccRowStore* primary,
+                                   const Clock* clock)
+    : strategy_(SyncStrategy::kRebuild),
+      table_(table),
+      primary_(primary),
+      clock_(clock) {}
+
+void ApplyEntriesToColumnTable(ColumnTable* table,
+                               const std::vector<DeltaEntry>& entries,
+                               CSN up_to) {
+  // Fold the batch: last write per key wins; deletes drop pending upserts.
+  std::vector<Row> to_append;
+  std::vector<bool> dead;  // parallel to to_append
+  std::unordered_map<Key, size_t> pos;
+  std::vector<Key> deletes;
+
+  for (const DeltaEntry& e : entries) {
+    switch (e.op) {
+      case ChangeOp::kInsert:
+      case ChangeOp::kUpdate: {
+        const auto it = pos.find(e.key);
+        if (it != pos.end()) {
+          to_append[it->second] = e.row;
+          dead[it->second] = false;
+        } else {
+          pos[e.key] = to_append.size();
+          to_append.push_back(e.row);
+          dead.push_back(false);
+        }
+        break;
+      }
+      case ChangeOp::kDelete: {
+        const auto it = pos.find(e.key);
+        if (it != pos.end()) dead[it->second] = true;
+        deletes.push_back(e.key);
+        break;
+      }
+    }
+  }
+
+  for (Key k : deletes) table->DeleteKey(k, 0);
+  std::vector<Row> batch;
+  batch.reserve(to_append.size());
+  for (size_t i = 0; i < to_append.size(); ++i)
+    if (!dead[i]) batch.push_back(std::move(to_append[i]));
+  table->AppendBatch(batch, up_to);
+}
+
+Status DataSynchronizer::SyncTo(CSN target_csn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (target_csn <= table_->merged_csn()) return Status::OK();
+  const Micros t0 = clock_->NowMicros();
+
+  if (strategy_ == SyncStrategy::kRebuild) {
+    if (primary_ == nullptr)
+      return Status::Internal("rebuild synchronizer has no primary store");
+    // Full repopulation from a row-store snapshot.
+    std::vector<Row> rows;
+    rows.reserve(primary_->ApproxRowCount());
+    const Snapshot snap{target_csn, 0};
+    primary_->Scan(snap, [&](Key, const Row& r) {
+      rows.push_back(r);
+      return true;
+    });
+    table_->Clear();
+    table_->AppendBatch(rows, target_csn);
+    stats_.rows_loaded += rows.size();
+  } else {
+    if (source_ == nullptr)
+      return Status::Internal("merge synchronizer has no delta source");
+    const std::vector<DeltaEntry> entries = source_->DrainUpTo(target_csn);
+    ApplyEntriesToColumnTable(table_, entries, target_csn);
+    stats_.entries_merged += entries.size();
+  }
+
+  const Micros dt = clock_->NowMicros() - t0;
+  ++stats_.merges;
+  stats_.last_merge_micros = static_cast<uint64_t>(dt);
+  stats_.merge_micros_total += static_cast<uint64_t>(dt);
+  return Status::OK();
+}
+
+BackgroundSyncer::BackgroundSyncer(DataSynchronizer* sync,
+                                   TransactionManager* txn_mgr,
+                                   Micros interval_micros,
+                                   size_t entry_threshold)
+    : sync_(sync),
+      txn_mgr_(txn_mgr),
+      interval_micros_(interval_micros),
+      entry_threshold_(entry_threshold),
+      thread_([this] { Loop(); }) {}
+
+BackgroundSyncer::~BackgroundSyncer() { Stop(); }
+
+void BackgroundSyncer::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+Status BackgroundSyncer::ForceSync() {
+  return sync_->SyncTo(txn_mgr_->LastCommittedCsn());
+}
+
+void BackgroundSyncer::Loop() {
+  Micros slept = 0;
+  const Micros tick = 1000;  // re-check stop and threshold every 1ms
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(tick));
+    slept += tick;
+    const bool threshold_hit =
+        entry_threshold_ != 0 && sync_->PendingEntries() >= entry_threshold_;
+    if (slept >= interval_micros_ || threshold_hit) {
+      sync_->SyncTo(txn_mgr_->LastCommittedCsn());
+      slept = 0;
+    }
+  }
+}
+
+}  // namespace htap

@@ -1,0 +1,128 @@
+#include "txn/txn_manager.h"
+
+#include <algorithm>
+
+#include "storage/mvcc_row_store.h"
+
+namespace htap {
+
+TransactionManager::TransactionManager(WalWriter* wal) : wal_(wal) {}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  const CSN begin = clock_.load(std::memory_order_acquire);
+  auto txn = std::make_unique<Transaction>(id, begin);
+  {
+    std::lock_guard<std::mutex> lk(active_mu_);
+    active_.emplace(id, txn.get());
+  }
+  return txn;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+
+  if (txn->undo().empty()) {
+    // Read-only: nothing to stamp, log, or publish.
+    txn->set_state(TxnState::kCommitted);
+    std::lock_guard<std::mutex> lk(active_mu_);
+    active_.erase(txn->id());
+    commits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  if (wal_ != nullptr) {
+    WalRecord rec;
+    rec.type = WalRecordType::kCommit;
+    rec.txn_id = txn->id();
+    wal_->Append(rec);
+    HTAP_RETURN_NOT_OK(wal_->Sync());  // group commit point
+  }
+
+  {
+    std::lock_guard<std::mutex> commit_lk(commit_mu_);
+    const CSN csn = clock_.load(std::memory_order_relaxed) + 1;
+    txn->set_commit_csn(csn);
+
+    // Stamp versions: begin fields of created versions, end fields of
+    // superseded/deleted ones; let the owning store settle its counters.
+    for (const UndoEntry& u : txn->undo()) {
+      if (u.new_version != nullptr)
+        u.new_version->begin.store(csn, std::memory_order_release);
+      if (u.old_version != nullptr)
+        u.old_version->end.store(csn, std::memory_order_release);
+      u.store->AccountCommittedEntry(u);
+    }
+    txn->set_state(TxnState::kCommitted);
+    // Make the CSN visible to new snapshots only after stamping, so a
+    // snapshot at `csn` always sees fully stamped versions or resolves the
+    // txn id through GetCommitInfo.
+    clock_.store(csn, std::memory_order_release);
+
+    // Publish in CSN order (still under commit_mu_).
+    if (!txn->changes().empty()) {
+      for (ChangeEvent& ev : txn->changes()) ev.csn = csn;
+      std::lock_guard<std::mutex> slk(sinks_mu_);
+      for (ChangeSink* sink : sinks_) sink->OnCommit(txn->changes());
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(active_mu_);
+    active_.erase(txn->id());
+  }
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  RollbackWrites(txn);
+  if (wal_ != nullptr && !txn->undo().empty()) {
+    WalRecord rec;
+    rec.type = WalRecordType::kAbort;
+    rec.txn_id = txn->id();
+    wal_->Append(rec);  // no sync needed: abort is the default outcome
+  }
+  txn->set_state(TxnState::kAborted);
+  {
+    std::lock_guard<std::mutex> lk(active_mu_);
+    active_.erase(txn->id());
+  }
+  aborts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void TransactionManager::RollbackWrites(Transaction* txn) {
+  auto& undo = txn->undo();
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) it->store->RollbackEntry(*it);
+}
+
+bool TransactionManager::GetCommitInfo(uint64_t txn_id, CSN* commit_csn,
+                                       TxnState* state) const {
+  std::lock_guard<std::mutex> lk(active_mu_);
+  const auto it = active_.find(txn_id);
+  if (it == active_.end()) return false;
+  *state = it->second->state();
+  *commit_csn = it->second->commit_csn();
+  return true;
+}
+
+CSN TransactionManager::Watermark() const {
+  std::lock_guard<std::mutex> lk(active_mu_);
+  CSN wm = clock_.load(std::memory_order_acquire);
+  for (const auto& [id, txn] : active_) wm = std::min(wm, txn->begin_csn());
+  return wm;
+}
+
+void TransactionManager::RegisterSink(ChangeSink* sink) {
+  std::lock_guard<std::mutex> lk(sinks_mu_);
+  sinks_.push_back(sink);
+}
+
+void TransactionManager::UnregisterSink(ChangeSink* sink) {
+  std::lock_guard<std::mutex> lk(sinks_mu_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+}  // namespace htap

@@ -1,0 +1,100 @@
+// TransactionManager: timestamp oracle, snapshot provider, commit/abort
+// protocol, and commit-ordered change publication.
+//
+// This is the "MVCC + logging" technique of Table 2 (TP row): every DML
+// writes a redo record into the WAL (via the row store), commit appends a
+// commit record and group-syncs the log, then stamps versions with the
+// commit CSN and publishes the change events to registered sinks (delta
+// stores, replication streams) in strict CSN order.
+
+#ifndef HTAP_TXN_TXN_MANAGER_H_
+#define HTAP_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/transaction.h"
+#include "txn/types.h"
+#include "wal/wal.h"
+
+namespace htap {
+
+class TransactionManager {
+ public:
+  /// `wal` may be null (no durability; used by pure in-memory configs).
+  explicit TransactionManager(WalWriter* wal = nullptr);
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  /// Starts a transaction with a snapshot of everything committed so far.
+  std::unique_ptr<Transaction> Begin();
+
+  /// Commits: WAL commit record + group sync, CSN assignment, version
+  /// stamping, ordered change publication. After return the Transaction
+  /// object may be destroyed.
+  Status Commit(Transaction* txn);
+
+  /// Rolls back all of the transaction's writes.
+  Status Abort(Transaction* txn);
+
+  /// Read-only snapshot at "now".
+  Snapshot CurrentSnapshot() const {
+    return Snapshot{clock_.load(std::memory_order_acquire), 0};
+  }
+
+  /// Latest committed CSN.
+  CSN LastCommittedCsn() const {
+    return clock_.load(std::memory_order_acquire);
+  }
+
+  /// Commit state of an in-flight-or-committing transaction by id. Returns
+  /// false if unknown (i.e. fully finished and stamped — caller re-reads the
+  /// version stamp).
+  bool GetCommitInfo(uint64_t txn_id, CSN* commit_csn, TxnState* state) const;
+
+  /// Oldest begin CSN among active transactions (or the current clock if
+  /// none): versions dead before this are unreachable and can be vacuumed.
+  CSN Watermark() const;
+
+  /// Registers a sink to receive committed changes in CSN order.
+  void RegisterSink(ChangeSink* sink);
+  void UnregisterSink(ChangeSink* sink);
+
+  // Counters (diagnostics & benchmarks).
+  uint64_t commits() const { return commits_.load(std::memory_order_relaxed); }
+  uint64_t aborts() const { return aborts_.load(std::memory_order_relaxed); }
+  uint64_t conflicts() const {
+    return conflicts_.load(std::memory_order_relaxed);
+  }
+  void RecordConflict() { conflicts_.fetch_add(1, std::memory_order_relaxed); }
+
+  WalWriter* wal() const { return wal_; }
+
+ private:
+  void RollbackWrites(Transaction* txn);
+
+  WalWriter* const wal_;
+  std::atomic<CSN> clock_{1};       // last committed CSN
+  std::atomic<uint64_t> next_txn_id_{kTxnIdBit | 1};
+
+  mutable std::mutex active_mu_;
+  std::unordered_map<uint64_t, Transaction*> active_;
+
+  std::mutex commit_mu_;  // serializes CSN assignment + sink publication
+
+  std::mutex sinks_mu_;
+  std::vector<ChangeSink*> sinks_;
+
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> conflicts_{0};
+};
+
+}  // namespace htap
+
+#endif  // HTAP_TXN_TXN_MANAGER_H_

@@ -1,0 +1,66 @@
+#include "wal/recovery.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace htap {
+
+RecoveryStats ReplayWal(
+    const std::vector<WalRecord>& records,
+    const std::function<void(const WalRecord& rec, CSN csn)>& apply) {
+  RecoveryStats stats;
+  stats.records_scanned = records.size();
+
+  // Pass 1: commit order (position of the commit record in the log).
+  std::unordered_map<uint64_t, CSN> commit_csn;
+  std::unordered_map<uint64_t, bool> aborted;
+  CSN next_csn = 1;
+  for (const WalRecord& r : records) {
+    if (r.type == WalRecordType::kCommit) commit_csn[r.txn_id] = ++next_csn;
+    if (r.type == WalRecordType::kAbort) aborted[r.txn_id] = true;
+  }
+
+  // Pass 2: redo DML of committed transactions, grouped per transaction,
+  // in commit order. Buffer per txn to preserve intra-txn order while
+  // emitting whole transactions by CSN.
+  std::unordered_map<uint64_t, std::vector<const WalRecord*>> dml;
+  for (const WalRecord& r : records) {
+    switch (r.type) {
+      case WalRecordType::kInsert:
+      case WalRecordType::kUpdate:
+      case WalRecordType::kDelete:
+        if (commit_csn.count(r.txn_id) != 0) dml[r.txn_id].push_back(&r);
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::map<CSN, uint64_t> by_csn;
+  for (const auto& [txn, csn] : commit_csn) by_csn[csn] = txn;
+  for (const auto& [csn, txn] : by_csn) {
+    const auto it = dml.find(txn);
+    if (it == dml.end()) continue;
+    for (const WalRecord* r : it->second) {
+      apply(*r, csn);
+      ++stats.changes_applied;
+    }
+    stats.last_csn = csn;
+  }
+
+  stats.txns_committed = commit_csn.size();
+  // Discarded = transactions that wrote DML but never committed.
+  std::unordered_map<uint64_t, bool> seen;
+  for (const WalRecord& r : records) {
+    if (r.type == WalRecordType::kInsert || r.type == WalRecordType::kUpdate ||
+        r.type == WalRecordType::kDelete) {
+      if (commit_csn.count(r.txn_id) == 0 && !seen[r.txn_id]) {
+        seen[r.txn_id] = true;
+        ++stats.txns_discarded;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace htap

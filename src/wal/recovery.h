@@ -1,0 +1,34 @@
+// Crash recovery: redo-replay of a WAL into any state consumer.
+//
+// Two-pass ARIES-lite (redo-only; in-memory stores need no undo since
+// uncommitted changes die with the process): pass 1 finds committed
+// transactions in commit order; pass 2 re-applies their DML records with
+// freshly assigned CSNs.
+
+#ifndef HTAP_WAL_RECOVERY_H_
+#define HTAP_WAL_RECOVERY_H_
+
+#include <functional>
+#include <vector>
+
+#include "wal/wal.h"
+
+namespace htap {
+
+struct RecoveryStats {
+  size_t records_scanned = 0;
+  size_t txns_committed = 0;
+  size_t txns_discarded = 0;  // uncommitted or explicitly aborted
+  size_t changes_applied = 0;
+  CSN last_csn = 0;
+};
+
+/// Replays committed changes in commit order. `apply` receives each DML
+/// record with the CSN of its transaction.
+RecoveryStats ReplayWal(
+    const std::vector<WalRecord>& records,
+    const std::function<void(const WalRecord& rec, CSN csn)>& apply);
+
+}  // namespace htap
+
+#endif  // HTAP_WAL_RECOVERY_H_

@@ -1,0 +1,164 @@
+// B+-tree tests: basic operations, range scans, and a randomized
+// property test against std::map across insert/overwrite/erase mixes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "index/btree.h"
+
+namespace htap {
+namespace {
+
+TEST(BTreeTest, InsertLookup) {
+  BTree t(8);
+  EXPECT_TRUE(t.Insert(5, 50));
+  EXPECT_TRUE(t.Insert(3, 30));
+  uint64_t v = 0;
+  ASSERT_TRUE(t.Lookup(5, &v));
+  EXPECT_EQ(v, 50u);
+  EXPECT_FALSE(t.Lookup(99, &v));
+}
+
+TEST(BTreeTest, InsertOverwrites) {
+  BTree t(8);
+  EXPECT_TRUE(t.Insert(1, 10));
+  EXPECT_FALSE(t.Insert(1, 11));  // existing key: payload replaced
+  uint64_t v;
+  ASSERT_TRUE(t.Lookup(1, &v));
+  EXPECT_EQ(v, 11u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BTreeTest, EraseExistingAndMissing) {
+  BTree t(8);
+  t.Insert(1, 10);
+  EXPECT_TRUE(t.Erase(1));
+  EXPECT_FALSE(t.Erase(1));
+  uint64_t v;
+  EXPECT_FALSE(t.Lookup(1, &v));
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTree t(4);  // tiny order to force deep trees
+  for (Key k = 0; k < 1000; ++k) t.Insert(k, static_cast<uint64_t>(k) * 2);
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_GT(t.height(), 2);
+  for (Key k = 0; k < 1000; ++k) {
+    uint64_t v;
+    ASSERT_TRUE(t.Lookup(k, &v)) << k;
+    EXPECT_EQ(v, static_cast<uint64_t>(k) * 2);
+  }
+}
+
+TEST(BTreeTest, ScanInOrder) {
+  BTree t(8);
+  for (Key k = 100; k > 0; --k) t.Insert(k, static_cast<uint64_t>(k));
+  Key prev = 0;
+  size_t count = 0;
+  t.ScanAll([&](Key k, uint64_t) {
+    EXPECT_GT(k, prev);
+    prev = k;
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(BTreeTest, RangeScanBounds) {
+  BTree t(6);
+  for (Key k = 0; k < 100; k += 2) t.Insert(k, 0);
+  std::vector<Key> seen;
+  t.Scan(11, 21, [&](Key k, uint64_t) {
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<Key>{12, 14, 16, 18, 20}));
+}
+
+TEST(BTreeTest, ScanEarlyStop) {
+  BTree t(6);
+  for (Key k = 0; k < 100; ++k) t.Insert(k, 0);
+  size_t visited = 0;
+  t.ScanAll([&](Key, uint64_t) { return ++visited < 10; });
+  EXPECT_EQ(visited, 10u);
+}
+
+TEST(BTreeTest, NegativeKeys) {
+  BTree t(8);
+  for (Key k = -50; k <= 50; ++k) t.Insert(k, static_cast<uint64_t>(k + 50));
+  uint64_t v;
+  ASSERT_TRUE(t.Lookup(-50, &v));
+  EXPECT_EQ(v, 0u);
+  Key prev = -51;
+  t.ScanAll([&](Key k, uint64_t) {
+    EXPECT_EQ(k, prev + 1);
+    prev = k;
+    return true;
+  });
+  EXPECT_EQ(prev, 50);
+}
+
+// Property: after any random mix of insert/overwrite/erase, contents and
+// iteration order match std::map exactly. Parameterized over tree order.
+class BTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreePropertyTest, MatchesStdMapUnderRandomOps) {
+  const int order = GetParam();
+  BTree t(order);
+  std::map<Key, uint64_t> ref;
+  Random rng(static_cast<uint64_t>(order) * 7919 + 1);
+
+  for (int i = 0; i < 20000; ++i) {
+    const Key k = static_cast<Key>(rng.Uniform(3000));
+    const uint64_t op = rng.Uniform(10);
+    if (op < 6) {
+      const uint64_t payload = rng.Next64();
+      t.Insert(k, payload);
+      ref[k] = payload;
+    } else {
+      const bool t_had = t.Erase(k);
+      const bool ref_had = ref.erase(k) > 0;
+      ASSERT_EQ(t_had, ref_had) << "erase divergence at key " << k;
+    }
+  }
+
+  ASSERT_EQ(t.size(), ref.size());
+  auto it = ref.begin();
+  t.ScanAll([&](Key k, uint64_t v) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_EQ(it, ref.end());
+
+  // Point lookups agree everywhere in the key domain.
+  for (Key k = 0; k < 3000; ++k) {
+    uint64_t v;
+    const bool found = t.Lookup(k, &v);
+    const auto rit = ref.find(k);
+    ASSERT_EQ(found, rit != ref.end()) << k;
+    if (found) EXPECT_EQ(v, rit->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BTreePropertyTest,
+                         ::testing::Values(4, 5, 8, 16, 64, 128));
+
+TEST(BTreeTest, DrainToEmptyAndRefill) {
+  BTree t(4);
+  for (Key k = 0; k < 500; ++k) t.Insert(k, 1);
+  for (Key k = 0; k < 500; ++k) EXPECT_TRUE(t.Erase(k));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  for (Key k = 0; k < 100; ++k) t.Insert(k, 2);
+  EXPECT_EQ(t.size(), 100u);
+  uint64_t v;
+  ASSERT_TRUE(t.Lookup(42, &v));
+  EXPECT_EQ(v, 2u);
+}
+
+}  // namespace
+}  // namespace htap

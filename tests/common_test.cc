@@ -1,0 +1,212 @@
+// Tests for common/: Status/Result, Random/Zipfian, Bitmap, latches,
+// clocks, ThreadPool.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/bitmap.h"
+#include "common/clock.h"
+#include "common/latch.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace htap {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Conflict().IsConflict());
+  EXPECT_TRUE(Status::Aborted().IsAborted());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::InvalidArgument("bad").IsInvalidArgument());
+  EXPECT_EQ(Status::NotFound("key 7").ToString(), "NotFound: key 7");
+  EXPECT_FALSE(Status::Corruption().ok());
+}
+
+TEST(ResultTest, ValueAndStatusPropagation) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> bad(Status::NotFound("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = []() -> Result<int> { return 7; };
+  auto outer = [&]() -> Result<int> {
+    HTAP_ASSIGN_OR_RETURN(int v, inner());
+    return v * 2;
+  };
+  EXPECT_EQ(*outer(), 14);
+
+  auto failing = []() -> Result<int> { return Status::IOError("disk"); };
+  auto outer2 = [&]() -> Result<int> {
+    HTAP_ASSIGN_OR_RETURN(int v, failing());
+    return v;
+  };
+  EXPECT_TRUE(outer2().status().IsIOError());
+}
+
+TEST(RandomTest, DeterministicGivenSeed) {
+  Random a(17), b(17), c(18);
+  EXPECT_EQ(a.Next64(), b.Next64());
+  EXPECT_NE(a.Next64(), c.Next64());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.UniformRange(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(RandomTest, NURandWithinBounds) {
+  Random r(2);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.NURand(8191, 1, 100000);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100000);
+  }
+}
+
+TEST(RandomTest, ZipfianSkewsTowardHead) {
+  ZipfianGenerator z(1000, 0.99, 3);
+  size_t head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (z.Next() < 100) ++head;
+  // With theta=0.99, the top 10% of keys should absorb well over half.
+  EXPECT_GT(head, static_cast<size_t>(n / 2));
+}
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap b(100);
+  EXPECT_FALSE(b.Test(5));
+  b.Set(5);
+  EXPECT_TRUE(b.Test(5));
+  b.Clear(5);
+  EXPECT_FALSE(b.Test(5));
+}
+
+TEST(BitmapTest, GrowsOnDemand) {
+  Bitmap b;
+  b.Set(1000);
+  EXPECT_TRUE(b.Test(1000));
+  EXPECT_FALSE(b.Test(999));
+  EXPECT_GE(b.size(), 1001u);
+}
+
+TEST(BitmapTest, CountAndAnySet) {
+  Bitmap b(256);
+  EXPECT_FALSE(b.AnySet());
+  for (size_t i = 0; i < 256; i += 3) b.Set(i);
+  EXPECT_TRUE(b.AnySet());
+  EXPECT_EQ(b.Count(), (256 + 2) / 3);
+  b.ClearAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitmapTest, UnionWith) {
+  Bitmap a(10), b(64);
+  a.Set(1);
+  b.Set(40);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(40));
+}
+
+TEST(LatchTest, SpinLatchMutualExclusion) {
+  SpinLatch latch;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        SpinGuard g(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(LatchTest, TryLock) {
+  SpinLatch latch;
+  EXPECT_TRUE(latch.TryLock());
+  EXPECT_FALSE(latch.TryLock());
+  latch.Unlock();
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+}
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock c;
+  EXPECT_EQ(c.NowMicros(), 0);
+  c.AdvanceTo(100);
+  EXPECT_EQ(c.NowMicros(), 100);
+  c.AdvanceTo(50);  // never goes backward
+  EXPECT_EQ(c.NowMicros(), 100);
+  c.AdvanceBy(10);
+  EXPECT_EQ(c.NowMicros(), 110);
+}
+
+TEST(ClockTest, WallClockMonotonic) {
+  WallClock* c = WallClock::Default();
+  const Micros a = c->NowMicros();
+  const Micros b = c->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i)
+    pool.Submit([&] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, QuotaLimitsConcurrency) {
+  ThreadPool pool(4);
+  pool.SetConcurrencyQuota(1);
+  std::atomic<int> running{0};
+  std::atomic<int> max_running{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&] {
+      const int cur = running.fetch_add(1) + 1;
+      int prev = max_running.load();
+      while (cur > prev && !max_running.compare_exchange_weak(prev, cur)) {
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      running.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(max_running.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitReturnsWhenIdle) {
+  ThreadPool pool(2);
+  pool.Wait();  // no tasks: returns immediately
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran.store(true); });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace htap

@@ -1,0 +1,216 @@
+// Delta-store tests: all three designs honor the DeltaReader contract
+// (CSN-ordered visibility, drain semantics), plus design-specific behavior
+// (L1->L2 spill, log-delta file decoding and B+-tree key lookups).
+
+#include <gtest/gtest.h>
+
+#include "delta/delta.h"
+
+namespace htap {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", Type::kInt64}, {"v", Type::kInt64}});
+}
+
+DeltaEntry E(ChangeOp op, Key k, int64_t v, CSN csn) {
+  DeltaEntry e;
+  e.op = op;
+  e.key = k;
+  e.csn = csn;
+  if (op != ChangeOp::kDelete) e.row = Row{Value(k), Value(v)};
+  return e;
+}
+
+std::vector<DeltaEntry> Collect(const DeltaReader& r, CSN snap) {
+  std::vector<DeltaEntry> out;
+  r.ScanVisible(snap, [&](const DeltaEntry& e) { out.push_back(e); });
+  return out;
+}
+
+// ---- Shared contract, parameterized over the three designs -----------
+
+enum class DeltaKind { kInMemory, kL1L2, kLog };
+
+class DeltaContractTest : public ::testing::TestWithParam<DeltaKind> {
+ protected:
+  // A thin uniform mutation interface over the three stores.
+  void SetUp() override {
+    switch (GetParam()) {
+      case DeltaKind::kInMemory:
+        mem_ = std::make_unique<InMemoryDeltaStore>();
+        break;
+      case DeltaKind::kL1L2:
+        l1l2_ = std::make_unique<L1L2DeltaStore>(TestSchema(), 4);
+        break;
+      case DeltaKind::kLog:
+        log_ = std::make_unique<LogDeltaStore>();
+        break;
+    }
+  }
+
+  void Append(const DeltaEntry& e) {
+    if (mem_) mem_->Append(e);
+    if (l1l2_) l1l2_->Append(e);
+    if (log_) log_->AppendFile({e});
+  }
+
+  DeltaReader* reader() {
+    if (mem_) return mem_.get();
+    if (l1l2_) return l1l2_.get();
+    return log_.get();
+  }
+
+  std::vector<DeltaEntry> Drain(CSN csn) {
+    if (mem_) return mem_->DrainUpTo(csn);
+    if (l1l2_) return l1l2_->DrainUpTo(csn);
+    return log_->DrainUpTo(csn);
+  }
+
+  std::unique_ptr<InMemoryDeltaStore> mem_;
+  std::unique_ptr<L1L2DeltaStore> l1l2_;
+  std::unique_ptr<LogDeltaStore> log_;
+};
+
+TEST_P(DeltaContractTest, ScanVisibleHonorsSnapshot) {
+  for (CSN c = 1; c <= 10; ++c)
+    Append(E(ChangeOp::kInsert, static_cast<Key>(c), 100 + static_cast<int64_t>(c), c));
+  EXPECT_EQ(Collect(*reader(), 5).size(), 5u);
+  EXPECT_EQ(Collect(*reader(), 0).size(), 0u);
+  EXPECT_EQ(Collect(*reader(), 100).size(), 10u);
+  EXPECT_EQ(reader()->EntryCount(), 10u);
+}
+
+TEST_P(DeltaContractTest, ScanPreservesCommitOrder) {
+  for (CSN c = 1; c <= 20; ++c)
+    Append(E(ChangeOp::kUpdate, static_cast<Key>(c % 3), c, c));
+  const auto entries = Collect(*reader(), 20);
+  ASSERT_EQ(entries.size(), 20u);
+  for (size_t i = 1; i < entries.size(); ++i)
+    EXPECT_LE(entries[i - 1].csn, entries[i].csn);
+}
+
+TEST_P(DeltaContractTest, RowPayloadSurvives) {
+  Append(E(ChangeOp::kInsert, 7, 777, 3));
+  const auto entries = Collect(*reader(), 3);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].row.Get(1).AsInt64(), 777);
+  EXPECT_EQ(entries[0].op, ChangeOp::kInsert);
+}
+
+TEST_P(DeltaContractTest, DeletesCarryNoRow) {
+  Append(E(ChangeOp::kDelete, 7, 0, 1));
+  const auto entries = Collect(*reader(), 1);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].op, ChangeOp::kDelete);
+  EXPECT_TRUE(entries[0].row.empty());
+}
+
+TEST_P(DeltaContractTest, DrainRemovesOnlyOldEntries) {
+  for (CSN c = 1; c <= 10; ++c)
+    Append(E(ChangeOp::kInsert, static_cast<Key>(c), c, c));
+  const auto drained = Drain(6);
+  EXPECT_EQ(drained.size(), 6u);
+  EXPECT_EQ(reader()->EntryCount(), 4u);
+  const auto rest = Collect(*reader(), 100);
+  ASSERT_EQ(rest.size(), 4u);
+  EXPECT_EQ(rest[0].csn, 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDeltaDesigns, DeltaContractTest,
+                         ::testing::Values(DeltaKind::kInMemory,
+                                           DeltaKind::kL1L2,
+                                           DeltaKind::kLog));
+
+// ---- Design-specific behavior ------------------------------------------
+
+TEST(L1L2DeltaTest, SpillsAtThreshold) {
+  L1L2DeltaStore d(TestSchema(), /*l1_spill_threshold=*/8);
+  for (CSN c = 1; c <= 7; ++c) d.Append(E(ChangeOp::kInsert, static_cast<Key>(c), c, c));
+  EXPECT_EQ(d.l1_size(), 7u);
+  EXPECT_EQ(d.l2_size(), 0u);
+  d.Append(E(ChangeOp::kInsert, 8, 8, 8));  // hits the threshold
+  EXPECT_EQ(d.l1_size(), 0u);
+  EXPECT_EQ(d.l2_size(), 8u);
+  // Scan covers both layers in order.
+  d.Append(E(ChangeOp::kInsert, 9, 9, 9));
+  const auto all = Collect(d, 100);
+  ASSERT_EQ(all.size(), 9u);
+  EXPECT_EQ(all.back().csn, 9u);
+}
+
+TEST(L1L2DeltaTest, ManualSpillAndDrainAcrossLayers) {
+  L1L2DeltaStore d(TestSchema(), 1000);
+  for (CSN c = 1; c <= 5; ++c) d.Append(E(ChangeOp::kInsert, static_cast<Key>(c), c, c));
+  d.SpillL1();
+  for (CSN c = 6; c <= 8; ++c) d.Append(E(ChangeOp::kInsert, static_cast<Key>(c), c, c));
+  // Drain cuts through the middle of the L2 chunk.
+  const auto drained = d.DrainUpTo(3);
+  EXPECT_EQ(drained.size(), 3u);
+  EXPECT_EQ(d.EntryCount(), 5u);
+  const auto rest = Collect(d, 100);
+  EXPECT_EQ(rest.front().csn, 4u);
+}
+
+TEST(L1L2DeltaTest, DeletesInColumnarL2RoundTrip) {
+  L1L2DeltaStore d(TestSchema(), 2);
+  d.Append(E(ChangeOp::kInsert, 1, 10, 1));
+  d.Append(E(ChangeOp::kDelete, 1, 0, 2));  // triggers spill of both
+  EXPECT_EQ(d.l2_size(), 2u);
+  const auto all = Collect(d, 10);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[1].op, ChangeOp::kDelete);
+  EXPECT_TRUE(all[1].row.empty());
+}
+
+TEST(LogDeltaTest, FilesAreEncodedAndCounted) {
+  LogDeltaStore d;
+  std::vector<DeltaEntry> batch;
+  for (CSN c = 1; c <= 5; ++c)
+    batch.push_back(E(ChangeOp::kInsert, static_cast<Key>(c), c, c));
+  d.AppendFile(batch);
+  d.AppendFile({E(ChangeOp::kUpdate, 1, 99, 6)});
+  EXPECT_EQ(d.num_files(), 2u);
+  EXPECT_EQ(d.EntryCount(), 6u);
+  EXPECT_EQ(d.bytes_decoded(), 0u);
+  Collect(d, 100);
+  EXPECT_GT(d.bytes_decoded(), 0u);  // reads pay the decode cost
+}
+
+TEST(LogDeltaTest, KeyIndexFindsLatestEntry) {
+  LogDeltaStore d;
+  d.AppendFile({E(ChangeOp::kInsert, 42, 1, 1)});
+  d.AppendFile({E(ChangeOp::kUpdate, 42, 2, 2)});
+  DeltaEntry out;
+  ASSERT_TRUE(d.LookupLatest(42, &out));
+  EXPECT_EQ(out.csn, 2u);
+  EXPECT_EQ(out.row.Get(1).AsInt64(), 2);
+  EXPECT_FALSE(d.LookupLatest(7, &out));
+}
+
+TEST(LogDeltaTest, DrainDropsWholeFilesOnly) {
+  LogDeltaStore d;
+  d.AppendFile({E(ChangeOp::kInsert, 1, 1, 1), E(ChangeOp::kInsert, 2, 2, 2)});
+  d.AppendFile({E(ChangeOp::kInsert, 3, 3, 3), E(ChangeOp::kInsert, 4, 4, 4)});
+  // CSN 3 falls inside file 2: only file 1 (max csn 2) is drained.
+  const auto drained = d.DrainUpTo(3);
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_EQ(d.num_files(), 1u);
+  DeltaEntry out;
+  EXPECT_TRUE(d.LookupLatest(3, &out));  // still resolvable after seq shift
+  EXPECT_FALSE(d.LookupLatest(1, &out));  // merged-away index entry is stale
+}
+
+TEST(InMemoryDeltaTest, MemoryAccountingShrinksOnDrain) {
+  InMemoryDeltaStore d;
+  for (CSN c = 1; c <= 100; ++c)
+    d.Append(E(ChangeOp::kInsert, static_cast<Key>(c), c, c));
+  const size_t before = d.MemoryBytes();
+  EXPECT_GT(before, 0u);
+  d.DrainUpTo(50);
+  EXPECT_LT(d.MemoryBytes(), before);
+  EXPECT_EQ(d.max_csn(), 100u);
+}
+
+}  // namespace
+}  // namespace htap

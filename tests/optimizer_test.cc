@@ -1,0 +1,184 @@
+// Optimizer tests: statistics, selectivity estimation (including where the
+// uniformity assumption breaks — the survey's learned-optimizer motivation),
+// hybrid access-path choice, and the column advisor.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "opt/column_advisor.h"
+#include "opt/optimizer.h"
+
+namespace htap {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", Type::kInt64}, {"v", Type::kInt64},
+                 {"s", Type::kString}});
+}
+
+std::vector<Row> UniformRows(size_t n) {
+  std::vector<Row> rows;
+  Random rng(1);
+  for (size_t i = 0; i < n; ++i)
+    rows.push_back(Row{Value(static_cast<int64_t>(i)),
+                       Value(static_cast<int64_t>(rng.Uniform(100))),
+                       Value("s" + std::to_string(rng.Uniform(10)))});
+  return rows;
+}
+
+TEST(TableStatsTest, ComputesShape) {
+  const auto stats = TableStats::Compute(TestSchema(), UniformRows(1000));
+  EXPECT_EQ(stats.row_count, 1000u);
+  ASSERT_EQ(stats.columns.size(), 3u);
+  EXPECT_EQ(stats.columns[0].min.AsInt64(), 0);
+  EXPECT_EQ(stats.columns[0].max.AsInt64(), 999);
+  EXPECT_NEAR(stats.columns[0].ndv, 1000, 1);
+  EXPECT_NEAR(stats.columns[1].ndv, 100, 5);
+  EXPECT_NEAR(stats.columns[2].ndv, 10, 1);
+}
+
+TEST(SelectivityTest, EqualityUsesNdv) {
+  const auto stats = TableStats::Compute(TestSchema(), UniformRows(1000));
+  const double sel =
+      EstimateSelectivity(Predicate::Eq(1, Value(int64_t{5})), stats);
+  EXPECT_NEAR(sel, 0.01, 0.002);
+}
+
+TEST(SelectivityTest, RangeInterpolates) {
+  const auto stats = TableStats::Compute(TestSchema(), UniformRows(1000));
+  // id < 250 over [0, 999]: about a quarter.
+  const double sel =
+      EstimateSelectivity(Predicate::Lt(0, Value(int64_t{250})), stats);
+  EXPECT_NEAR(sel, 0.25, 0.01);
+  const double sel_hi =
+      EstimateSelectivity(Predicate::Ge(0, Value(int64_t{900})), stats);
+  EXPECT_NEAR(sel_hi, 0.1, 0.01);
+}
+
+TEST(SelectivityTest, ConjunctionAssumesIndependence) {
+  const auto stats = TableStats::Compute(TestSchema(), UniformRows(1000));
+  const auto p = Predicate::And({Predicate::Lt(0, Value(int64_t{500})),
+                                 Predicate::Eq(1, Value(int64_t{7}))});
+  EXPECT_NEAR(EstimateSelectivity(p, stats), 0.5 * 0.01, 0.005);
+}
+
+TEST(SelectivityTest, MisestimatesCorrelatedData) {
+  // v == id % 100: perfectly correlated with id. The conjunction
+  // (id < 100 AND v = id) has true selectivity 0.001 but the independence
+  // assumption predicts 0.1 * 0.01 — this documented failure is the
+  // survey's "learned HTAP optimizer" open problem.
+  std::vector<Row> rows;
+  for (int64_t i = 0; i < 1000; ++i)
+    rows.push_back(Row{Value(i), Value(i % 100), Value("x")});
+  const auto stats = TableStats::Compute(TestSchema(), rows);
+  const auto p = Predicate::And({Predicate::Lt(0, Value(int64_t{100})),
+                                 Predicate::Eq(1, Value(int64_t{42}))});
+  const double est = EstimateSelectivity(p, stats);
+  const double truth = 1.0 / 1000.0;
+  EXPECT_GT(est / truth, 0.5);  // it IS off; assert the direction and size
+  EXPECT_NEAR(est, 0.1 * 0.01, 0.005);
+}
+
+TEST(AccessPathTest, PointLookupPrefersIndex) {
+  const auto stats = TableStats::Compute(TestSchema(), UniformRows(1000));
+  AccessQuery q;
+  q.stats = &stats;
+  auto pred = Predicate::Eq(0, Value(int64_t{7}));
+  q.pred = &pred;
+  q.columns_needed = 3;
+  q.total_columns = 3;
+  q.pk_point_lookup = true;
+  const auto choice = ChooseAccessPath(CostModel{}, q);
+  EXPECT_EQ(choice.path, AccessPath::kRowIndexLookup);
+}
+
+TEST(AccessPathTest, WideAnalyticalScanPrefersColumns) {
+  auto stats = TableStats::Compute(TestSchema(), UniformRows(1000));
+  stats.row_count = 1000000;
+  AccessQuery q;
+  q.stats = &stats;
+  auto pred = Predicate::Gt(1, Value(int64_t{50}));
+  q.pred = &pred;
+  q.columns_needed = 1;  // touches 1 of 20 columns
+  q.total_columns = 20;
+  const auto choice = ChooseAccessPath(CostModel{}, q);
+  EXPECT_EQ(choice.path, AccessPath::kColumnScan);
+  EXPECT_LT(choice.cost, 1000000.0 * 1.0);  // cheaper than the row scan
+}
+
+TEST(AccessPathTest, ColumnUnavailableFallsBackToRows) {
+  auto stats = TableStats::Compute(TestSchema(), UniformRows(100));
+  AccessQuery q;
+  q.stats = &stats;
+  auto pred = Predicate::True();
+  q.pred = &pred;
+  q.columns_needed = 1;
+  q.total_columns = 3;
+  q.column_store_available = false;
+  EXPECT_EQ(ChooseAccessPath(CostModel{}, q).path, AccessPath::kRowFullScan);
+}
+
+TEST(AccessPathTest, HugeDeltaPenalizesColumnScan) {
+  auto stats = TableStats::Compute(TestSchema(), UniformRows(100));
+  stats.row_count = 1000;
+  AccessQuery q;
+  q.stats = &stats;
+  auto pred = Predicate::True();
+  q.pred = &pred;
+  q.columns_needed = 1;
+  q.total_columns = 3;
+  q.delta_entries = 0;
+  EXPECT_EQ(ChooseAccessPath(CostModel{}, q).path, AccessPath::kColumnScan);
+  q.delta_entries = 1000000;  // unmerged backlog makes the union expensive
+  EXPECT_EQ(ChooseAccessPath(CostModel{}, q).path, AccessPath::kRowFullScan);
+}
+
+TEST(ColumnAdvisorTest, SelectsHotColumnsUnderBudget) {
+  ColumnAdvisor advisor;
+  // Columns 1 and 3 are hot; all columns cost 100 bytes.
+  for (int i = 0; i < 50; ++i) advisor.RecordAccess("t", {1, 3});
+  advisor.RecordAccess("t", {0});
+  const auto sel = advisor.Advise("t", {100, 100, 100, 100}, 250);
+  // Budget fits the two hot columns; the barely-touched column 0 misses out.
+  EXPECT_EQ(sel.columns, (std::vector<int>{1, 3}));
+  EXPECT_EQ(sel.bytes_used, 200u);
+}
+
+TEST(ColumnAdvisorTest, BudgetExcludesExpensiveColdColumns) {
+  ColumnAdvisor advisor;
+  for (int i = 0; i < 50; ++i) advisor.RecordAccess("t", {1});
+  advisor.RecordAccess("t", {2});
+  // Column 2 is huge and barely used: it must not evict the hot column.
+  const auto sel = advisor.Advise("t", {10, 10, 1000}, 100);
+  EXPECT_EQ(sel.columns, (std::vector<int>{1}));
+  EXPECT_GT(sel.heat_covered, 0.9);
+}
+
+TEST(ColumnAdvisorTest, ColdColumnsNeverSelected) {
+  ColumnAdvisor advisor;
+  advisor.RecordAccess("t", {0});
+  const auto sel = advisor.Advise("t", {10, 10, 10}, 1000);
+  EXPECT_EQ(sel.columns, (std::vector<int>{0}));
+}
+
+TEST(ColumnAdvisorTest, DecayFollowsWorkloadDrift) {
+  ColumnAdvisor advisor(/*decay=*/0.1);
+  for (int i = 0; i < 100; ++i) advisor.RecordAccess("t", {0});
+  for (int i = 0; i < 5; ++i) advisor.Decay();
+  for (int i = 0; i < 10; ++i) advisor.RecordAccess("t", {1});
+  const auto heat = advisor.Heat("t");
+  EXPECT_GT(heat[1], heat[0]);  // recent column 1 beats decayed column 0
+}
+
+TEST(ColumnAdvisorTest, EstimateColumnBytesScalesWithWidthAndRows) {
+  auto stats = TableStats::Compute(
+      TestSchema(), {Row{Value(int64_t{1}), Value(int64_t{2}),
+                         Value(std::string(100, 'x'))}});
+  stats.row_count = 1000;
+  const auto bytes = EstimateColumnBytes(TestSchema(), stats);
+  ASSERT_EQ(bytes.size(), 3u);
+  EXPECT_GT(bytes[2], bytes[0] * 5);  // the wide string column dominates
+}
+
+}  // namespace
+}  // namespace htap

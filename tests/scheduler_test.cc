@@ -1,0 +1,105 @@
+// Resource-scheduler tests: task routing and counting, workload-driven
+// quota shifting, freshness-driven mode switching.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sched/scheduler.h"
+
+namespace htap {
+namespace {
+
+TEST(SchedulerTest, RunsAndCountsBothClasses) {
+  ResourceScheduler::Options opts;
+  ResourceScheduler sched(opts);
+  std::atomic<int> tp{0}, ap{0};
+  for (int i = 0; i < 50; ++i) sched.SubmitOltp([&] { tp.fetch_add(1); });
+  for (int i = 0; i < 20; ++i) sched.SubmitOlap([&] { ap.fetch_add(1); });
+  sched.Drain();
+  EXPECT_EQ(tp.load(), 50);
+  EXPECT_EQ(ap.load(), 20);
+  EXPECT_EQ(sched.oltp_completed(), 50u);
+  EXPECT_EQ(sched.olap_completed(), 20u);
+}
+
+TEST(SchedulerTest, StaticPolicyKeepsQuotasFixed) {
+  ResourceScheduler::Options opts;
+  opts.policy = SchedulingPolicy::kStatic;
+  opts.oltp_threads = 3;
+  opts.olap_threads = 2;
+  ResourceScheduler sched(opts);
+  EXPECT_EQ(sched.oltp_quota(), 3u);
+  EXPECT_EQ(sched.olap_quota(), 2u);
+  EXPECT_EQ(sched.mode_switches(), 0u);
+}
+
+TEST(SchedulerTest, WorkloadDrivenShiftsQuotaTowardBacklog) {
+  ResourceScheduler::Options opts;
+  opts.policy = SchedulingPolicy::kWorkloadDriven;
+  opts.oltp_threads = 4;
+  opts.olap_threads = 4;
+  opts.adjust_interval_micros = 1000;
+  ResourceScheduler sched(opts);
+
+  // Pile a deep OLTP backlog while OLAP sits idle; each task is slow
+  // enough that the controller observes the queue.
+  for (int i = 0; i < 400; ++i) {
+    sched.SubmitOltp([] {
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_GT(sched.oltp_quota(), sched.olap_quota());
+  sched.Drain();
+}
+
+TEST(SchedulerTest, FreshnessDrivenSwitchesModes) {
+  std::atomic<Micros> lag{100000};  // violating the SLA
+  std::atomic<int> syncs{0};
+  ResourceScheduler::Options opts;
+  opts.policy = SchedulingPolicy::kFreshnessDriven;
+  opts.adjust_interval_micros = 1000;
+  opts.freshness_sla_micros = 20000;
+  ResourceScheduler sched(
+      opts, [&] { return lag.load(); },
+      [&] {
+        syncs.fetch_add(1);
+        lag.store(0);  // the forced merge restores freshness
+      });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(syncs.load(), 1);                        // SLA violation forced a sync
+  EXPECT_GE(sched.mode_switches(), 2u);              // shared, then back
+  EXPECT_EQ(sched.mode(), ExecutionMode::kIsolated);  // fresh again
+
+  lag.store(50000);  // violate again
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(syncs.load(), 2);
+  sched.Stop();
+}
+
+TEST(SchedulerTest, FreshnessDrivenStaysIsolatedWhenFresh) {
+  std::atomic<int> syncs{0};
+  ResourceScheduler::Options opts;
+  opts.policy = SchedulingPolicy::kFreshnessDriven;
+  opts.adjust_interval_micros = 1000;
+  opts.freshness_sla_micros = 20000;
+  ResourceScheduler sched(opts, [] { return Micros{100}; },
+                          [&] { syncs.fetch_add(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_EQ(syncs.load(), 0);
+  EXPECT_EQ(sched.mode(), ExecutionMode::kIsolated);
+  EXPECT_EQ(sched.mode_switches(), 0u);
+}
+
+TEST(SchedulerPolicyTest, Names) {
+  EXPECT_STREQ(SchedulingPolicyName(SchedulingPolicy::kStatic), "static");
+  EXPECT_STREQ(SchedulingPolicyName(SchedulingPolicy::kWorkloadDriven),
+               "workload-driven");
+  EXPECT_STREQ(SchedulingPolicyName(SchedulingPolicy::kFreshnessDriven),
+               "freshness-driven");
+}
+
+}  // namespace
+}  // namespace htap

@@ -1,0 +1,132 @@
+// Tests for types/: Value semantics, comparison, hashing, codec; Schema
+// validation; Row codec.
+
+#include <gtest/gtest.h>
+
+#include "types/row.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace htap {
+namespace {
+
+TEST(ValueTest, NullSemantics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(Value::Null(), Value());
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  EXPECT_EQ(Value(int64_t{7}).type(), Type::kInt64);
+  EXPECT_EQ(Value(1.0).type(), Type::kDouble);
+  EXPECT_EQ(Value("x").type(), Type::kString);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(1.5)), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(int64_t{2})), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value(int64_t{0})), 0);
+  EXPECT_LT(Value::Null().Compare(Value("")), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("abc").Compare(Value("abc")), 0);
+  // Numbers sort before strings (total order for mixed columns).
+  EXPECT_LT(Value(int64_t{999}).Compare(Value("0")), 0);
+}
+
+TEST(ValueTest, HashConsistentForEqualValues) {
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+  EXPECT_EQ(Value("key").Hash(), Value("key").Hash());
+  // Integral doubles hash like their integers (join-key compatibility).
+  EXPECT_EQ(Value(5.0).Hash(), Value(int64_t{5}).Hash());
+  EXPECT_NE(Value(int64_t{5}).Hash(), Value(int64_t{6}).Hash());
+}
+
+TEST(ValueTest, CodecRoundTrip) {
+  const Value cases[] = {Value::Null(), Value(int64_t{-17}),
+                         Value(int64_t{1} << 62), Value(2.75), Value(""),
+                         Value("hello world"), Value(std::string(1000, 'x'))};
+  std::string buf;
+  for (const Value& v : cases) v.EncodeTo(&buf);
+  size_t pos = 0;
+  for (const Value& expected : cases) {
+    Value got;
+    ASSERT_TRUE(Value::DecodeFrom(buf, &pos, &got));
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(ValueTest, DecodeRejectsTruncation) {
+  std::string buf;
+  Value("hello").EncodeTo(&buf);
+  buf.resize(buf.size() - 2);
+  size_t pos = 0;
+  Value out;
+  EXPECT_FALSE(Value::DecodeFrom(buf, &pos, &out));
+}
+
+TEST(SchemaTest, ValidateRequirements) {
+  EXPECT_TRUE(Schema({{"id", Type::kInt64}}).Validate().ok());
+  EXPECT_FALSE(Schema(std::vector<ColumnDef>{}).Validate().ok());
+  // PK must be INT64.
+  EXPECT_FALSE(Schema({{"name", Type::kString}}).Validate().ok());
+  // Duplicate names rejected.
+  EXPECT_FALSE(Schema({{"a", Type::kInt64}, {"a", Type::kInt64}})
+                   .Validate()
+                   .ok());
+  // PK index out of range rejected.
+  EXPECT_FALSE(Schema({{"id", Type::kInt64}}, 3).Validate().ok());
+}
+
+TEST(SchemaTest, FindColumnAndProject) {
+  Schema s({{"id", Type::kInt64}, {"name", Type::kString},
+            {"price", Type::kDouble}});
+  EXPECT_EQ(s.FindColumn("price"), 2);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+  Schema p = s.Project({2, 0});
+  EXPECT_EQ(p.num_columns(), 2u);
+  EXPECT_EQ(p.column(0).name, "price");
+  EXPECT_EQ(p.column(1).name, "id");
+}
+
+TEST(RowTest, KeyExtraction) {
+  Schema s({{"a", Type::kString}, {"id", Type::kInt64}}, /*pk_index=*/1);
+  ASSERT_TRUE(s.Validate().ok());
+  Row r{Value("x"), Value(int64_t{99})};
+  EXPECT_EQ(r.GetKey(s), 99);
+}
+
+TEST(RowTest, CodecRoundTrip) {
+  Row r{Value(int64_t{1}), Value::Null(), Value(2.5), Value("abc")};
+  std::string buf;
+  r.EncodeTo(&buf);
+  size_t pos = 0;
+  Row got;
+  ASSERT_TRUE(Row::DecodeFrom(buf, &pos, &got));
+  EXPECT_EQ(got, r);
+}
+
+TEST(RowTest, EmptyRowRoundTrip) {
+  Row r;
+  std::string buf;
+  r.EncodeTo(&buf);
+  size_t pos = 0;
+  Row got{Value(int64_t{1})};
+  ASSERT_TRUE(Row::DecodeFrom(buf, &pos, &got));
+  EXPECT_TRUE(got.empty());
+}
+
+}  // namespace
+}  // namespace htap

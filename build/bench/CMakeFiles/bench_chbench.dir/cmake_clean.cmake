@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chbench.dir/bench_chbench.cc.o"
+  "CMakeFiles/bench_chbench.dir/bench_chbench.cc.o.d"
+  "bench_chbench"
+  "bench_chbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_dataflow.dir/bench_fig1_dataflow.cc.o"
+  "CMakeFiles/bench_fig1_dataflow.dir/bench_fig1_dataflow.cc.o.d"
+  "bench_fig1_dataflow"
+  "bench_fig1_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

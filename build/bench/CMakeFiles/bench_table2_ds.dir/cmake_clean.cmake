@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ds.dir/bench_table2_ds.cc.o"
+  "CMakeFiles/bench_table2_ds.dir/bench_table2_ds.cc.o.d"
+  "bench_table2_ds"
+  "bench_table2_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_qo.dir/bench_table2_qo.cc.o"
+  "CMakeFiles/bench_table2_qo.dir/bench_table2_qo.cc.o.d"
+  "bench_table2_qo"
+  "bench_table2_qo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_qo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_rs.dir/bench_table2_rs.cc.o"
+  "CMakeFiles/bench_table2_rs.dir/bench_table2_rs.cc.o.d"
+  "bench_table2_rs"
+  "bench_table2_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

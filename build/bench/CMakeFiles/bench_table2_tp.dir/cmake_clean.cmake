@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tp.dir/bench_table2_tp.cc.o"
+  "CMakeFiles/bench_table2_tp.dir/bench_table2_tp.cc.o.d"
+  "bench_table2_tp"
+  "bench_table2_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

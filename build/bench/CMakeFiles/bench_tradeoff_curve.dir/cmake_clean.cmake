@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tradeoff_curve.dir/bench_tradeoff_curve.cc.o"
+  "CMakeFiles/bench_tradeoff_curve.dir/bench_tradeoff_curve.cc.o.d"
+  "bench_tradeoff_curve"
+  "bench_tradeoff_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tradeoff_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

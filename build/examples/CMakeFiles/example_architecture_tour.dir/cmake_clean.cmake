@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_architecture_tour.dir/architecture_tour.cpp.o"
+  "CMakeFiles/example_architecture_tour.dir/architecture_tour.cpp.o.d"
+  "example_architecture_tour"
+  "example_architecture_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_architecture_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

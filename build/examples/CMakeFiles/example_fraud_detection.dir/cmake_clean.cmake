@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fraud_detection.dir/fraud_detection.cpp.o"
+  "CMakeFiles/example_fraud_detection.dir/fraud_detection.cpp.o.d"
+  "example_fraud_detection"
+  "example_fraud_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fraud_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

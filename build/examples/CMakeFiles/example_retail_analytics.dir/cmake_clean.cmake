@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_retail_analytics.dir/retail_analytics.cpp.o"
+  "CMakeFiles/example_retail_analytics.dir/retail_analytics.cpp.o.d"
+  "example_retail_analytics"
+  "example_retail_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_retail_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

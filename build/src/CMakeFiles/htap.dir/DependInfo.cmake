@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchlib/adapt.cc" "src/CMakeFiles/htap.dir/benchlib/adapt.cc.o" "gcc" "src/CMakeFiles/htap.dir/benchlib/adapt.cc.o.d"
+  "/root/repo/src/benchlib/chbench.cc" "src/CMakeFiles/htap.dir/benchlib/chbench.cc.o" "gcc" "src/CMakeFiles/htap.dir/benchlib/chbench.cc.o.d"
+  "/root/repo/src/benchlib/driver.cc" "src/CMakeFiles/htap.dir/benchlib/driver.cc.o" "gcc" "src/CMakeFiles/htap.dir/benchlib/driver.cc.o.d"
+  "/root/repo/src/columnar/column_table.cc" "src/CMakeFiles/htap.dir/columnar/column_table.cc.o" "gcc" "src/CMakeFiles/htap.dir/columnar/column_table.cc.o.d"
+  "/root/repo/src/columnar/encoding.cc" "src/CMakeFiles/htap.dir/columnar/encoding.cc.o" "gcc" "src/CMakeFiles/htap.dir/columnar/encoding.cc.o.d"
+  "/root/repo/src/columnar/segment.cc" "src/CMakeFiles/htap.dir/columnar/segment.cc.o" "gcc" "src/CMakeFiles/htap.dir/columnar/segment.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/htap.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/htap.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/CMakeFiles/htap.dir/core/database.cc.o" "gcc" "src/CMakeFiles/htap.dir/core/database.cc.o.d"
+  "/root/repo/src/core/engine_deltamain.cc" "src/CMakeFiles/htap.dir/core/engine_deltamain.cc.o" "gcc" "src/CMakeFiles/htap.dir/core/engine_deltamain.cc.o.d"
+  "/root/repo/src/core/engine_disk.cc" "src/CMakeFiles/htap.dir/core/engine_disk.cc.o" "gcc" "src/CMakeFiles/htap.dir/core/engine_disk.cc.o.d"
+  "/root/repo/src/core/engine_dist.cc" "src/CMakeFiles/htap.dir/core/engine_dist.cc.o" "gcc" "src/CMakeFiles/htap.dir/core/engine_dist.cc.o.d"
+  "/root/repo/src/core/engine_inmemory.cc" "src/CMakeFiles/htap.dir/core/engine_inmemory.cc.o" "gcc" "src/CMakeFiles/htap.dir/core/engine_inmemory.cc.o.d"
+  "/root/repo/src/core/query_runner.cc" "src/CMakeFiles/htap.dir/core/query_runner.cc.o" "gcc" "src/CMakeFiles/htap.dir/core/query_runner.cc.o.d"
+  "/root/repo/src/delta/delta.cc" "src/CMakeFiles/htap.dir/delta/delta.cc.o" "gcc" "src/CMakeFiles/htap.dir/delta/delta.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/htap.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/htap.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/htap.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/htap.dir/exec/expression.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/htap.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/htap.dir/index/btree.cc.o.d"
+  "/root/repo/src/opt/column_advisor.cc" "src/CMakeFiles/htap.dir/opt/column_advisor.cc.o" "gcc" "src/CMakeFiles/htap.dir/opt/column_advisor.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/CMakeFiles/htap.dir/opt/optimizer.cc.o" "gcc" "src/CMakeFiles/htap.dir/opt/optimizer.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/htap.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/htap.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sim/dist_db.cc" "src/CMakeFiles/htap.dir/sim/dist_db.cc.o" "gcc" "src/CMakeFiles/htap.dir/sim/dist_db.cc.o.d"
+  "/root/repo/src/sim/raft.cc" "src/CMakeFiles/htap.dir/sim/raft.cc.o" "gcc" "src/CMakeFiles/htap.dir/sim/raft.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/htap.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/htap.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/htap.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/htap.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/disk_row_store.cc" "src/CMakeFiles/htap.dir/storage/disk_row_store.cc.o" "gcc" "src/CMakeFiles/htap.dir/storage/disk_row_store.cc.o.d"
+  "/root/repo/src/storage/mvcc_row_store.cc" "src/CMakeFiles/htap.dir/storage/mvcc_row_store.cc.o" "gcc" "src/CMakeFiles/htap.dir/storage/mvcc_row_store.cc.o.d"
+  "/root/repo/src/sync/sync.cc" "src/CMakeFiles/htap.dir/sync/sync.cc.o" "gcc" "src/CMakeFiles/htap.dir/sync/sync.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/CMakeFiles/htap.dir/txn/txn_manager.cc.o" "gcc" "src/CMakeFiles/htap.dir/txn/txn_manager.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/htap.dir/types/value.cc.o" "gcc" "src/CMakeFiles/htap.dir/types/value.cc.o.d"
+  "/root/repo/src/wal/recovery.cc" "src/CMakeFiles/htap.dir/wal/recovery.cc.o" "gcc" "src/CMakeFiles/htap.dir/wal/recovery.cc.o.d"
+  "/root/repo/src/wal/wal.cc" "src/CMakeFiles/htap.dir/wal/wal.cc.o" "gcc" "src/CMakeFiles/htap.dir/wal/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chbench_test.dir/chbench_test.cc.o"
+  "CMakeFiles/chbench_test.dir/chbench_test.cc.o.d"
+  "chbench_test"
+  "chbench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_row_store_test.dir/disk_row_store_test.cc.o"
+  "CMakeFiles/disk_row_store_test.dir/disk_row_store_test.cc.o.d"
+  "disk_row_store_test"
+  "disk_row_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_row_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_db_test.dir/dist_db_test.cc.o"
+  "CMakeFiles/dist_db_test.dir/dist_db_test.cc.o.d"
+  "dist_db_test"
+  "dist_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -18,7 +18,8 @@ namespace bench {
 /// Fresh database of the given architecture with a scratch data dir.
 inline std::unique_ptr<Database> MakeDb(ArchitectureKind arch,
                                         int dist_shards = 3,
-                                        bool background_sync = true) {
+                                        bool background_sync = true,
+                                        size_t parallel_scan_threads = 0) {
   static int counter = 0;
   const std::string dir =
       "/tmp/htap_bench_" + std::to_string(getpid()) + "_" +
@@ -31,6 +32,7 @@ inline std::unique_ptr<Database> MakeDb(ArchitectureKind arch,
   opts.sync_interval_micros = 10000;
   opts.dist.num_shards = dist_shards;
   opts.dist.learner_merge_interval = 20000;
+  opts.parallel_scan_threads = parallel_scan_threads;
   // Architecture (c) is the disk-based RDBMS: commits flush the WAL.
   if (arch == ArchitectureKind::kDiskRowPlusDistributedColumn)
     opts.sync_on_commit = true;

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the concurrency
+# tests (parallel scan/aggregate, columnar, executor, pools, sync,
+# scheduler). Usage: ./ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")"
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure
+
+echo "== tsan: concurrency tests =="
+TSAN_TESTS=(parallel_scan_test columnar_test executor_test common_test
+            sync_test scheduler_test)
+cmake -B build-tsan -S . -DHTAP_TSAN=ON > /dev/null
+cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
+for t in "${TSAN_TESTS[@]}"; do
+  echo "-- $t (tsan)"
+  ./build-tsan/tests/"$t" --gtest_brief=1
+done
+
+echo "CI OK"

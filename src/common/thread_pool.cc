@@ -2,6 +2,29 @@
 
 namespace htap {
 
+void TaskGroup::Run(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pending_;
+  }
+  std::function<void()> wrapped = [this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  };
+  // Pool shutting down: run on the caller so Wait() still terminates.
+  if (!pool_->Submit(wrapped)) wrapped();
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return pending_ == 0; });
+}
+
 ThreadPool::ThreadPool(size_t num_threads, std::string name)
     : name_(std::move(name)) {
   if (num_threads == 0) num_threads = 1;

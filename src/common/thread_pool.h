@@ -15,6 +15,34 @@
 
 namespace htap {
 
+class ThreadPool;
+
+/// Completion tracking for one batch of tasks on a shared pool. A query
+/// fans its morsels out through Run() and blocks in Wait() for exactly its
+/// own tasks — unlike ThreadPool::Wait(), which drains the whole pool and
+/// would couple unrelated queries. Falls back to inline execution when the
+/// pool is absent or shutting down, so callers never need a serial branch.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Schedules `task` on the pool (or runs it inline if there is none).
+  void Run(std::function<void()> task);
+
+  /// Blocks until every task passed to Run() has finished.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+};
+
 /// A pool of worker threads draining a FIFO task queue.
 class ThreadPool {
  public:

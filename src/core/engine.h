@@ -18,6 +18,8 @@
 
 namespace htap {
 
+class ThreadPool;
+
 struct TableInfo {
   uint32_t id = 0;
   std::string name;
@@ -96,6 +98,11 @@ class HtapEngine {
   virtual Status ForceSync(const TableInfo& table) = 0;
   virtual FreshnessInfo Freshness(const TableInfo& table) = 0;
   virtual EngineStats Stats() = 0;
+
+  /// The pool executing parallel-scan morsels, or null when this engine
+  /// runs analytics serially. The resource scheduler throttles analytical
+  /// CPU through this pool's SetConcurrencyQuota.
+  virtual ThreadPool* ApScanPool() { return nullptr; }
 };
 
 }  // namespace htap

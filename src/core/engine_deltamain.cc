@@ -29,7 +29,8 @@ DeltaMainHtapEngine::DeltaMainHtapEngine(const DatabaseOptions& options,
     : options_(options),
       catalog_(catalog),
       wal_(MakeWal(options, "deltamain")),
-      layer_(wal_.get()) {
+      layer_(wal_.get()),
+      ap_(options_) {
   layer_.txn_mgr()->RegisterSink(this);
   layer_.txn_mgr()->RegisterSink(&freshness_);
   if (options_.background_sync) {
@@ -121,13 +122,13 @@ Result<std::vector<Row>> DeltaMainHtapEngine::Scan(const ScanRequest& req,
     if (path_desc != nullptr) *path_desc = "delta-row-scan";
     return ScanRowStore(*layer_.store(req.table->id),
                         layer_.txn_mgr()->CurrentSnapshot(), *req.pred,
-                        req.projection);
+                        req.projection, ap_.ctx());
   }
   if (path_desc != nullptr) *path_desc = "main+l2+l1-scan";
   const DeltaReader* delta = req.require_fresh ? ts->delta.get() : nullptr;
   return ScanHtap(*ts->main, delta,
                   layer_.txn_mgr()->CurrentSnapshot().begin_csn, *req.pred,
-                  req.projection, stats);
+                  req.projection, ap_.ctx(), stats);
 }
 
 Result<QueryResult> DeltaMainHtapEngine::Execute(const QueryPlan& plan,
@@ -135,7 +136,7 @@ Result<QueryResult> DeltaMainHtapEngine::Execute(const QueryPlan& plan,
   return RunPlan(plan, *catalog_,
                  [this](const ScanRequest& req, ScanStats* stats,
                         std::string* desc) { return Scan(req, stats, desc); },
-                 info);
+                 info, ap_.ctx());
 }
 
 Status DeltaMainHtapEngine::ForceSync(const TableInfo& tbl) {

@@ -107,7 +107,8 @@ DiskHtapEngine::DiskHtapEngine(const DatabaseOptions& options,
     : options_(options),
       catalog_(catalog),
       wal_(MakeWal(options, "diskrow")),
-      layer_(wal_.get()) {
+      layer_(wal_.get()),
+      ap_(options_) {
   layer_.txn_mgr()->RegisterSink(this);
   layer_.txn_mgr()->RegisterSink(&freshness_);
 }
@@ -340,7 +341,7 @@ Result<std::vector<Row>> DiskHtapEngine::Scan(const ScanRequest& req,
     ProjectingDeltaReader delta(ts->delta.get(), ts->loaded);
     return ScanHtap(*ts->imcs, req.require_fresh ? &delta : nullptr,
                     layer_.txn_mgr()->LastCommittedCsn(), imcs_pred,
-                    imcs_proj, stats);
+                    imcs_proj, ap_.ctx(), stats);
   }
 
   // Row fallback: scan the disk heap through the buffer pool.
@@ -367,7 +368,7 @@ Result<QueryResult> DiskHtapEngine::Execute(const QueryPlan& plan,
   return RunPlan(plan, *catalog_,
                  [this](const ScanRequest& req, ScanStats* stats,
                         std::string* desc) { return Scan(req, stats, desc); },
-                 info);
+                 info, ap_.ctx());
 }
 
 Status DiskHtapEngine::ForceSync(const TableInfo& tbl) {

@@ -49,7 +49,8 @@ InMemoryHtapEngine::InMemoryHtapEngine(const DatabaseOptions& options,
     : options_(options),
       catalog_(catalog),
       wal_(MakeWal(options, "inmemory")),
-      layer_(wal_.get()) {
+      layer_(wal_.get()),
+      ap_(options_) {
   layer_.txn_mgr()->RegisterSink(this);
   layer_.txn_mgr()->RegisterSink(&freshness_);
   if (options_.background_sync) {
@@ -203,9 +204,9 @@ Result<std::vector<Row>> InMemoryHtapEngine::Scan(const ScanRequest& req,
   if (path == AccessPath::kColumnScan) {
     const DeltaReader* delta = req.require_fresh ? ts->delta.get() : nullptr;
     return ScanHtap(*ts->columns, delta, snap.begin_csn, *req.pred,
-                    req.projection, stats);
+                    req.projection, ap_.ctx(), stats);
   }
-  return ScanRowStore(*store, snap, *req.pred, req.projection);
+  return ScanRowStore(*store, snap, *req.pred, req.projection, ap_.ctx());
 }
 
 Result<QueryResult> InMemoryHtapEngine::Execute(const QueryPlan& plan,
@@ -213,7 +214,7 @@ Result<QueryResult> InMemoryHtapEngine::Execute(const QueryPlan& plan,
   return RunPlan(plan, *catalog_,
                  [this](const ScanRequest& req, ScanStats* stats,
                         std::string* desc) { return Scan(req, stats, desc); },
-                 info);
+                 info, ap_.ctx());
 }
 
 Status InMemoryHtapEngine::ForceSync(const TableInfo& tbl) {

@@ -15,6 +15,7 @@
 
 #include <unordered_map>
 
+#include "common/thread_pool.h"
 #include "core/catalog.h"
 #include "core/options.h"
 #include "core/query_runner.h"
@@ -24,6 +25,20 @@
 #include "storage/disk_row_store.h"
 
 namespace htap {
+
+/// The engine-owned AP scan pool powering morsel-driven parallel scans.
+/// No pool is created when the effective thread count is 1 (serial).
+struct ApScanRuntime {
+  std::unique_ptr<ThreadPool> pool;
+  size_t threads = 1;
+
+  explicit ApScanRuntime(const DatabaseOptions& options)
+      : threads(EffectiveParallelScanThreads(options)) {
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads, "ap-scan");
+  }
+
+  ExecContext ctx() const { return ExecContext{pool.get(), threads}; }
+};
 
 // ---------------------------------------------------------------------------
 // (a) Primary row store + in-memory column store
@@ -50,6 +65,7 @@ class InMemoryHtapEngine : public HtapEngine, public ChangeSink {
   EngineStats Stats() override;
 
   void OnCommit(const std::vector<ChangeEvent>& events) override;
+  ThreadPool* ApScanPool() override { return ap_.pool.get(); }
 
   TransactionManager* txn_mgr() { return layer_.txn_mgr(); }
   ColumnTable* column_table(uint32_t table_id);
@@ -75,6 +91,7 @@ class InMemoryHtapEngine : public HtapEngine, public ChangeSink {
   RowTxnLayer layer_;
   FreshnessTracker freshness_;
   ColumnAdvisor advisor_;
+  ApScanRuntime ap_;
   std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_;
   std::unique_ptr<SyncDaemon> daemon_;
   mutable std::mutex tables_mu_;
@@ -105,6 +122,7 @@ class DeltaMainHtapEngine : public HtapEngine, public ChangeSink {
   EngineStats Stats() override;
 
   void OnCommit(const std::vector<ChangeEvent>& events) override;
+  ThreadPool* ApScanPool() override { return ap_.pool.get(); }
 
   L1L2DeltaStore* delta(uint32_t table_id);
   ColumnTable* main(uint32_t table_id);
@@ -125,6 +143,7 @@ class DeltaMainHtapEngine : public HtapEngine, public ChangeSink {
   std::unique_ptr<WalWriter> wal_;
   RowTxnLayer layer_;  // the delta row store with MVCC semantics
   FreshnessTracker freshness_;
+  ApScanRuntime ap_;
   std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_;
   std::unique_ptr<SyncDaemon> daemon_;
   mutable std::mutex tables_mu_;
@@ -155,6 +174,7 @@ class DiskHtapEngine : public HtapEngine, public ChangeSink {
   EngineStats Stats() override;
 
   void OnCommit(const std::vector<ChangeEvent>& events) override;
+  ThreadPool* ApScanPool() override { return ap_.pool.get(); }
 
   /// Re-runs the column advisor and reloads the IMCS with the selected
   /// columns under the configured memory budget. Returns the selection.
@@ -187,6 +207,7 @@ class DiskHtapEngine : public HtapEngine, public ChangeSink {
   RowTxnLayer layer_;
   FreshnessTracker freshness_;
   ColumnAdvisor advisor_;
+  ApScanRuntime ap_;
   std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_;
   mutable std::mutex tables_mu_;
 };

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <thread>
 
 #include "common/clock.h"
 #include "sim/dist_db.h"
@@ -53,12 +54,25 @@ struct DatabaseOptions {
   /// How often table statistics are recomputed (in commits).
   uint64_t stats_refresh_interval = 4096;
 
+  /// Intra-query parallelism: size of the engine's AP scan pool. Morsel-
+  /// driven scans and aggregations fan out across it; the resource
+  /// scheduler throttles analytical CPU through its concurrency quota.
+  /// 0 = hardware concurrency; 1 = fully serial execution.
+  size_t parallel_scan_threads = 0;
+
   /// Architecture (b): simulated cluster shape.
   sim::DistributedDb::Options dist;
   /// Virtual-time budget granted per pump while waiting on the simulator.
   Micros sim_step_micros = 1000;
   Micros sim_timeout_micros = 10'000'000;
 };
+
+/// Resolves `parallel_scan_threads` (0 = hardware concurrency).
+inline size_t EffectiveParallelScanThreads(const DatabaseOptions& o) {
+  if (o.parallel_scan_threads != 0) return o.parallel_scan_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 }  // namespace htap
 

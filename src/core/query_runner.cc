@@ -59,7 +59,8 @@ Result<Schema> PlanOutputSchema(const QueryPlan& plan,
 }
 
 Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
-                            const ScanFn& scan, QueryExecInfo* info) {
+                            const ScanFn& scan, QueryExecInfo* info,
+                            const ExecContext& exec) {
   const TableInfo* left = catalog.Find(plan.table);
   if (left == nullptr) return Status::NotFound("no table: " + plan.table);
   const TableInfo* right = nullptr;
@@ -126,8 +127,9 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
   }
 
   if (!plan.aggs.empty()) {
-    rows = narrowed_agg ? HashAggregate(rows, remapped_groups, remapped_aggs)
-                        : HashAggregate(rows, plan.group_by, plan.aggs);
+    rows = narrowed_agg
+               ? HashAggregate(rows, remapped_groups, remapped_aggs, exec)
+               : HashAggregate(rows, plan.group_by, plan.aggs, exec);
   } else if (!simple && !plan.projection.empty()) {
     rows = Project(rows, plan.projection);
   }

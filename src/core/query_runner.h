@@ -24,9 +24,11 @@ struct ScanRequest {
 using ScanFn = std::function<Result<std::vector<Row>>(
     const ScanRequest&, ScanStats* stats, std::string* path_desc)>;
 
-/// Executes `plan` against `catalog` using `scan` for base access.
+/// Executes `plan` against `catalog` using `scan` for base access. `exec`
+/// supplies the AP pool for parallel aggregation (default: serial).
 Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
-                            const ScanFn& scan, QueryExecInfo* info);
+                            const ScanFn& scan, QueryExecInfo* info,
+                            const ExecContext& exec = ExecContext{});
 
 /// Output schema the runner will produce for `plan` (for binders/tests).
 Result<Schema> PlanOutputSchema(const QueryPlan& plan, const Catalog& catalog);

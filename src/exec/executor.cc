@@ -1,6 +1,8 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <unordered_map>
 
 namespace htap {
@@ -14,47 +16,79 @@ Row ProjectRow(const Row& row, const std::vector<int>& projection) {
   return out;
 }
 
-/// Filters a selection vector in place with one comparison conjunct,
-/// using a typed tight loop when the segment allows it.
-void FilterSelection(const Segment& seg, CmpOp op, const Value& lit,
-                     std::vector<uint32_t>* sel) {
+/// Per-row-group cache of decoded segments so multi-conjunct predicates
+/// decode each referenced column once per group, not once per conjunct.
+class DecodedCache {
+ public:
+  explicit DecodedCache(const std::vector<Segment>& cols)
+      : cols_(cols), slots_(cols.size()) {}
+
+  const ColumnVector& Get(size_t col) {
+    auto& slot = slots_[col];
+    if (slot == nullptr)
+      slot = std::make_unique<ColumnVector>(cols_[col].Decode());
+    return *slot;
+  }
+
+ private:
+  const std::vector<Segment>& cols_;
+  std::vector<std::unique_ptr<ColumnVector>> slots_;
+};
+
+/// The "SIMD-friendly" columnar inner loop over a decoded buffer.
+template <typename T>
+void FilterTight(const std::vector<T>& vals, T x, CmpOp op,
+                 std::vector<uint32_t>* sel) {
   size_t out = 0;
-  // Fast path: INT64 comparisons against an INT64 literal over a decoded
-  // buffer — this is the "SIMD-friendly" columnar inner loop.
+  switch (op) {
+    case CmpOp::kEq:
+      for (uint32_t i : *sel)
+        if (vals[i] == x) (*sel)[out++] = i;
+      break;
+    case CmpOp::kNe:
+      for (uint32_t i : *sel)
+        if (vals[i] != x) (*sel)[out++] = i;
+      break;
+    case CmpOp::kLt:
+      for (uint32_t i : *sel)
+        if (vals[i] < x) (*sel)[out++] = i;
+      break;
+    case CmpOp::kLe:
+      for (uint32_t i : *sel)
+        if (vals[i] <= x) (*sel)[out++] = i;
+      break;
+    case CmpOp::kGt:
+      for (uint32_t i : *sel)
+        if (vals[i] > x) (*sel)[out++] = i;
+      break;
+    case CmpOp::kGe:
+      for (uint32_t i : *sel)
+        if (vals[i] >= x) (*sel)[out++] = i;
+      break;
+  }
+  sel->resize(out);
+}
+
+/// Filters a selection vector in place with one comparison conjunct,
+/// using a typed tight loop when the segment allows it. `cache` holds the
+/// group's decoded segments; `col` is the segment's column index in it.
+void FilterSelection(const Segment& seg, size_t col, CmpOp op,
+                     const Value& lit, DecodedCache* cache,
+                     std::vector<uint32_t>* sel) {
+  // Fast paths: INT64/DOUBLE comparisons against a numeric literal over a
+  // decoded buffer. Cross-type numeric comparisons go through AsDouble,
+  // matching Value::Compare semantics.
   if (seg.type() == Type::kInt64 && lit.is_int64() && !seg.has_nulls()) {
-    const ColumnVector decoded = seg.Decode();
-    const auto& vals = decoded.ints();
-    const int64_t x = lit.AsInt64();
-    switch (op) {
-      case CmpOp::kEq:
-        for (uint32_t i : *sel)
-          if (vals[i] == x) (*sel)[out++] = i;
-        break;
-      case CmpOp::kNe:
-        for (uint32_t i : *sel)
-          if (vals[i] != x) (*sel)[out++] = i;
-        break;
-      case CmpOp::kLt:
-        for (uint32_t i : *sel)
-          if (vals[i] < x) (*sel)[out++] = i;
-        break;
-      case CmpOp::kLe:
-        for (uint32_t i : *sel)
-          if (vals[i] <= x) (*sel)[out++] = i;
-        break;
-      case CmpOp::kGt:
-        for (uint32_t i : *sel)
-          if (vals[i] > x) (*sel)[out++] = i;
-        break;
-      case CmpOp::kGe:
-        for (uint32_t i : *sel)
-          if (vals[i] >= x) (*sel)[out++] = i;
-        break;
-    }
-    sel->resize(out);
+    FilterTight(cache->Get(col).ints(), lit.AsInt64(), op, sel);
+    return;
+  }
+  if (seg.type() == Type::kDouble && (lit.is_double() || lit.is_int64()) &&
+      !seg.has_nulls()) {
+    FilterTight(cache->Get(col).doubles(), lit.AsDouble(), op, sel);
     return;
   }
   // Generic path.
+  size_t out = 0;
   for (uint32_t i : *sel) {
     const Value v = seg.Get(i);
     bool keep = false;
@@ -72,6 +106,65 @@ void FilterSelection(const Segment& seg, CmpOp op, const Value& lit,
     if (keep) (*sel)[out++] = i;
   }
   sel->resize(out);
+}
+
+/// Read-only state shared by every morsel of one HTAP scan.
+struct HtapScanShared {
+  const Predicate* pred;
+  const std::vector<int>* projection;
+  const std::unordered_map<Key, const DeltaEntry*>* overrides;
+};
+
+/// Scans one row group (one morsel) into `out`/`st`. Caller must hold the
+/// table's scan latch shared.
+void ScanGroup(const RowGroup& g, const HtapScanShared& s,
+               std::vector<Row>* out, ScanStats* st) {
+  const Predicate& pred = *s.pred;
+  if (pred.CanSkipGroup(g.columns)) {
+    ++st->groups_skipped;
+    return;
+  }
+  // Initial selection: live, non-overridden positions.
+  std::vector<uint32_t> sel;
+  sel.reserve(g.num_rows);
+  const bool any_deleted = g.deleted.AnySet();
+  const auto& overrides = *s.overrides;
+  for (uint32_t i = 0; i < g.num_rows; ++i) {
+    if (any_deleted && g.deleted.Test(i)) continue;
+    if (!overrides.empty() && overrides.count(g.keys[i]) != 0) continue;
+    sel.push_back(i);
+  }
+  // Apply conjuncts column-at-a-time; non-conjunctive parts row-at-a-time.
+  DecodedCache cache(g.columns);
+  bool generic_needed = false;
+  for (const Predicate* conj : pred.Conjuncts()) {
+    if (conj->kind() == Predicate::Kind::kCompare) {
+      const auto col = static_cast<size_t>(conj->column());
+      FilterSelection(g.columns[col], col, conj->op(), conj->literal(),
+                      &cache, &sel);
+    } else {
+      generic_needed = true;
+    }
+  }
+  if (generic_needed) {
+    size_t o = 0;
+    for (uint32_t i : sel)
+      if (pred.EvalColumns(g.columns, i)) sel[o++] = i;
+    sel.resize(o);
+  }
+  // Materialize the projection.
+  const std::vector<int>& projection = *s.projection;
+  for (uint32_t i : sel) {
+    Row r;
+    if (projection.empty()) {
+      for (const auto& col : g.columns) r.Append(col.Get(i));
+    } else {
+      for (int c : projection)
+        r.Append(g.columns[static_cast<size_t>(c)].Get(i));
+    }
+    out->push_back(std::move(r));
+    ++st->main_rows_emitted;
+  }
 }
 
 }  // namespace
@@ -106,10 +199,44 @@ std::vector<Row> ScanRowStore(const MvccRowStore& store, const Snapshot& snap,
   return out;
 }
 
+std::vector<Row> ScanRowStore(const MvccRowStore& store, const Snapshot& snap,
+                              const Predicate& pred,
+                              const std::vector<int>& projection,
+                              const ExecContext& exec) {
+  if (!exec.parallel())
+    return ScanRowStore(store, snap, pred, projection);
+  const std::vector<std::pair<Key, Key>> ranges =
+      store.SplitKeyRanges(exec.max_parallelism);
+  if (ranges.size() <= 1)
+    return ScanRowStore(store, snap, pred, projection);
+
+  std::vector<std::vector<Row>> partial(ranges.size());
+  {
+    TaskGroup tg(exec.pool);
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      tg.Run([&, i] {
+        store.ScanRange(snap, ranges[i].first, ranges[i].second,
+                        [&](Key, const Row& row) {
+                          if (pred.Eval(row))
+                            partial[i].push_back(ProjectRow(row, projection));
+                          return true;
+                        });
+      });
+    }
+  }
+  size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  std::vector<Row> out;
+  out.reserve(total);
+  for (auto& p : partial)
+    for (Row& r : p) out.push_back(std::move(r));
+  return out;
+}
+
 std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
                           CSN snapshot, const Predicate& pred,
                           const std::vector<int>& projection,
-                          ScanStats* stats) {
+                          const ExecContext& exec, ScanStats* stats) {
   ScanStats local;
   ScanStats* st = stats != nullptr ? stats : &local;
 
@@ -124,67 +251,84 @@ std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
     for (const auto& e : delta_entries) overrides[e.key] = &e;
   }
 
-  std::vector<Row> out;
+  const HtapScanShared shared{&pred, &projection, &overrides};
 
   // 2. Scan the main column store, skipping deleted and overridden rows.
   // Hold the table's scan latch for the whole pass so Compact() cannot
-  // invalidate group pointers mid-scan.
+  // invalidate group pointers mid-scan. One morsel per row group; merged
+  // output preserves row-group order, so serial and parallel scans return
+  // identical results.
   ReadGuard table_guard(table.latch());
   const size_t ngroups = table.num_groups_unlocked();
   st->groups_total = ngroups;
-  for (size_t gi = 0; gi < ngroups; ++gi) {
-    const RowGroup* g = table.group_unlocked(gi);
-    if (pred.CanSkipGroup(g->columns)) {
-      ++st->groups_skipped;
-      continue;
+
+  // The delta-override partition is its own morsel: surviving latest-state
+  // rows per key, non-deletes, in override-map iteration order (identical
+  // for serial and parallel — the map is built identically in both).
+  std::vector<Row> delta_out;
+  ScanStats delta_st;
+  auto delta_morsel = [&] {
+    for (const auto& [key, e] : overrides) {
+      if (e->op == ChangeOp::kDelete) continue;
+      if (!pred.Eval(e->row)) continue;
+      delta_out.push_back(ProjectRow(e->row, projection));
+      ++delta_st.delta_rows_emitted;
     }
-    // Initial selection: live, non-overridden positions.
-    std::vector<uint32_t> sel;
-    sel.reserve(g->num_rows);
-    const bool any_deleted = g->deleted.AnySet();
-    for (uint32_t i = 0; i < g->num_rows; ++i) {
-      if (any_deleted && g->deleted.Test(i)) continue;
-      if (!overrides.empty() && overrides.count(g->keys[i]) != 0) continue;
-      sel.push_back(i);
-    }
-    // Apply conjuncts column-at-a-time; non-conjunctive parts row-at-a-time.
-    bool generic_needed = false;
-    for (const Predicate* conj : pred.Conjuncts()) {
-      if (conj->kind() == Predicate::Kind::kCompare) {
-        FilterSelection(g->columns[static_cast<size_t>(conj->column())],
-                        conj->op(), conj->literal(), &sel);
-      } else {
-        generic_needed = true;
+  };
+
+  std::vector<Row> out;
+  const size_t workers =
+      exec.parallel() && ngroups > 1
+          ? std::min(exec.max_parallelism, ngroups)
+          : 1;
+  if (workers <= 1) {
+    for (size_t gi = 0; gi < ngroups; ++gi)
+      ScanGroup(*table.group_unlocked(gi), shared, &out, st);
+    delta_morsel();
+  } else {
+    // Workers claim group morsels through a shared cursor; per-group output
+    // vectors keep the merge order-deterministic regardless of which worker
+    // scanned which group.
+    std::vector<std::vector<Row>> partial(ngroups);
+    std::vector<ScanStats> wstats(workers);
+    std::atomic<size_t> next{0};
+    {
+      TaskGroup tg(exec.pool);
+      tg.Run(delta_morsel);
+      for (size_t w = 0; w < workers; ++w) {
+        tg.Run([&, w] {
+          for (size_t gi = next.fetch_add(1, std::memory_order_relaxed);
+               gi < ngroups;
+               gi = next.fetch_add(1, std::memory_order_relaxed))
+            ScanGroup(*table.group_unlocked(gi), shared, &partial[gi],
+                      &wstats[w]);
+        });
       }
     }
-    if (generic_needed) {
-      size_t o = 0;
-      for (uint32_t i : sel)
-        if (pred.EvalColumns(g->columns, i)) sel[o++] = i;
-      sel.resize(o);
+    for (const ScanStats& ws : wstats) {
+      st->groups_skipped += ws.groups_skipped;
+      st->main_rows_emitted += ws.main_rows_emitted;
     }
-    // Materialize the projection.
-    for (uint32_t i : sel) {
-      Row r;
-      if (projection.empty()) {
-        for (const auto& col : g->columns) r.Append(col.Get(i));
-      } else {
-        for (int c : projection)
-          r.Append(g->columns[static_cast<size_t>(c)].Get(i));
-      }
-      out.push_back(std::move(r));
-      ++st->main_rows_emitted;
-    }
+    size_t total = 0;
+    for (const auto& p : partial) total += p.size();
+    out.reserve(total + delta_out.size());
+    for (auto& p : partial)
+      for (Row& r : p) out.push_back(std::move(r));
   }
 
-  // 3. Emit surviving delta rows (latest state per key, non-deletes).
-  for (const auto& [key, e] : overrides) {
-    if (e->op == ChangeOp::kDelete) continue;
-    if (!pred.Eval(e->row)) continue;
-    out.push_back(ProjectRow(e->row, projection));
-    ++st->delta_rows_emitted;
-  }
+  // 3. Append the delta partition after the main groups (same position the
+  // serial scan has always emitted it).
+  st->delta_rows_emitted += delta_st.delta_rows_emitted;
+  for (Row& r : delta_out) out.push_back(std::move(r));
   return out;
+}
+
+std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
+                          CSN snapshot, const Predicate& pred,
+                          const std::vector<int>& projection,
+                          ScanStats* stats) {
+  return ScanHtap(table, delta, snapshot, pred, projection, ExecContext{},
+                  stats);
 }
 
 std::vector<Row> HashJoin(const std::vector<Row>& left,
@@ -229,89 +373,173 @@ struct AggState {
     if (!any || max < v) max = v;
     any = true;
   }
+
+  void Merge(const AggState& o) {
+    count += o.count;
+    sum += o.sum;
+    if (o.any) {
+      if (!any || o.min < min) min = o.min;
+      if (!any || max < o.max) max = o.max;
+      any = true;
+    }
+  }
 };
+
+/// A (possibly partial) group-by hash table. Serial aggregation absorbs
+/// every row into one table; parallel aggregation gives each worker its own
+/// table over a disjoint row range and merges them single-threaded.
+class GroupTable {
+ public:
+  GroupTable(const std::vector<int>& group_cols,
+             const std::vector<AggSpec>& aggs)
+      : group_cols_(group_cols), aggs_(aggs) {}
+
+  void Absorb(const Row& row) {
+    uint64_t h = 1469598103934665603ULL;
+    for (int c : group_cols_)
+      h = h * 1099511628211ULL ^ row.Get(static_cast<size_t>(c)).Hash();
+    GroupData* gd = FindOrCreate(h, [&](const Row& key_row) {
+      for (size_t i = 0; i < group_cols_.size(); ++i)
+        if (row.Get(static_cast<size_t>(group_cols_[i])) != key_row.Get(i))
+          return false;
+      return true;
+    }, [&] {
+      Row key_row;
+      for (int c : group_cols_)
+        key_row.Append(row.Get(static_cast<size_t>(c)));
+      return key_row;
+    });
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      if (aggs_[a].column < 0)
+        gd->states[a].Update(Value(static_cast<int64_t>(1)));
+      else
+        gd->states[a].Update(row.Get(static_cast<size_t>(aggs_[a].column)));
+    }
+  }
+
+  /// Merges another partial table into this one. Key rows hash identically
+  /// in both tables (same FNV over the same group values), so the source
+  /// bucket hash is reused directly.
+  void MergeFrom(GroupTable&& other) {
+    for (auto& [h, bucket] : other.groups_) {
+      for (auto& theirs : bucket) {
+        GroupData* mine = FindOrCreate(h, [&](const Row& key_row) {
+          for (size_t i = 0; i < group_cols_.size(); ++i)
+            if (theirs.key_row.Get(i) != key_row.Get(i)) return false;
+          return true;
+        }, [&] { return std::move(theirs.key_row); });
+        for (size_t a = 0; a < aggs_.size(); ++a)
+          mine->states[a].Merge(theirs.states[a]);
+      }
+    }
+  }
+
+  std::vector<Row> Finalize() {
+    std::vector<Row> out;
+    if (groups_.empty() && group_cols_.empty()) {
+      // Global aggregate over zero rows: COUNT=0, others NULL.
+      Row r;
+      for (const auto& agg : aggs_)
+        r.Append(agg.fn == AggSpec::Fn::kCount
+                     ? Value(static_cast<int64_t>(0))
+                     : Value::Null());
+      out.push_back(std::move(r));
+      return out;
+    }
+    for (auto& [h, bucket] : groups_) {
+      for (auto& gd : bucket) {
+        Row r = gd.key_row;
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          const AggState& s = gd.states[a];
+          switch (aggs_[a].fn) {
+            case AggSpec::Fn::kCount: r.Append(Value(s.count)); break;
+            case AggSpec::Fn::kSum:
+              r.Append(s.any ? Value(s.sum) : Value::Null());
+              break;
+            case AggSpec::Fn::kMin:
+              r.Append(s.any ? s.min : Value::Null());
+              break;
+            case AggSpec::Fn::kMax:
+              r.Append(s.any ? s.max : Value::Null());
+              break;
+            case AggSpec::Fn::kAvg:
+              r.Append(s.any ? Value(s.sum / static_cast<double>(s.count))
+                             : Value::Null());
+              break;
+          }
+        }
+        out.push_back(std::move(r));
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct GroupData {
+    Row key_row;
+    std::vector<AggState> states;
+  };
+
+  template <typename MatchFn, typename MakeKeyFn>
+  GroupData* FindOrCreate(uint64_t h, const MatchFn& matches,
+                          const MakeKeyFn& make_key) {
+    auto& bucket = groups_[h];
+    for (auto& cand : bucket)
+      if (matches(cand.key_row)) return &cand;
+    GroupData fresh;
+    fresh.key_row = make_key();
+    fresh.states.resize(aggs_.size());
+    bucket.push_back(std::move(fresh));
+    return &bucket.back();
+  }
+
+  const std::vector<int>& group_cols_;
+  const std::vector<AggSpec>& aggs_;
+  std::unordered_map<uint64_t, std::vector<GroupData>> groups_;
+};
+
+/// Below this input size the fan-out overhead beats the win.
+constexpr size_t kMinRowsPerAggWorker = 2048;
 
 }  // namespace
 
 std::vector<Row> HashAggregate(const std::vector<Row>& rows,
                                const std::vector<int>& group_cols,
                                const std::vector<AggSpec>& aggs) {
-  struct GroupData {
-    Row key_row;
-    std::vector<AggState> states;
-  };
-  std::unordered_map<uint64_t, std::vector<GroupData>> groups;
+  GroupTable table(group_cols, aggs);
+  for (const Row& row : rows) table.Absorb(row);
+  return table.Finalize();
+}
 
-  auto group_hash = [&](const Row& row) {
-    uint64_t h = 1469598103934665603ULL;
-    for (int c : group_cols)
-      h = h * 1099511628211ULL ^ row.Get(static_cast<size_t>(c)).Hash();
-    return h;
-  };
-  auto same_group = [&](const Row& row, const Row& key_row) {
-    for (size_t i = 0; i < group_cols.size(); ++i)
-      if (row.Get(static_cast<size_t>(group_cols[i])) != key_row.Get(i))
-        return false;
-    return true;
-  };
+std::vector<Row> HashAggregate(const std::vector<Row>& rows,
+                               const std::vector<int>& group_cols,
+                               const std::vector<AggSpec>& aggs,
+                               const ExecContext& exec) {
+  size_t workers =
+      exec.parallel()
+          ? std::min(exec.max_parallelism,
+                     std::max<size_t>(rows.size() / kMinRowsPerAggWorker, 1))
+          : 1;
+  if (workers <= 1) return HashAggregate(rows, group_cols, aggs);
 
-  for (const Row& row : rows) {
-    const uint64_t h = group_hash(row);
-    auto& bucket = groups[h];
-    GroupData* gd = nullptr;
-    for (auto& cand : bucket)
-      if (same_group(row, cand.key_row)) {
-        gd = &cand;
-        break;
-      }
-    if (gd == nullptr) {
-      GroupData fresh;
-      for (int c : group_cols)
-        fresh.key_row.Append(row.Get(static_cast<size_t>(c)));
-      fresh.states.resize(aggs.size());
-      bucket.push_back(std::move(fresh));
-      gd = &bucket.back();
-    }
-    for (size_t a = 0; a < aggs.size(); ++a) {
-      if (aggs[a].column < 0)
-        gd->states[a].Update(Value(static_cast<int64_t>(1)));
-      else
-        gd->states[a].Update(row.Get(static_cast<size_t>(aggs[a].column)));
+  std::vector<GroupTable> tables;
+  tables.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) tables.emplace_back(group_cols, aggs);
+  const size_t chunk = (rows.size() + workers - 1) / workers;
+  {
+    TaskGroup tg(exec.pool);
+    for (size_t w = 0; w < workers; ++w) {
+      tg.Run([&, w] {
+        const size_t lo = w * chunk;
+        const size_t hi = std::min(rows.size(), lo + chunk);
+        for (size_t i = lo; i < hi; ++i) tables[w].Absorb(rows[i]);
+      });
     }
   }
-
-  std::vector<Row> out;
-  if (groups.empty() && group_cols.empty()) {
-    // Global aggregate over zero rows: COUNT=0, others NULL.
-    Row r;
-    for (const auto& agg : aggs)
-      r.Append(agg.fn == AggSpec::Fn::kCount ? Value(static_cast<int64_t>(0))
-                                             : Value::Null());
-    out.push_back(std::move(r));
-    return out;
-  }
-  for (auto& [h, bucket] : groups) {
-    for (auto& gd : bucket) {
-      Row r = gd.key_row;
-      for (size_t a = 0; a < aggs.size(); ++a) {
-        const AggState& s = gd.states[a];
-        switch (aggs[a].fn) {
-          case AggSpec::Fn::kCount: r.Append(Value(s.count)); break;
-          case AggSpec::Fn::kSum:
-            r.Append(s.any ? Value(s.sum) : Value::Null());
-            break;
-          case AggSpec::Fn::kMin: r.Append(s.any ? s.min : Value::Null()); break;
-          case AggSpec::Fn::kMax: r.Append(s.any ? s.max : Value::Null()); break;
-          case AggSpec::Fn::kAvg:
-            r.Append(s.any ? Value(s.sum / static_cast<double>(s.count))
-                           : Value::Null());
-            break;
-        }
-      }
-      out.push_back(std::move(r));
-    }
-  }
-  return out;
+  // Single-threaded combine in worker order (deterministic).
+  for (size_t w = 1; w < workers; ++w)
+    tables[0].MergeFrom(std::move(tables[w]));
+  return tables[0].Finalize();
 }
 
 void SortLimit(std::vector<Row>* rows, int col, bool desc, size_t limit) {

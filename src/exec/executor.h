@@ -5,6 +5,11 @@
 // simplicity is worth more than pipelining, and the benchmark comparisons
 // (row vs column vs hybrid access paths) are unaffected because all paths
 // share the same materialization discipline.
+//
+// Scans and aggregation are morsel-driven when given an ExecContext with a
+// thread pool: one morsel per row group (column scans) or key range (row
+// scans), per-worker partial state, deterministic merge. See DESIGN.md
+// "Intra-query parallelism".
 
 #ifndef HTAP_EXEC_EXECUTOR_H_
 #define HTAP_EXEC_EXECUTOR_H_
@@ -12,6 +17,7 @@
 #include <vector>
 
 #include "columnar/column_table.h"
+#include "common/thread_pool.h"
 #include "delta/delta.h"
 #include "exec/expression.h"
 #include "storage/mvcc_row_store.h"
@@ -19,6 +25,18 @@
 #include "types/schema.h"
 
 namespace htap {
+
+/// Execution resources for the parallel operators. The default (no pool)
+/// runs every operator serially; engines hand their AP morsel pool here to
+/// enable intra-query parallelism. The pool is shared across concurrent
+/// queries — each operator fans out through its own TaskGroup, so waiting
+/// for one query's morsels never blocks on another's.
+struct ExecContext {
+  ThreadPool* pool = nullptr;   // AP scan pool; null = serial execution
+  size_t max_parallelism = 1;   // target worker count for morsel fan-out
+
+  bool parallel() const { return pool != nullptr && max_parallelism > 1; }
+};
 
 /// Counters a scan fills in; benchmarks and the optimizer's feedback loop
 /// read these.
@@ -45,6 +63,14 @@ std::vector<Row> ScanRowStore(const MvccRowStore& store, const Snapshot& snap,
                               const Predicate& pred,
                               const std::vector<int>& projection);
 
+/// Parallel variant: range-partitions the key space into one morsel per
+/// worker and merges per-range output in key-range order, so the result
+/// equals the serial scan exactly (key order preserved).
+std::vector<Row> ScanRowStore(const MvccRowStore& store, const Snapshot& snap,
+                              const Predicate& pred,
+                              const std::vector<int>& projection,
+                              const ExecContext& exec);
+
 /// The HTAP scan: main column store unioned with a delta store at snapshot
 /// CSN `snapshot`. Pass delta == nullptr for a pure column scan (the
 /// SingleStore-style technique — fast, but blind to unmerged changes).
@@ -57,6 +83,14 @@ std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
                           const std::vector<int>& projection,
                           ScanStats* stats = nullptr);
 
+/// Morsel-driven variant: each row group is one morsel (plus one morsel for
+/// the delta-override partition), fanned out across `exec.pool` and merged
+/// in row-group order — output is byte-identical to the serial scan.
+std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
+                          CSN snapshot, const Predicate& pred,
+                          const std::vector<int>& projection,
+                          const ExecContext& exec, ScanStats* stats);
+
 /// Hash inner-equi-join: emits left ++ right rows. Builds on `right`.
 std::vector<Row> HashJoin(const std::vector<Row>& left,
                           const std::vector<Row>& right, int left_col,
@@ -67,6 +101,14 @@ std::vector<Row> HashJoin(const std::vector<Row>& left,
 std::vector<Row> HashAggregate(const std::vector<Row>& rows,
                                const std::vector<int>& group_cols,
                                const std::vector<AggSpec>& aggs);
+
+/// Parallel variant: workers build partial hash tables over disjoint row
+/// ranges; a final single-threaded combine merges them (group output order
+/// is unspecified, as with the serial variant).
+std::vector<Row> HashAggregate(const std::vector<Row>& rows,
+                               const std::vector<int>& group_cols,
+                               const std::vector<AggSpec>& aggs,
+                               const ExecContext& exec);
 
 /// Sorts by `col` (ascending unless `desc`), keeps first `limit` rows
 /// (limit == 0 means all).

@@ -23,7 +23,7 @@ ResourceScheduler::ResourceScheduler(Options options,
       olap_pool_(options.olap_threads, "olap") {
   // Start with an even split of in-flight work.
   oltp_pool_.SetConcurrencyQuota(options.oltp_threads);
-  olap_pool_.SetConcurrencyQuota(options.olap_threads);
+  SetOlapQuota(options.olap_threads);
   if (options_.policy != SchedulingPolicy::kStatic)
     controller_ = std::thread([this] { ControlLoop(); });
 }
@@ -84,7 +84,16 @@ void ResourceScheduler::AdjustWorkloadDriven() {
       std::clamp(tp_share * static_cast<double>(total), 1.0,
                  static_cast<double>(total - 1)));
   oltp_pool_.SetConcurrencyQuota(tp_quota);
-  olap_pool_.SetConcurrencyQuota(total - tp_quota);
+  SetOlapQuota(total - tp_quota);
+}
+
+void ResourceScheduler::SetOlapQuota(size_t quota) {
+  olap_pool_.SetConcurrencyQuota(quota);
+  // Throttle intra-query scan parallelism along with whole-query admission:
+  // the quota bounds how many morsels of the engine's parallel scans run
+  // at once, so shrinking it frees real CPU for OLTP.
+  if (options_.ap_scan_pool != nullptr)
+    options_.ap_scan_pool->SetConcurrencyQuota(quota);
 }
 
 void ResourceScheduler::AdjustFreshnessDriven() {

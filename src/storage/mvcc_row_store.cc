@@ -278,6 +278,35 @@ void MvccRowStore::ScanRange(
   });
 }
 
+std::vector<std::pair<Key, Key>> MvccRowStore::SplitKeyRanges(size_t n) const {
+  constexpr Key kLo = std::numeric_limits<Key>::min();
+  constexpr Key kHi = std::numeric_limits<Key>::max();
+  std::vector<std::pair<Key, Key>> ranges;
+  const size_t total = index_.size();
+  if (n <= 1 || total < 2 * n) {
+    ranges.emplace_back(kLo, kHi);
+    return ranges;
+  }
+  // One index pass collecting every stride-th key as a partition boundary.
+  const size_t stride = (total + n - 1) / n;
+  std::vector<Key> bounds;
+  bounds.reserve(n);
+  size_t i = 0;
+  index_.ScanAll([&](Key k, uint64_t) {
+    if (i != 0 && i % stride == 0) bounds.push_back(k);
+    ++i;
+    return true;
+  });
+  Key lo = kLo;
+  for (Key b : bounds) {
+    // b follows at least one smaller indexed key, so b > kLo and b-1 is safe.
+    ranges.emplace_back(lo, b - 1);
+    lo = b;
+  }
+  ranges.emplace_back(lo, kHi);
+  return ranges;
+}
+
 void MvccRowStore::ApplyCommitted(ChangeOp op, Key key, const Row& row,
                                   CSN csn) {
   VersionChain* chain = GetOrCreateChain(key);

@@ -15,6 +15,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/latch.h"
 #include "common/status.h"
@@ -82,6 +84,13 @@ class MvccRowStore {
   /// Key-range scan [lo, hi] at a snapshot.
   void ScanRange(const Snapshot& snap, Key lo, Key hi,
                  const std::function<bool(Key, const Row&)>& visit) const;
+
+  /// Splits the indexed key space into up to `n` contiguous [lo, hi] ranges
+  /// of roughly equal key counts, covering the whole key domain (parallel
+  /// scans partition work with these; keys inserted after the split still
+  /// fall in some range). Returns a single full-domain range when the store
+  /// is too small to be worth partitioning.
+  std::vector<std::pair<Key, Key>> SplitKeyRanges(size_t n) const;
 
   // ---- Non-transactional apply (recovery, replica catch-up) -------------
 

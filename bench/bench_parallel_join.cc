@@ -1,0 +1,124 @@
+// Radix-partitioned parallel hash join scaling curve.
+//
+// Joins a ~2M-row probe side against a ~1M-row build side at 1/2/4/8
+// workers over the engine-style AP pool, verifying every parallel result is
+// byte-identical to the serial join. Emits one JSON line per point so the
+// curve can be plotted / regression-tracked (same shape as
+// bench_parallel_scan):
+//
+//   {"bench":"parallel_join","threads":4,"build_rows":...,"probe_rows":...,
+//    "output_rows":...,"probe_rows_per_sec":...,"speedup":...}
+//
+// `bench_parallel_join smoke` runs one iteration over a 4x smaller dataset
+// (still above the serial-fallback threshold) — the CI configuration.
+// Speedup expectations depend on the host: with >= 4 cores the 4-thread
+// point should clear 1.5x; on a single-core host the curve is flat and only
+// the identity checks are meaningful.
+
+#include <cstring>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "exec/executor.h"
+
+namespace htap {
+namespace bench {
+namespace {
+
+Schema FactSchema() {
+  return Schema({{"id", Type::kInt64}, {"fk", Type::kInt64},
+                 {"qty", Type::kInt64}, {"amount", Type::kDouble}});
+}
+
+Schema DimSchema() {
+  return Schema({{"id", Type::kInt64}, {"category", Type::kInt64},
+                 {"price", Type::kDouble}});
+}
+
+struct Point {
+  double sec = 0;
+  JoinStats stats;
+};
+
+Point RunPoint(const std::vector<Row>& probe, const std::vector<Row>& build,
+               size_t threads, int reps, const std::vector<Row>* reference) {
+  std::unique_ptr<ThreadPool> pool;
+  ExecContext exec;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads, "bench-join-ap");
+    exec = ExecContext{pool.get(), threads};
+  }
+  Point p;
+  std::vector<Row> out;
+  for (int rep = -1; rep < reps; ++rep) {  // rep -1 = warmup
+    Stopwatch sw;
+    out = HashJoin(probe, build, 1, 0, exec, &p.stats);
+    if (rep >= 0) p.sec += sw.ElapsedSeconds();
+  }
+  if (reference != nullptr && out != *reference) {
+    std::fprintf(stderr, "FATAL: parallel join result differs at %zu threads\n",
+                 threads);
+    std::abort();
+  }
+  p.sec /= reps;
+  return p;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace htap
+
+int main(int argc, char** argv) {
+  using namespace htap;
+  using namespace htap::bench;
+
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  const size_t build_rows = smoke ? 256 * 1024 : 1024 * 1024;
+  const size_t probe_rows = 2 * build_rows;
+  const int reps = smoke ? 1 : 3;
+
+  std::vector<Row> build;
+  build.reserve(build_rows);
+  for (size_t i = 0; i < build_rows; ++i)
+    build.push_back(Row{Value(static_cast<int64_t>(i)),
+                        Value(static_cast<int64_t>(i % 23)),
+                        Value(1.0 + static_cast<double>(i % 100))});
+  std::vector<Row> probe;
+  probe.reserve(probe_rows);
+  for (size_t i = 0; i < probe_rows; ++i)
+    probe.push_back(Row{Value(static_cast<int64_t>(i)),
+                        Value(static_cast<int64_t>((i * 7) % build_rows)),
+                        Value(static_cast<int64_t>(1 + i % 10)),
+                        Value(static_cast<double>(i % 997) * 0.5)});
+
+  std::printf("Radix-partitioned parallel hash join "
+              "(%zu build rows, %zu probe rows, %d reps/point%s)\n",
+              build_rows, probe_rows, reps, smoke ? ", smoke" : "");
+  std::printf("host hardware_concurrency = %u\n\n",
+              std::thread::hardware_concurrency());
+
+  const auto reference = HashJoin(probe, build, 1, 0);
+  const Point serial = RunPoint(probe, build, 1, reps, &reference);
+
+  std::printf("%8s | %10s | %10s | %13s | %8s\n", "threads", "parts",
+              "join ms", "probe Mrows/s", "speedup");
+  PrintRule(64);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    const Point p = threads == 1
+                        ? serial
+                        : RunPoint(probe, build, threads, reps, &reference);
+    const double rps = static_cast<double>(probe_rows) / p.sec;
+    const double speedup = serial.sec / p.sec;
+    std::printf("%8zu | %10zu | %10.2f | %13.2f | %8.2f\n", threads,
+                p.stats.partitions, p.sec * 1e3, rps / 1e6, speedup);
+    std::printf("{\"bench\":\"parallel_join\",\"threads\":%zu,"
+                "\"build_rows\":%zu,\"probe_rows\":%zu,\"output_rows\":%zu,"
+                "\"probe_rows_per_sec\":%.0f,\"speedup\":%.3f}\n",
+                threads, build.size(), probe.size(), p.stats.output_rows, rps,
+                speedup);
+  }
+  PrintRule(64);
+  std::printf("\nAll parallel join results verified byte-identical to "
+              "serial.\n");
+  return 0;
+}

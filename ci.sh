@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the concurrency
-# tests (parallel scan/aggregate, columnar, executor, pools, sync,
-# scheduler). Usage: ./ci.sh [jobs]
+# Tier-1 verification, a Release smoke run of the parallel-join bench, and a
+# ThreadSanitizer pass over the concurrency tests (parallel scan/aggregate,
+# parallel join, columnar, executor, pools, sync, scheduler).
+# Usage: ./ci.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")"
 JOBS="${1:-$(nproc)}"
@@ -11,9 +12,13 @@ cmake -B build -S . > /dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
+echo "== bench smoke: parallel join (1 iteration, identity-checked) =="
+cmake --build build -j "$JOBS" --target bench_parallel_join
+./build/bench/bench_parallel_join smoke
+
 echo "== tsan: concurrency tests =="
-TSAN_TESTS=(parallel_scan_test columnar_test executor_test common_test
-            sync_test scheduler_test)
+TSAN_TESTS=(parallel_scan_test parallel_join_test columnar_test executor_test
+            common_test sync_test scheduler_test)
 cmake -B build-tsan -S . -DHTAP_TSAN=ON > /dev/null
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do

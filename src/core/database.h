@@ -96,8 +96,9 @@ class Database {
   Catalog* catalog() { return &catalog_; }
   /// The underlying engine (benchmarks use architecture-specific hooks).
   HtapEngine* engine() { return engine_.get(); }
-  /// The engine's parallel-scan morsel pool (null when analytics run
-  /// serially). Its concurrency quota throttles analytical CPU.
+  /// The engine's AP morsel pool — scan, aggregation, and join morsels —
+  /// (null when analytics run serially). Its concurrency quota throttles
+  /// analytical CPU.
   ThreadPool* ap_scan_pool() { return engine_->ApScanPool(); }
 
  private:

@@ -26,18 +26,25 @@
 
 namespace htap {
 
-/// The engine-owned AP scan pool powering morsel-driven parallel scans.
-/// No pool is created when the effective thread count is 1 (serial).
+/// The engine-owned AP pool powering morsel-driven parallel scans,
+/// aggregations, and hash joins. No pool is created when the effective
+/// thread count is 1 (serial).
 struct ApScanRuntime {
   std::unique_ptr<ThreadPool> pool;
   size_t threads = 1;
+  size_t min_join_build = 4096;
 
   explicit ApScanRuntime(const DatabaseOptions& options)
-      : threads(EffectiveParallelScanThreads(options)) {
+      : threads(EffectiveParallelScanThreads(options)),
+        min_join_build(options.parallel_join_min_build_rows) {
     if (threads > 1) pool = std::make_unique<ThreadPool>(threads, "ap-scan");
   }
 
-  ExecContext ctx() const { return ExecContext{pool.get(), threads}; }
+  ExecContext ctx() const {
+    ExecContext exec{pool.get(), threads};
+    exec.min_parallel_join_build = min_join_build;
+    return exec;
+  }
 };
 
 // ---------------------------------------------------------------------------

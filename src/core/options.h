@@ -55,10 +55,15 @@ struct DatabaseOptions {
   uint64_t stats_refresh_interval = 4096;
 
   /// Intra-query parallelism: size of the engine's AP scan pool. Morsel-
-  /// driven scans and aggregations fan out across it; the resource
-  /// scheduler throttles analytical CPU through its concurrency quota.
-  /// 0 = hardware concurrency; 1 = fully serial execution.
+  /// driven scans, aggregations, and hash joins fan out across it; the
+  /// resource scheduler throttles analytical CPU through its concurrency
+  /// quota. 0 = hardware concurrency; 1 = fully serial execution.
   size_t parallel_scan_threads = 0;
+
+  /// Serial-fallback threshold for the radix-partitioned parallel join:
+  /// build sides smaller than this run the classic single-table hash join,
+  /// since partitioning a tiny build never amortizes its scatter pass.
+  size_t parallel_join_min_build_rows = 4096;
 
   /// Architecture (b): simulated cluster shape.
   sim::DistributedDb::Options dist;

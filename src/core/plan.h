@@ -54,6 +54,7 @@ struct QueryPlan {
 struct QueryExecInfo {
   std::string access_path;  // per AccessPathName or engine-specific
   ScanStats scan;
+  JoinStats join;           // zero-initialized when the plan has no join
   double cost_estimate = 0;
   double est_selectivity = 1;
 };

@@ -123,7 +123,11 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
     rreq.require_fresh = plan.require_fresh;
     HTAP_ASSIGN_OR_RETURN(std::vector<Row> rrows,
                           scan(rreq, nullptr, nullptr));
-    rows = HashJoin(rows, rrows, plan.left_col, plan.right_col);
+    // The join fans build/probe morsels onto the same AP pool as scans, so
+    // the scheduler's OLAP concurrency quota bounds its in-flight morsels
+    // exactly as it bounds scan morsels.
+    rows = HashJoin(rows, rrows, plan.left_col, plan.right_col, exec,
+                    &xi->join);
   }
 
   if (!plan.aggs.empty()) {

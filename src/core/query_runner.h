@@ -25,7 +25,8 @@ using ScanFn = std::function<Result<std::vector<Row>>(
     const ScanRequest&, ScanStats* stats, std::string* path_desc)>;
 
 /// Executes `plan` against `catalog` using `scan` for base access. `exec`
-/// supplies the AP pool for parallel aggregation (default: serial).
+/// supplies the AP pool for the parallel hash join and aggregation
+/// (default: serial).
 Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
                             const ScanFn& scan, QueryExecInfo* info,
                             const ExecContext& exec = ExecContext{});

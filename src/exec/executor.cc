@@ -4,6 +4,9 @@
 #include <atomic>
 #include <limits>
 #include <unordered_map>
+#include <utility>
+
+#include "common/clock.h"
 
 namespace htap {
 
@@ -331,29 +334,226 @@ std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
                   stats);
 }
 
+namespace {
+
+/// Chained hash table over one radix partition of the build side. Chains
+/// preserve build-input order per hash, so probing emits matches exactly in
+/// nested-loop order — the property the serial/parallel byte-identity of
+/// the join rests on.
+class JoinPartitionTable {
+ public:
+  void Reserve(size_t rows) {
+    slots_.reserve(rows);
+    entries_.reserve(rows);
+  }
+
+  void Insert(uint64_t hash, uint32_t row) {
+    const auto e = static_cast<uint32_t>(entries_.size());
+    entries_.push_back(Entry{row, kEnd});
+    auto [it, fresh] = slots_.try_emplace(hash, Chain{e, e});
+    if (!fresh) {
+      entries_[it->second.tail].next = e;
+      it->second.tail = e;
+    }
+  }
+
+  template <typename Fn>
+  void ForEachHashMatch(uint64_t hash, const Fn& fn) const {
+    const auto it = slots_.find(hash);
+    if (it == slots_.end()) return;
+    for (uint32_t e = it->second.head; e != kEnd; e = entries_[e].next)
+      fn(entries_[e].row);
+  }
+
+ private:
+  static constexpr uint32_t kEnd = 0xffffffffu;
+  struct Chain {
+    uint32_t head;
+    uint32_t tail;
+  };
+  struct Entry {
+    uint32_t row;
+    uint32_t next;
+  };
+  std::unordered_map<uint64_t, Chain> slots_;
+  std::vector<Entry> entries_;
+};
+
+Row ConcatRows(const Row& l, const Row& r) {
+  std::vector<Value> vals;
+  vals.reserve(l.size() + r.size());
+  vals.insert(vals.end(), l.values().begin(), l.values().end());
+  vals.insert(vals.end(), r.values().begin(), r.values().end());
+  return Row(std::move(vals));
+}
+
+/// Probes left rows [lo, hi) against the partition tables. Two passes: a
+/// hash-match pre-count sizes the output reservation (overcounting only on
+/// hash collisions between unequal keys), then the emit pass confirms key
+/// equality.
+void ProbeRange(const std::vector<Row>& left, size_t lo, size_t hi,
+                int left_col, const std::vector<Row>& right, int right_col,
+                const std::vector<JoinPartitionTable>& parts,
+                uint64_t part_mask, uint64_t hash_mask,
+                std::vector<Row>* out) {
+  const auto lc = static_cast<size_t>(left_col);
+  const auto rc = static_cast<size_t>(right_col);
+  std::vector<uint64_t> hashes(hi - lo);
+  std::vector<uint8_t> has_key(hi - lo, 0);
+  size_t estimate = 0;
+  for (size_t i = lo; i < hi; ++i) {
+    const Value& k = left[i].Get(lc);
+    if (k.is_null()) continue;
+    const uint64_t h = k.Hash() & hash_mask;
+    hashes[i - lo] = h;
+    has_key[i - lo] = 1;
+    parts[h & part_mask].ForEachHashMatch(h, [&](uint32_t) { ++estimate; });
+  }
+  out->reserve(out->size() + estimate);
+  for (size_t i = lo; i < hi; ++i) {
+    if (!has_key[i - lo]) continue;
+    const uint64_t h = hashes[i - lo];
+    const Value& k = left[i].Get(lc);
+    parts[h & part_mask].ForEachHashMatch(h, [&](uint32_t r) {
+      if (right[r].Get(rc) != k) return;  // hash collision
+      out->push_back(ConcatRows(left[i], right[r]));
+    });
+  }
+}
+
+/// Partition count: ~4 independent build morsels per worker for load
+/// balance, power of two for mask addressing, capped at 64 so small builds
+/// aren't shredded into allocation overhead.
+size_t JoinPartitionCount(size_t workers) {
+  size_t k = 16;
+  while (k < workers * 4 && k < 64) k <<= 1;
+  return k;
+}
+
+/// Below these sizes a scatter chunk / probe morsel isn't worth a task.
+constexpr size_t kMinScatterRowsPerChunk = 8192;
+constexpr size_t kMinProbeRowsPerMorsel = 4096;
+
+}  // namespace
+
 std::vector<Row> HashJoin(const std::vector<Row>& left,
                           const std::vector<Row>& right, int left_col,
                           int right_col) {
-  std::unordered_multimap<uint64_t, const Row*> build;
-  build.reserve(right.size());
-  for (const Row& r : right) {
-    const Value& k = r.Get(static_cast<size_t>(right_col));
-    if (k.is_null()) continue;
-    build.emplace(k.Hash(), &r);
-  }
+  return HashJoin(left, right, left_col, right_col, ExecContext{}, nullptr);
+}
+
+std::vector<Row> HashJoin(const std::vector<Row>& left,
+                          const std::vector<Row>& right, int left_col,
+                          int right_col, const ExecContext& exec,
+                          JoinStats* stats) {
+  const Stopwatch sw;
+  JoinStats local;
+  JoinStats* js = stats != nullptr ? stats : &local;
+  js->build_rows = right.size();
+  js->probe_rows = left.size();
+
+  const auto rc = static_cast<size_t>(right_col);
+  const uint64_t hash_mask = exec.join_hash_mask;
   std::vector<Row> out;
-  for (const Row& l : left) {
-    const Value& k = l.Get(static_cast<size_t>(left_col));
-    if (k.is_null()) continue;
-    const auto range = build.equal_range(k.Hash());
-    for (auto it = range.first; it != range.second; ++it) {
-      const Row& r = *it->second;
-      if (r.Get(static_cast<size_t>(right_col)) != k) continue;  // hash collision
-      Row joined = l;
-      for (const Value& v : r.values()) joined.Append(v);
-      out.push_back(std::move(joined));
+
+  if (!exec.parallel() || right.size() < exec.min_parallel_join_build) {
+    // Serial path: one partition, built and probed inline.
+    std::vector<JoinPartitionTable> parts(1);
+    parts[0].Reserve(right.size());
+    for (size_t i = 0; i < right.size(); ++i) {
+      const Value& k = right[i].Get(rc);
+      if (k.is_null()) continue;
+      parts[0].Insert(k.Hash() & hash_mask, static_cast<uint32_t>(i));
+    }
+    ProbeRange(left, 0, left.size(), left_col, right, right_col, parts,
+               /*part_mask=*/0, hash_mask, &out);
+    js->partitions = 1;
+    js->parallel = false;
+    js->output_rows = out.size();
+    js->seconds = sw.ElapsedSeconds();
+    return out;
+  }
+
+  const size_t workers = exec.max_parallelism;
+  const size_t nparts = JoinPartitionCount(workers);
+  const uint64_t part_mask = nparts - 1;
+
+  // 1. Partition pass: contiguous build chunks scatter (hash, row) pairs
+  // into per-chunk partition buffers. Workers never share a buffer.
+  const size_t nchunks = std::clamp<size_t>(
+      right.size() / kMinScatterRowsPerChunk, 1, workers);
+  const size_t chunk_rows = (right.size() + nchunks - 1) / nchunks;
+  std::vector<std::vector<std::vector<std::pair<uint64_t, uint32_t>>>> scatter(
+      nchunks);
+  {
+    TaskGroup tg(exec.pool);
+    for (size_t c = 0; c < nchunks; ++c) {
+      tg.Run([&, c] {
+        auto& buckets = scatter[c];
+        buckets.resize(nparts);
+        const size_t hi = std::min(right.size(), (c + 1) * chunk_rows);
+        for (size_t i = c * chunk_rows; i < hi; ++i) {
+          const Value& k = right[i].Get(rc);
+          if (k.is_null()) continue;
+          const uint64_t h = k.Hash() & hash_mask;
+          buckets[h & part_mask].emplace_back(h, static_cast<uint32_t>(i));
+        }
+      });
     }
   }
+
+  // 2. Build pass: each partition's table is an independent morsel. Chunk
+  // buffers merge in chunk order, so per-hash chains hold build rows in
+  // input order exactly as the serial build does.
+  std::vector<JoinPartitionTable> parts(nparts);
+  {
+    TaskGroup tg(exec.pool);
+    for (size_t p = 0; p < nparts; ++p) {
+      tg.Run([&, p] {
+        size_t total = 0;
+        for (const auto& buckets : scatter) total += buckets[p].size();
+        parts[p].Reserve(total);
+        for (const auto& buckets : scatter)
+          for (const auto& [h, idx] : buckets[p]) parts[p].Insert(h, idx);
+      });
+    }
+  }
+
+  // 3. Probe pass: left chunks are morsels claimed through a shared cursor;
+  // per-morsel outputs concatenate in morsel order, preserving left input
+  // order — the parallel join is byte-identical to the serial one.
+  const size_t nprobe = left.empty()
+                            ? 0
+                            : std::clamp<size_t>(
+                                  left.size() / kMinProbeRowsPerMorsel, 1,
+                                  workers * 4);
+  std::vector<std::vector<Row>> partial(nprobe);
+  if (nprobe > 0) {
+    const size_t probe_rows = (left.size() + nprobe - 1) / nprobe;
+    std::atomic<size_t> next{0};
+    TaskGroup tg(exec.pool);
+    for (size_t w = 0; w < std::min(workers, nprobe); ++w) {
+      tg.Run([&] {
+        for (size_t m = next.fetch_add(1, std::memory_order_relaxed);
+             m < nprobe; m = next.fetch_add(1, std::memory_order_relaxed)) {
+          const size_t lo = m * probe_rows;
+          const size_t hi = std::min(left.size(), lo + probe_rows);
+          ProbeRange(left, lo, hi, left_col, right, right_col, parts,
+                     part_mask, hash_mask, &partial[m]);
+        }
+      });
+    }
+  }
+  size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  out.reserve(total);
+  for (auto& p : partial)
+    for (Row& r : p) out.push_back(std::move(r));
+
+  js->partitions = nparts;
+  js->parallel = true;
+  js->output_rows = out.size();
+  js->seconds = sw.ElapsedSeconds();
   return out;
 }
 

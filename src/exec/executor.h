@@ -6,9 +6,10 @@
 // (row vs column vs hybrid access paths) are unaffected because all paths
 // share the same materialization discipline.
 //
-// Scans and aggregation are morsel-driven when given an ExecContext with a
-// thread pool: one morsel per row group (column scans) or key range (row
-// scans), per-worker partial state, deterministic merge. See DESIGN.md
+// Scans, aggregation, and the hash join are morsel-driven when given an
+// ExecContext with a thread pool: one morsel per row group (column scans),
+// key range (row scans), radix partition (join build), or input chunk (join
+// probe), per-worker partial state, deterministic merge. See DESIGN.md
 // "Intra-query parallelism".
 
 #ifndef HTAP_EXEC_EXECUTOR_H_
@@ -32,8 +33,18 @@ namespace htap {
 /// queries — each operator fans out through its own TaskGroup, so waiting
 /// for one query's morsels never blocks on another's.
 struct ExecContext {
-  ThreadPool* pool = nullptr;   // AP scan pool; null = serial execution
+  ThreadPool* pool = nullptr;   // AP morsel pool; null = serial execution
   size_t max_parallelism = 1;   // target worker count for morsel fan-out
+
+  /// Serial fallback for the partitioned join: builds smaller than this run
+  /// the classic single-table join (partitioning a tiny build side costs
+  /// more than it wins). Mirrors DatabaseOptions::parallel_join_min_build_rows.
+  size_t min_parallel_join_build = 4096;
+
+  /// Test seam: join key hashes are ANDed with this mask before table
+  /// insertion and partition selection. Narrow masks force hash collisions
+  /// onto the key-confirm path; production code leaves it all-ones.
+  uint64_t join_hash_mask = ~0ull;
 
   bool parallel() const { return pool != nullptr && max_parallelism > 1; }
 };
@@ -91,10 +102,34 @@ std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
                           const std::vector<int>& projection,
                           const ExecContext& exec, ScanStats* stats);
 
+/// Counters the hash join fills in; benchmarks and EXPLAIN read these.
+struct JoinStats {
+  size_t build_rows = 0;
+  size_t probe_rows = 0;
+  size_t output_rows = 0;
+  size_t partitions = 1;   // radix partition count (1 = unpartitioned build)
+  bool parallel = false;   // took the radix-partitioned path
+  double seconds = 0;      // wall time inside the operator
+};
+
 /// Hash inner-equi-join: emits left ++ right rows. Builds on `right`.
+/// Output order is nested-loop order — left rows in input order, and for
+/// each left row its matches in right (build) input order.
 std::vector<Row> HashJoin(const std::vector<Row>& left,
                           const std::vector<Row>& right, int left_col,
                           int right_col);
+
+/// Radix-partitioned parallel variant: build rows scatter into partitions
+/// by key-hash radix (one morsel per input chunk, per-chunk buffers merged
+/// in chunk order), each partition's table builds as an independent morsel,
+/// and probe morsels stream left chunks against the matching partition with
+/// per-morsel output concatenated in morsel order — byte-identical to the
+/// serial join. Falls back to the serial path below
+/// `exec.min_parallel_join_build` build rows.
+std::vector<Row> HashJoin(const std::vector<Row>& left,
+                          const std::vector<Row>& right, int left_col,
+                          int right_col, const ExecContext& exec,
+                          JoinStats* stats = nullptr);
 
 /// Hash aggregation. With empty `group_cols`, emits one global row. Output
 /// row layout: group values then one value per AggSpec.

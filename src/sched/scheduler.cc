@@ -89,9 +89,10 @@ void ResourceScheduler::AdjustWorkloadDriven() {
 
 void ResourceScheduler::SetOlapQuota(size_t quota) {
   olap_pool_.SetConcurrencyQuota(quota);
-  // Throttle intra-query scan parallelism along with whole-query admission:
-  // the quota bounds how many morsels of the engine's parallel scans run
-  // at once, so shrinking it frees real CPU for OLTP.
+  // Throttle intra-query parallelism along with whole-query admission: the
+  // quota bounds how many morsels of the engine's parallel scans and
+  // radix-partitioned joins run at once, so shrinking it frees real CPU
+  // for OLTP.
   if (options_.ap_scan_pool != nullptr)
     options_.ap_scan_pool->SetConcurrencyQuota(quota);
 }

@@ -44,10 +44,11 @@ class ResourceScheduler {
     size_t olap_threads = 2;
     Micros adjust_interval_micros = 5000;
     Micros freshness_sla_micros = 20000;  // freshness-driven threshold
-    /// The engine's parallel-scan morsel pool (Database::ap_scan_pool()).
-    /// When set, the OLAP concurrency quota is mirrored onto it, so
-    /// throttling OLAP genuinely shrinks intra-query scan parallelism
-    /// rather than only queueing whole queries.
+    /// The engine's AP morsel pool (Database::ap_scan_pool()), which runs
+    /// scan, aggregation, and join build/probe morsels. When set, the OLAP
+    /// concurrency quota is mirrored onto it, so throttling OLAP genuinely
+    /// shrinks intra-query parallelism — joins included — rather than only
+    /// queueing whole queries.
     ThreadPool* ap_scan_pool = nullptr;
   };
 

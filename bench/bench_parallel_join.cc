@@ -9,11 +9,20 @@
 //   {"bench":"parallel_join","threads":4,"build_rows":...,"probe_rows":...,
 //    "output_rows":...,"probe_rows_per_sec":...,"speedup":...}
 //
+// A second section sweeps the grace join's spill budget (DESIGN.md §9) at a
+// fixed thread count, shrinking the budget from "everything resident" to
+// 1/16 of the build footprint and reporting the join-time / spill-volume
+// curve, one JSON line per point:
+//
+//   {"bench":"grace_join","threads":4,"budget_bytes":...,"join_ms":...,
+//    "partitions_spilled":...,"spill_bytes_written":...,
+//    "spill_bytes_read":...,"max_recursion":...}
+//
 // `bench_parallel_join smoke` runs one iteration over a 4x smaller dataset
-// (still above the serial-fallback threshold) — the CI configuration.
-// Speedup expectations depend on the host: with >= 4 cores the 4-thread
-// point should clear 1.5x; on a single-core host the curve is flat and only
-// the identity checks are meaningful.
+// (still above the serial-fallback threshold) and a single spill point —
+// the CI configuration. Speedup expectations depend on the host: with >= 4
+// cores the 4-thread point should clear 1.5x; on a single-core host the
+// curve is flat and only the identity checks are meaningful.
 
 #include <cstring>
 
@@ -41,13 +50,16 @@ struct Point {
 };
 
 Point RunPoint(const std::vector<Row>& probe, const std::vector<Row>& build,
-               size_t threads, int reps, const std::vector<Row>* reference) {
+               size_t threads, int reps, const std::vector<Row>* reference,
+               size_t spill_budget = 0) {
   std::unique_ptr<ThreadPool> pool;
   ExecContext exec;
   if (threads > 1) {
     pool = std::make_unique<ThreadPool>(threads, "bench-join-ap");
-    exec = ExecContext{pool.get(), threads};
+    exec.pool = pool.get();
+    exec.max_parallelism = threads;
   }
+  exec.join_spill_budget_bytes = spill_budget;
   Point p;
   std::vector<Row> out;
   for (int rep = -1; rep < reps; ++rep) {  // rep -1 = warmup
@@ -118,7 +130,41 @@ int main(int argc, char** argv) {
                 speedup);
   }
   PrintRule(64);
-  std::printf("\nAll parallel join results verified byte-identical to "
-              "serial.\n");
+
+  // Grace (out-of-core) sweep: same join, shrinking spill budget. Every
+  // point is identity-checked against the unspilled serial reference.
+  const size_t build_bytes = EstimateRowsBytes(build);
+  const size_t grace_threads = 4;
+  std::vector<size_t> budgets;
+  if (smoke)
+    budgets = {build_bytes / 4};
+  else
+    budgets = {build_bytes / 2, build_bytes / 4, build_bytes / 16};
+  std::printf("\nGrace join spill-budget sweep "
+              "(%zu threads, build footprint %.1f MiB)\n",
+              grace_threads, static_cast<double>(build_bytes) / (1 << 20));
+  std::printf("%12s | %10s | %8s | %12s | %12s | %6s\n", "budget MiB",
+              "join ms", "spilled", "written MiB", "read MiB", "rec");
+  PrintRule(76);
+  for (size_t budget : budgets) {
+    const Point p =
+        RunPoint(probe, build, grace_threads, reps, &reference, budget);
+    std::printf("%12.1f | %10.2f | %8zu | %12.1f | %12.1f | %6zu\n",
+                static_cast<double>(budget) / (1 << 20), p.sec * 1e3,
+                p.stats.partitions_spilled,
+                static_cast<double>(p.stats.spill_bytes_written) / (1 << 20),
+                static_cast<double>(p.stats.spill_bytes_read) / (1 << 20),
+                p.stats.spill_max_recursion);
+    std::printf("{\"bench\":\"grace_join\",\"threads\":%zu,"
+                "\"budget_bytes\":%zu,\"join_ms\":%.2f,"
+                "\"partitions_spilled\":%zu,\"spill_bytes_written\":%zu,"
+                "\"spill_bytes_read\":%zu,\"max_recursion\":%zu}\n",
+                grace_threads, budget, p.sec * 1e3,
+                p.stats.partitions_spilled, p.stats.spill_bytes_written,
+                p.stats.spill_bytes_read, p.stats.spill_max_recursion);
+  }
+  PrintRule(76);
+  std::printf("\nAll parallel and grace join results verified "
+              "byte-identical to serial.\n");
   return 0;
 }

@@ -1,29 +1,45 @@
 #!/usr/bin/env bash
 # Tier-1 verification, a Release smoke run of the parallel-join bench, and a
 # ThreadSanitizer pass over the concurrency tests (parallel scan/aggregate,
-# parallel join, columnar, executor, pools, sync, scheduler).
+# parallel join, grace join, columnar, executor, pools, sync, scheduler).
+# Also verifies that no grace-join spill run (htap-spill-*) leaks out of any
+# bench or test run.
 # Usage: ./ci.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")"
 JOBS="${1:-$(nproc)}"
+
+# Grace-join spill runs land in the system temp dir (unless overridden);
+# start from a clean slate so the leak check below is meaningful.
+SPILL_DIR="${TMPDIR:-/tmp}"
+rm -f "$SPILL_DIR"/htap-spill-*
 
 echo "== tier-1: build + ctest =="
 cmake -B build -S . > /dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
-echo "== bench smoke: parallel join (1 iteration, identity-checked) =="
+echo "== bench smoke: parallel join + grace spill point (identity-checked) =="
 cmake --build build -j "$JOBS" --target bench_parallel_join
 ./build/bench/bench_parallel_join smoke
 
 echo "== tsan: concurrency tests =="
-TSAN_TESTS=(parallel_scan_test parallel_join_test columnar_test executor_test
-            common_test sync_test scheduler_test)
+TSAN_TESTS=(parallel_scan_test parallel_join_test grace_join_test
+            columnar_test executor_test common_test sync_test scheduler_test)
 cmake -B build-tsan -S . -DHTAP_TSAN=ON > /dev/null
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
   echo "-- $t (tsan)"
   ./build-tsan/tests/"$t" --gtest_brief=1
 done
+
+echo "== spill-run leak check =="
+leaks=$(find "$SPILL_DIR" -maxdepth 1 -name 'htap-spill-*' 2>/dev/null || true)
+if [[ -n "$leaks" ]]; then
+  echo "FAIL: leaked spill runs:" >&2
+  echo "$leaks" >&2
+  exit 1
+fi
+echo "no leaked htap-spill-* files"
 
 echo "CI OK"

@@ -33,16 +33,24 @@ struct ApScanRuntime {
   std::unique_ptr<ThreadPool> pool;
   size_t threads = 1;
   size_t min_join_build = 4096;
+  size_t spill_budget = 0;
+  std::string spill_dir;
 
   explicit ApScanRuntime(const DatabaseOptions& options)
       : threads(EffectiveParallelScanThreads(options)),
-        min_join_build(options.parallel_join_min_build_rows) {
+        min_join_build(options.parallel_join_min_build_rows),
+        spill_budget(options.join_spill_budget_bytes),
+        spill_dir(options.join_spill_dir) {
     if (threads > 1) pool = std::make_unique<ThreadPool>(threads, "ap-scan");
   }
 
   ExecContext ctx() const {
-    ExecContext exec{pool.get(), threads};
+    ExecContext exec;
+    exec.pool = pool.get();
+    exec.max_parallelism = threads;
     exec.min_parallel_join_build = min_join_build;
+    exec.join_spill_budget_bytes = spill_budget;
+    exec.join_spill_dir = spill_dir;
     return exec;
   }
 };

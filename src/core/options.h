@@ -65,6 +65,16 @@ struct DatabaseOptions {
   /// since partitioning a tiny build never amortizes its scatter pass.
   size_t parallel_join_min_build_rows = 4096;
 
+  /// Grace-join spill budget: when a hash join's estimated build-side
+  /// footprint exceeds this many bytes, radix partitions that do not fit
+  /// spill both sides to temporary on-disk runs and join
+  /// partition-at-a-time (DESIGN.md §9). 0 = unlimited — never spill.
+  size_t join_spill_budget_bytes = 0;
+
+  /// Directory for the grace join's `htap-spill-*` run files; empty = the
+  /// system temp directory.
+  std::string join_spill_dir;
+
   /// Architecture (b): simulated cluster shape.
   sim::DistributedDb::Options dist;
   /// Virtual-time budget granted per pump while waiting on the simulator.

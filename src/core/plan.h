@@ -17,21 +17,40 @@ namespace htap {
 /// hybrid row/column scan technique).
 enum class PathHint : uint8_t { kAuto = 0, kForceRow = 1, kForceColumn = 2 };
 
-/// One table access with an optional hash equi-join, aggregation, and
-/// sort/limit. Column indexes in `where` refer to the base table; after a
-/// join, combined rows are left columns followed by right columns, and
-/// `group_by` / `aggs` / `order_by` / `projection` refer to that combined
-/// layout.
+/// One additional hash equi-join against `table`. `left_col` indexes the
+/// combined layout of everything joined so far in plan order (base table
+/// columns, then each prior join's columns); `right_col` indexes the joined
+/// table's own layout. `where` is pushed down to the joined table's scan.
+struct JoinClause {
+  std::string table;
+  Predicate where;
+  int left_col = -1;
+  int right_col = -1;
+};
+
+/// One table access with optional hash equi-joins, aggregation, and
+/// sort/limit. Column indexes in `where` refer to the base table; after the
+/// joins, combined rows are base columns followed by each join's columns in
+/// plan order, and `group_by` / `aggs` / `order_by` / `projection` refer to
+/// that combined layout. The runner may execute the joins in a different
+/// order (greedy cardinality-based selection) and build on either side, but
+/// the output is always byte-identical to executing them in plan order with
+/// build-on-right (see DESIGN.md §9).
 struct QueryPlan {
   std::string table;
   Predicate where;
 
-  // Optional join.
+  // Optional first join (the classic single-join form; kept as plain
+  // fields so existing callers/binders stay source-compatible).
   bool has_join = false;
   std::string join_table;
   Predicate join_where;  // pushed down to the right side (its own layout)
   int left_col = -1;     // equi-join columns
   int right_col = -1;    // index within the right table's layout
+
+  /// Further joins, applied after the `has_join` clause (if any). The
+  /// effective join list is the legacy clause followed by these.
+  std::vector<JoinClause> joins;
 
   // Optional aggregation (combined layout).
   std::vector<int> group_by;
@@ -54,7 +73,21 @@ struct QueryPlan {
 struct QueryExecInfo {
   std::string access_path;  // per AccessPathName or engine-specific
   ScanStats scan;
-  JoinStats join;           // zero-initialized when the plan has no join
+
+  /// Aggregate over all executed joins (zero-initialized when the plan has
+  /// none). Row/time/spill counters sum across steps; `partitions` is the
+  /// maximum; `parallel` / `build_swapped` OR; `output_rows` is the final
+  /// join's output. For single-join plans this equals the one step.
+  JoinStats join;
+
+  /// Per-join stats in execution order (which may differ from plan order —
+  /// see QueryExecInfo::join_order).
+  std::vector<JoinStats> join_steps;
+
+  /// Plan-order clause index executed at each step; empty when the plan has
+  /// fewer than two joins.
+  std::vector<size_t> join_order;
+
   double cost_estimate = 0;
   double est_selectivity = 1;
 };

@@ -1,17 +1,48 @@
 #include "core/query_runner.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "opt/join_planner.h"
 
 namespace htap {
 
 namespace {
 
-/// Combined (post-join) schema: left columns then right columns.
-Schema CombinedSchema(const TableInfo& left, const TableInfo* right) {
-  std::vector<ColumnDef> cols = left.schema.columns();
-  if (right != nullptr)
-    for (const auto& c : right->schema.columns()) cols.push_back(c);
-  return Schema(std::move(cols), left.schema.pk_index());
+/// One join clause resolved against the catalog.
+struct BoundJoin {
+  const TableInfo* table = nullptr;
+  const Predicate* where = nullptr;
+  int left_col = -1;   // plan-order combined layout
+  int right_col = -1;  // the joined table's own layout
+};
+
+/// The effective join list: the legacy single-join fields (if set) followed
+/// by plan.joins.
+Result<std::vector<BoundJoin>> BindJoins(const QueryPlan& plan,
+                                         const Catalog& catalog) {
+  std::vector<BoundJoin> out;
+  if (plan.has_join) {
+    const TableInfo* t = catalog.Find(plan.join_table);
+    if (t == nullptr) return Status::NotFound("no table: " + plan.join_table);
+    out.push_back({t, &plan.join_where, plan.left_col, plan.right_col});
+  }
+  for (const JoinClause& jc : plan.joins) {
+    const TableInfo* t = catalog.Find(jc.table);
+    if (t == nullptr) return Status::NotFound("no table: " + jc.table);
+    out.push_back({t, &jc.where, jc.left_col, jc.right_col});
+  }
+  return out;
+}
+
+/// Combined (post-join) schema: base columns, then each join's columns in
+/// plan order.
+Schema CombinedSchema(const TableInfo& base,
+                      const std::vector<BoundJoin>& joins) {
+  std::vector<ColumnDef> cols = base.schema.columns();
+  for (const BoundJoin& j : joins)
+    for (const auto& c : j.table->schema.columns()) cols.push_back(c);
+  return Schema(std::move(cols), base.schema.pk_index());
 }
 
 Type AggOutputType(const AggSpec& agg, const Schema& input) {
@@ -43,32 +74,188 @@ Schema OutputSchema(const QueryPlan& plan, const Schema& combined) {
   return combined;
 }
 
+/// Aggregates one executed join step into the plan-level JoinStats.
+void FoldJoinStats(const JoinStats& step, JoinStats* total) {
+  total->build_rows += step.build_rows;
+  total->probe_rows += step.probe_rows;
+  total->output_rows = step.output_rows;  // the last step's output
+  total->partitions = std::max(total->partitions, step.partitions);
+  total->parallel = total->parallel || step.parallel;
+  total->build_swapped = total->build_swapped || step.build_swapped;
+  total->partitions_spilled += step.partitions_spilled;
+  total->spill_rows_written += step.spill_rows_written;
+  total->spill_bytes_written += step.spill_bytes_written;
+  total->spill_bytes_read += step.spill_bytes_read;
+  total->spill_max_recursion =
+      std::max(total->spill_max_recursion, step.spill_max_recursion);
+  total->seconds += step.seconds;
+}
+
+/// One hash join with build-side selection (DESIGN.md §9). Builds on the
+/// smaller input; when that is the left side, the swapped join's pairs —
+/// (right, left) index order — are re-sorted to (left, right) and
+/// materialized build-side-first, so the output rows and their order are
+/// byte-identical to the unswapped join in every regime.
+std::vector<Row> JoinStep(const std::vector<Row>& cur,
+                          const std::vector<Row>& right, int left_col,
+                          int right_col, const ExecContext& exec,
+                          JoinStats* step) {
+  if (!ChooseBuildSideLeft(cur.size(), right.size())) {
+    const JoinPairs pairs =
+        HashJoinPairs(cur, right, left_col, right_col, exec, step);
+    return MaterializeJoinPairs(cur, right, pairs,
+                                /*build_side_first=*/false, exec);
+  }
+  JoinPairs pairs = HashJoinPairs(right, cur, right_col, left_col, exec, step);
+  step->build_swapped = true;
+  std::sort(pairs.begin(), pairs.end(),
+            [](const std::pair<uint32_t, uint32_t>& a,
+               const std::pair<uint32_t, uint32_t>& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  return MaterializeJoinPairs(right, cur, pairs, /*build_side_first=*/true,
+                              exec);
+}
+
+/// Executes the plan's joins over `*rows_io` (the scanned base table).
+///
+/// Join-order selection may execute clauses out of plan order; when it
+/// does, every input grows a hidden int64 index column, and after the last
+/// join the rows are sorted lexicographically by the hidden columns in PLAN
+/// order — the tuple (base index, match index per clause) is unique and is
+/// exactly the plan-order nested-loop order — then projected back to the
+/// plan's combined layout. When the chosen order is plan order (always the
+/// case for 0–1 joins), none of that machinery is engaged.
+Status ExecuteJoins(const std::vector<BoundJoin>& joins, size_t base_width,
+                    const ScanFn& scan, const QueryPlan& plan,
+                    const ExecContext& exec, QueryExecInfo* xi,
+                    std::vector<Row>* rows_io) {
+  const size_t njoins = joins.size();
+
+  // Scan every join table (full rows; its predicate pushed down).
+  std::vector<std::vector<Row>> jrows(njoins);
+  std::vector<size_t> width(njoins);    // schema width per clause
+  std::vector<size_t> offset(njoins);   // plan-order combined-layout offset
+  size_t total_cols = base_width;
+  for (size_t j = 0; j < njoins; ++j) {
+    ScanRequest rreq;
+    rreq.table = joins[j].table;
+    rreq.pred = joins[j].where;
+    rreq.path = plan.path;
+    rreq.require_fresh = plan.require_fresh;
+    HTAP_ASSIGN_OR_RETURN(jrows[j], scan(rreq, nullptr, nullptr));
+    width[j] = joins[j].table->schema.columns().size();
+    offset[j] = total_cols;
+    total_cols += width[j];
+  }
+
+  // Validate join keys and derive ordering dependencies: a clause whose
+  // left_col lands inside an earlier clause's column span must run after
+  // that clause.
+  std::vector<std::vector<size_t>> deps(njoins);
+  for (size_t j = 0; j < njoins; ++j) {
+    const int lc = joins[j].left_col;
+    const int rc = joins[j].right_col;
+    if (lc < 0 || static_cast<size_t>(lc) >= offset[j] || rc < 0 ||
+        static_cast<size_t>(rc) >= width[j])
+      return Status::InvalidArgument("join " + std::to_string(j) +
+                                     ": key columns out of range");
+    for (size_t k = 0; k < j; ++k)
+      if (static_cast<size_t>(lc) >= offset[k] &&
+          static_cast<size_t>(lc) < offset[k] + width[k])
+        deps[j].push_back(k);
+  }
+
+  // Greedy join-order selection (trivial for 0–1 joins).
+  std::vector<size_t> order(njoins);
+  for (size_t j = 0; j < njoins; ++j) order[j] = j;
+  if (njoins > 1) {
+    std::vector<JoinRelEstimate> rels(njoins);
+    for (size_t j = 0; j < njoins; ++j) {
+      rels[j].rows = jrows[j].size();
+      rels[j].key_ndv = static_cast<double>(
+          CountDistinctKeys(jrows[j], joins[j].right_col));
+    }
+    order = ChooseJoinOrder(rows_io->size(), rels, deps);
+    xi->join_order = order;
+  }
+  bool reorder = false;
+  for (size_t s = 0; s < njoins; ++s) reorder = reorder || order[s] != s;
+
+  // Tag every input with a hidden index column when the order changed.
+  std::vector<Row> cur = std::move(*rows_io);
+  if (reorder) {
+    for (size_t i = 0; i < cur.size(); ++i)
+      cur[i].Append(Value(static_cast<int64_t>(i)));
+    for (size_t j = 0; j < njoins; ++j)
+      for (size_t i = 0; i < jrows[j].size(); ++i)
+        jrows[j][i].Append(Value(static_cast<int64_t>(i)));
+  }
+
+  // phys_of_logical maps plan-order combined columns to their position in
+  // the physical (execution-order, hidden-tagged) layout.
+  std::vector<int> phys_of_logical(total_cols, -1);
+  for (size_t c = 0; c < base_width; ++c)
+    phys_of_logical[c] = static_cast<int>(c);
+  const size_t base_hidden = base_width;        // valid when reorder
+  std::vector<size_t> join_hidden(njoins, 0);   // valid when reorder
+  size_t cur_width = base_width + (reorder ? 1 : 0);
+
+  for (size_t s = 0; s < njoins; ++s) {
+    const size_t j = order[s];
+    const int lc_phys = phys_of_logical[static_cast<size_t>(joins[j].left_col)];
+    if (lc_phys < 0)
+      return Status::Internal("join order violated a key dependency");
+    JoinStats step;
+    cur = JoinStep(cur, jrows[j], lc_phys, joins[j].right_col, exec, &step);
+    std::vector<Row>().swap(jrows[j]);  // scanned side now folded into cur
+    for (size_t c = 0; c < width[j]; ++c)
+      phys_of_logical[offset[j] + c] = static_cast<int>(cur_width + c);
+    if (reorder) join_hidden[j] = cur_width + width[j];
+    cur_width += width[j] + (reorder ? 1 : 0);
+    FoldJoinStats(step, &xi->join);
+    xi->join_steps.push_back(step);
+  }
+
+  if (reorder) {
+    // Restore plan-order nested-loop order, then the plan-order layout.
+    std::vector<size_t> sort_cols;
+    sort_cols.push_back(base_hidden);
+    for (size_t j = 0; j < njoins; ++j) sort_cols.push_back(join_hidden[j]);
+    std::sort(cur.begin(), cur.end(), [&](const Row& a, const Row& b) {
+      for (size_t c : sort_cols) {
+        const int64_t av = a.Get(c).AsInt64();
+        const int64_t bv = b.Get(c).AsInt64();
+        if (av != bv) return av < bv;
+      }
+      return false;
+    });
+    cur = Project(cur, phys_of_logical);
+  }
+
+  *rows_io = std::move(cur);
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Schema> PlanOutputSchema(const QueryPlan& plan,
                                 const Catalog& catalog) {
-  const TableInfo* left = catalog.Find(plan.table);
-  if (left == nullptr) return Status::NotFound("no table: " + plan.table);
-  const TableInfo* right = nullptr;
-  if (plan.has_join) {
-    right = catalog.Find(plan.join_table);
-    if (right == nullptr)
-      return Status::NotFound("no table: " + plan.join_table);
-  }
-  return OutputSchema(plan, CombinedSchema(*left, right));
+  const TableInfo* base = catalog.Find(plan.table);
+  if (base == nullptr) return Status::NotFound("no table: " + plan.table);
+  HTAP_ASSIGN_OR_RETURN(const std::vector<BoundJoin> joins,
+                        BindJoins(plan, catalog));
+  return OutputSchema(plan, CombinedSchema(*base, joins));
 }
 
 Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
                             const ScanFn& scan, QueryExecInfo* info,
                             const ExecContext& exec) {
-  const TableInfo* left = catalog.Find(plan.table);
-  if (left == nullptr) return Status::NotFound("no table: " + plan.table);
-  const TableInfo* right = nullptr;
-  if (plan.has_join) {
-    right = catalog.Find(plan.join_table);
-    if (right == nullptr)
-      return Status::NotFound("no table: " + plan.join_table);
-  }
+  const TableInfo* base = catalog.Find(plan.table);
+  if (base == nullptr) return Status::NotFound("no table: " + plan.table);
+  HTAP_ASSIGN_OR_RETURN(const std::vector<BoundJoin> joins,
+                        BindJoins(plan, catalog));
 
   QueryExecInfo local_info;
   QueryExecInfo* xi = info != nullptr ? info : &local_info;
@@ -77,8 +264,8 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
   // table aggregates push exactly the columns the aggregation consumes
   // (and remap the aggregate/group indexes onto the narrowed layout) — the
   // core benefit of columnar access. Joins work on full rows.
-  const bool simple = !plan.has_join && plan.aggs.empty();
-  const bool narrowed_agg = !plan.has_join && !plan.aggs.empty();
+  const bool simple = joins.empty() && plan.aggs.empty();
+  const bool narrowed_agg = joins.empty() && !plan.aggs.empty();
 
   std::vector<int> agg_scan_cols;       // pushed-down scan projection
   std::vector<int> remapped_groups = plan.group_by;
@@ -104,7 +291,7 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
   }
 
   ScanRequest req;
-  req.table = left;
+  req.table = base;
   req.pred = &plan.where;
   if (simple)
     req.projection = plan.projection;
@@ -115,19 +302,12 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
   HTAP_ASSIGN_OR_RETURN(std::vector<Row> rows,
                         scan(req, &xi->scan, &xi->access_path));
 
-  if (plan.has_join) {
-    ScanRequest rreq;
-    rreq.table = right;
-    rreq.pred = &plan.join_where;
-    rreq.path = plan.path;
-    rreq.require_fresh = plan.require_fresh;
-    HTAP_ASSIGN_OR_RETURN(std::vector<Row> rrows,
-                          scan(rreq, nullptr, nullptr));
-    // The join fans build/probe morsels onto the same AP pool as scans, so
-    // the scheduler's OLAP concurrency quota bounds its in-flight morsels
+  if (!joins.empty()) {
+    // The joins fan build/probe morsels onto the same AP pool as scans, so
+    // the scheduler's OLAP concurrency quota bounds their in-flight morsels
     // exactly as it bounds scan morsels.
-    rows = HashJoin(rows, rrows, plan.left_col, plan.right_col, exec,
-                    &xi->join);
+    HTAP_RETURN_NOT_OK(ExecuteJoins(joins, base->schema.columns().size(),
+                                    scan, plan, exec, xi, &rows));
   }
 
   if (!plan.aggs.empty()) {
@@ -144,7 +324,7 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
     rows.resize(plan.limit);
 
   QueryResult result;
-  result.schema = OutputSchema(plan, CombinedSchema(*left, right));
+  result.schema = OutputSchema(plan, CombinedSchema(*base, joins));
   result.rows = std::move(rows);
   result.stats = xi->scan;
   return result;

@@ -1,12 +1,18 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <cstdio>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/clock.h"
+#include "common/status.h"
+#include "storage/spill_file.h"
 
 namespace htap {
 
@@ -334,6 +340,12 @@ std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
                   stats);
 }
 
+// ---------------------------------------------------------------------------
+// Hash join. Three regimes share one pair-emitting core (DESIGN.md §§8–9):
+// serial single-table, radix-partitioned parallel, and the grace
+// (out-of-core) path that spills oversized partitions to temporary runs.
+// ---------------------------------------------------------------------------
+
 namespace {
 
 /// Chained hash table over one radix partition of the build side. Chains
@@ -387,22 +399,22 @@ Row ConcatRows(const Row& l, const Row& r) {
   return Row(std::move(vals));
 }
 
-/// Probes left rows [lo, hi) against the partition tables. Two passes: a
-/// hash-match pre-count sizes the output reservation (overcounting only on
-/// hash collisions between unequal keys), then the emit pass confirms key
-/// equality.
-void ProbeRange(const std::vector<Row>& left, size_t lo, size_t hi,
-                int left_col, const std::vector<Row>& right, int right_col,
-                const std::vector<JoinPartitionTable>& parts,
-                uint64_t part_mask, uint64_t hash_mask,
-                std::vector<Row>* out) {
-  const auto lc = static_cast<size_t>(left_col);
-  const auto rc = static_cast<size_t>(right_col);
+/// Probes probe rows [lo, hi) against the partition tables, emitting
+/// (probe, build) index pairs. Two passes: a hash-match pre-count sizes the
+/// output reservation (overcounting only on hash collisions between unequal
+/// keys), then the emit pass confirms key equality.
+void ProbePairsRange(const std::vector<Row>& probe, size_t lo, size_t hi,
+                     int probe_col, const std::vector<Row>& build,
+                     int build_col,
+                     const std::vector<JoinPartitionTable>& parts,
+                     uint64_t part_mask, uint64_t hash_mask, JoinPairs* out) {
+  const auto pc = static_cast<size_t>(probe_col);
+  const auto bc = static_cast<size_t>(build_col);
   std::vector<uint64_t> hashes(hi - lo);
   std::vector<uint8_t> has_key(hi - lo, 0);
   size_t estimate = 0;
   for (size_t i = lo; i < hi; ++i) {
-    const Value& k = left[i].Get(lc);
+    const Value& k = probe[i].Get(pc);
     if (k.is_null()) continue;
     const uint64_t h = k.Hash() & hash_mask;
     hashes[i - lo] = h;
@@ -413,10 +425,10 @@ void ProbeRange(const std::vector<Row>& left, size_t lo, size_t hi,
   for (size_t i = lo; i < hi; ++i) {
     if (!has_key[i - lo]) continue;
     const uint64_t h = hashes[i - lo];
-    const Value& k = left[i].Get(lc);
+    const Value& k = probe[i].Get(pc);
     parts[h & part_mask].ForEachHashMatch(h, [&](uint32_t r) {
-      if (right[r].Get(rc) != k) return;  // hash collision
-      out->push_back(ConcatRows(left[i], right[r]));
+      if (build[r].Get(bc) != k) return;  // hash collision
+      out->emplace_back(static_cast<uint32_t>(i), r);
     });
   }
 }
@@ -434,7 +446,610 @@ size_t JoinPartitionCount(size_t workers) {
 constexpr size_t kMinScatterRowsPerChunk = 8192;
 constexpr size_t kMinProbeRowsPerMorsel = 4096;
 
+// ---- grace (out-of-core) path ---------------------------------------------
+
+/// Re-partition fan-out per recursion level: 4 radix bits.
+constexpr size_t kSpillSubBits = 4;
+constexpr size_t kSpillSubParts = size_t{1} << kSpillSubBits;
+
+/// A partition that never shrinks (one hot key) bottoms out here and is
+/// built in memory anyway — correctness over the budget.
+constexpr size_t kMaxSpillRecursion = 4;
+
+/// Top-level grace partition cap. Keeps the radix at <= 8 bits, which the
+/// join_hash_mask test seam relies on (masking the low 8 bits funnels every
+/// row into partition 0 to force recursion).
+constexpr size_t kMaxGracePartitions = 256;
+
+/// Spill runs are appended in ~256 KiB slabs, not per record.
+constexpr size_t kSpillFlushBytes = 256 * 1024;
+
+/// Top-level grace partition count: the parallel join's partition floor,
+/// grown toward 2x the build/budget ratio so a typical partition fits the
+/// budget with headroom.
+size_t GracePartitionCount(size_t est_bytes, size_t budget, size_t workers) {
+  size_t k = JoinPartitionCount(workers);
+  const size_t want = 2 * (est_bytes / std::max<size_t>(budget, 1));
+  while (k < want && k < kMaxGracePartitions) k <<= 1;
+  return k;
+}
+
+/// Counters accumulated across the grace write path (concurrent probe
+/// morsels append) and the serial read-back/recursion path.
+struct SpillCounters {
+  std::atomic<size_t> rows_written{0};
+  std::atomic<size_t> bytes_written{0};
+  size_t bytes_read = 0;  // serial only
+  size_t max_depth = 0;   // serial only
+};
+
+/// One spill record: the row's index in its original join input, then the
+/// row itself (both via the types/ binary encoding).
+void EncodeSpillRecord(uint32_t idx, const Row& row, std::string* out) {
+  Value(static_cast<int64_t>(idx)).EncodeTo(out);
+  row.EncodeTo(out);
+}
+
+/// A spill record decoded back into memory.
+struct SpillRecord {
+  uint32_t idx = 0;
+  Row row;
+};
+
+/// Reads a whole run back. A never-opened run (no rows reached it) reads as
+/// empty.
+Result<std::vector<SpillRecord>> ReadSpillRecords(SpillRun* run,
+                                                  SpillCounters* sc) {
+  std::vector<SpillRecord> out;
+  if (!run->is_open()) return out;
+  HTAP_ASSIGN_OR_RETURN(const std::string data, run->ReadAll());
+  sc->bytes_read += data.size();
+  size_t pos = 0;
+  while (pos < data.size()) {
+    Value idx;
+    SpillRecord rec;
+    if (!Value::DecodeFrom(data, &pos, &idx) || !idx.is_int64() ||
+        !Row::DecodeFrom(data, &pos, &rec.row))
+      return Status::Corruption("malformed spill record in " + run->path());
+    rec.idx = static_cast<uint32_t>(idx.AsInt64());
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+/// Correctness backstop: recomputes one radix partition's pairs straight
+/// from the in-memory inputs (which outlive the whole join). Used when the
+/// disk fails mid-partition; O(probe + build) per call but always right.
+void JoinPartitionInMemory(const std::vector<Row>& probe,
+                           const std::vector<Row>& build, int probe_col,
+                           int build_col, uint64_t hash_mask,
+                           uint64_t part_mask, size_t part, JoinPairs* out) {
+  const auto pc = static_cast<size_t>(probe_col);
+  const auto bc = static_cast<size_t>(build_col);
+  JoinPartitionTable table;
+  for (size_t j = 0; j < build.size(); ++j) {
+    const Value& k = build[j].Get(bc);
+    if (k.is_null()) continue;
+    const uint64_t h = k.Hash() & hash_mask;
+    if ((h & part_mask) != part) continue;
+    table.Insert(h, static_cast<uint32_t>(j));
+  }
+  for (size_t i = 0; i < probe.size(); ++i) {
+    const Value& k = probe[i].Get(pc);
+    if (k.is_null()) continue;
+    const uint64_t h = k.Hash() & hash_mask;
+    if ((h & part_mask) != part) continue;
+    table.ForEachHashMatch(h, [&](uint32_t j) {
+      if (build[j].Get(bc) != k) return;
+      out->emplace_back(static_cast<uint32_t>(i), j);
+    });
+  }
+}
+
+/// Joins one spilled partition, partition-at-a-time. If the build side still
+/// exceeds the budget, both runs re-partition on the next kSpillSubBits hash
+/// bits (`bit_shift` counts bits already consumed) and recurse; at
+/// kMaxSpillRecursion the partition is built regardless. Emits pairs in
+/// arbitrary order — the grace driver sorts the full pair set at the end.
+Status JoinSpilledPartition(SpillRun build_run, SpillRun probe_run,
+                            int probe_col, int build_col,
+                            const ExecContext& exec, const std::string& dir,
+                            size_t bit_shift, size_t depth, SpillCounters* sc,
+                            JoinPairs* out) {
+  const uint64_t hash_mask = exec.join_hash_mask;
+  const auto pc = static_cast<size_t>(probe_col);
+  const auto bc = static_cast<size_t>(build_col);
+
+  HTAP_ASSIGN_OR_RETURN(std::vector<SpillRecord> build,
+                        ReadSpillRecords(&build_run, sc));
+  build_run.Discard();
+  size_t build_bytes = 0;
+  for (const SpillRecord& r : build) build_bytes += r.row.MemoryBytes();
+
+  if (build_bytes > exec.join_spill_budget_bytes &&
+      depth < kMaxSpillRecursion) {
+    std::array<SpillRun, kSpillSubParts> bsub;
+    std::array<SpillRun, kSpillSubParts> psub;
+    std::array<uint8_t, kSpillSubParts> has_build{};
+    {
+      std::array<std::string, kSpillSubParts> bufs;
+      std::array<size_t, kSpillSubParts> rows{};
+      for (const SpillRecord& r : build) {
+        const uint64_t h = r.row.Get(bc).Hash() & hash_mask;
+        const size_t s = (h >> bit_shift) & (kSpillSubParts - 1);
+        EncodeSpillRecord(r.idx, r.row, &bufs[s]);
+        has_build[s] = 1;
+        ++rows[s];
+      }
+      std::vector<SpillRecord>().swap(build);
+      for (size_t s = 0; s < kSpillSubParts; ++s) {
+        if (!has_build[s]) continue;
+        HTAP_RETURN_NOT_OK(
+            bsub[s].Open(dir, "b" + std::to_string(depth + 1)));
+        HTAP_RETURN_NOT_OK(bsub[s].Append(bufs[s]));
+        sc->rows_written.fetch_add(rows[s], std::memory_order_relaxed);
+        sc->bytes_written.fetch_add(bufs[s].size(),
+                                    std::memory_order_relaxed);
+      }
+    }
+    {
+      HTAP_ASSIGN_OR_RETURN(std::vector<SpillRecord> probe,
+                            ReadSpillRecords(&probe_run, sc));
+      probe_run.Discard();
+      std::array<std::string, kSpillSubParts> bufs;
+      std::array<size_t, kSpillSubParts> rows{};
+      for (const SpillRecord& r : probe) {
+        const uint64_t h = r.row.Get(pc).Hash() & hash_mask;
+        const size_t s = (h >> bit_shift) & (kSpillSubParts - 1);
+        if (!has_build[s]) continue;  // no build rows -> cannot match
+        EncodeSpillRecord(r.idx, r.row, &bufs[s]);
+        ++rows[s];
+      }
+      for (size_t s = 0; s < kSpillSubParts; ++s) {
+        if (!has_build[s] || bufs[s].empty()) continue;
+        HTAP_RETURN_NOT_OK(
+            psub[s].Open(dir, "p" + std::to_string(depth + 1)));
+        HTAP_RETURN_NOT_OK(psub[s].Append(bufs[s]));
+        sc->rows_written.fetch_add(rows[s], std::memory_order_relaxed);
+        sc->bytes_written.fetch_add(bufs[s].size(),
+                                    std::memory_order_relaxed);
+      }
+    }
+    for (size_t s = 0; s < kSpillSubParts; ++s) {
+      if (!has_build[s]) continue;
+      HTAP_RETURN_NOT_OK(JoinSpilledPartition(
+          std::move(bsub[s]), std::move(psub[s]), probe_col, build_col, exec,
+          dir, bit_shift + kSpillSubBits, depth + 1, sc, out));
+    }
+    return Status::OK();
+  }
+
+  sc->max_depth = std::max(sc->max_depth, depth);
+  JoinPartitionTable table;
+  table.Reserve(build.size());
+  for (size_t j = 0; j < build.size(); ++j)
+    table.Insert(build[j].row.Get(bc).Hash() & hash_mask,
+                 static_cast<uint32_t>(j));
+  HTAP_ASSIGN_OR_RETURN(const std::vector<SpillRecord> probe,
+                        ReadSpillRecords(&probe_run, sc));
+  probe_run.Discard();
+  for (const SpillRecord& p : probe) {
+    const Value& k = p.row.Get(pc);  // spilled keys are never NULL
+    const uint64_t h = k.Hash() & hash_mask;
+    table.ForEachHashMatch(h, [&](uint32_t j) {
+      if (build[j].row.Get(bc) != k) return;
+      out->emplace_back(p.idx, build[j].idx);
+    });
+  }
+  return Status::OK();
+}
+
+/// The grace driver (DESIGN.md §9): radix-scatter the build side, keep a
+/// budget's worth of partitions resident, spill the rest (both sides) to
+/// runs, then join spilled partitions one at a time. Output order is
+/// restored by a final sort of the pair set — valid because (probe, build)
+/// pairs are unique and nested-loop order is exactly ascending (probe,
+/// build). Runs even without a pool: TaskGroup degrades to inline calls.
+JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
+                         const std::vector<Row>& build, int probe_col,
+                         int build_col, const ExecContext& exec,
+                         size_t est_build_bytes, JoinStats* js) {
+  const size_t budget = exec.join_spill_budget_bytes;
+  const std::string& dir = exec.join_spill_dir;  // "" -> DefaultSpillDir()
+  const size_t workers = exec.parallel() ? exec.max_parallelism : 1;
+  const size_t nparts = GracePartitionCount(est_build_bytes, budget, workers);
+  const uint64_t part_mask = nparts - 1;
+  const uint64_t hash_mask = exec.join_hash_mask;
+  const auto pc = static_cast<size_t>(probe_col);
+  const auto bc = static_cast<size_t>(build_col);
+  size_t base_bits = 0;
+  while ((size_t{1} << base_bits) < nparts) ++base_bits;
+  SpillCounters sc;
+
+  // 1. Scatter, as in the radix join, but also tallying per-partition
+  // build footprint so the classifier below can pick residents.
+  const size_t nchunks =
+      std::clamp<size_t>(build.size() / kMinScatterRowsPerChunk, 1, workers);
+  const size_t chunk_rows = (build.size() + nchunks - 1) / nchunks;
+  std::vector<std::vector<std::vector<std::pair<uint64_t, uint32_t>>>> scatter(
+      nchunks);
+  std::vector<std::vector<size_t>> chunk_bytes(nchunks);
+  {
+    TaskGroup tg(exec.pool);
+    for (size_t c = 0; c < nchunks; ++c) {
+      tg.Run([&, c] {
+        auto& buckets = scatter[c];
+        auto& bytes = chunk_bytes[c];
+        buckets.resize(nparts);
+        bytes.assign(nparts, 0);
+        const size_t hi = std::min(build.size(), (c + 1) * chunk_rows);
+        for (size_t i = c * chunk_rows; i < hi; ++i) {
+          const Value& k = build[i].Get(bc);
+          if (k.is_null()) continue;
+          const uint64_t h = k.Hash() & hash_mask;
+          const size_t p = h & part_mask;
+          buckets[p].emplace_back(h, static_cast<uint32_t>(i));
+          bytes[p] += build[i].MemoryBytes();
+        }
+      });
+    }
+  }
+  std::vector<size_t> part_bytes(nparts, 0);
+  for (const auto& bytes : chunk_bytes)
+    for (size_t p = 0; p < nparts; ++p) part_bytes[p] += bytes[p];
+
+  // 2. Classify: walk partitions in index order, keeping them resident
+  // while the running total fits the budget. Deterministic, and at least
+  // one partition spills whenever the build side exceeds the budget.
+  std::vector<uint8_t> resident(nparts, 0);
+  size_t resident_bytes = 0;
+  for (size_t p = 0; p < nparts; ++p) {
+    if (resident_bytes + part_bytes[p] <= budget) {
+      resident[p] = 1;
+      resident_bytes += part_bytes[p];
+    }
+  }
+
+  // 3. Write spilled partitions' build runs — one task per partition, in
+  // chunk order so each run holds its rows in build-input order. A write
+  // failure (unwritable dir, disk full) reclassifies the partition as
+  // resident: the scatter buffers are only released on success, so
+  // correctness never depends on the disk.
+  std::vector<SpillRun> build_runs(nparts);
+  std::vector<SpillRun> probe_runs(nparts);
+  std::vector<uint8_t> spill_ok(nparts, 0);
+  {
+    TaskGroup tg(exec.pool);
+    for (size_t p = 0; p < nparts; ++p) {
+      if (resident[p]) continue;
+      tg.Run([&, p] {
+        Status st = build_runs[p].Open(dir, "b" + std::to_string(p));
+        std::string buf;
+        size_t rows = 0;
+        size_t wbytes = 0;
+        for (const auto& buckets : scatter) {
+          if (!st.ok()) break;
+          for (const auto& [h, idx] : buckets[p]) {
+            (void)h;
+            EncodeSpillRecord(idx, build[idx], &buf);
+            ++rows;
+            if (buf.size() >= kSpillFlushBytes) {
+              wbytes += buf.size();
+              st = build_runs[p].Append(buf);
+              buf.clear();
+              if (!st.ok()) break;
+            }
+          }
+        }
+        if (st.ok()) {
+          wbytes += buf.size();
+          st = build_runs[p].Append(buf);
+        }
+        if (st.ok()) {
+          spill_ok[p] = 1;
+          sc.rows_written.fetch_add(rows, std::memory_order_relaxed);
+          sc.bytes_written.fetch_add(wbytes, std::memory_order_relaxed);
+        } else {
+          build_runs[p].Discard();
+        }
+      });
+    }
+  }
+  for (size_t p = 0; p < nparts; ++p) {
+    if (resident[p]) continue;
+    if (spill_ok[p]) {
+      for (auto& buckets : scatter)
+        std::vector<std::pair<uint64_t, uint32_t>>().swap(buckets[p]);
+    } else {
+      resident[p] = 1;
+    }
+  }
+
+  // 4. Build the resident partitions' tables (chunk order, as ever).
+  std::vector<JoinPartitionTable> parts(nparts);
+  {
+    TaskGroup tg(exec.pool);
+    for (size_t p = 0; p < nparts; ++p) {
+      if (!resident[p]) continue;
+      tg.Run([&, p] {
+        size_t total = 0;
+        for (const auto& buckets : scatter) total += buckets[p].size();
+        parts[p].Reserve(total);
+        for (const auto& buckets : scatter)
+          for (const auto& [h, idx] : buckets[p]) parts[p].Insert(h, idx);
+      });
+    }
+  }
+
+  // 5. Probe, streaming: rows hitting a resident partition emit pairs into
+  // per-morsel buffers; rows hitting a spilled partition encode into
+  // per-morsel spill buffers, flushed to the partition's probe run under a
+  // per-partition mutex. Run write order is irrelevant — records carry
+  // their probe index and the final sort restores order.
+  const size_t nprobe =
+      probe.empty() ? 0
+                    : std::clamp<size_t>(probe.size() / kMinProbeRowsPerMorsel,
+                                         1, workers * 4);
+  std::vector<JoinPairs> partial(nprobe);
+  std::vector<uint8_t> probe_spill_ok(nparts, 1);
+  const std::unique_ptr<std::mutex[]> part_mu(new std::mutex[nparts]);
+  if (nprobe > 0) {
+    const size_t probe_rows = (probe.size() + nprobe - 1) / nprobe;
+    std::atomic<size_t> next{0};
+    TaskGroup tg(exec.pool);
+    for (size_t w = 0; w < std::min(workers, nprobe); ++w) {
+      tg.Run([&] {
+        std::vector<std::string> bufs(nparts);
+        std::vector<size_t> buf_rows(nparts, 0);
+        for (size_t m = next.fetch_add(1, std::memory_order_relaxed);
+             m < nprobe; m = next.fetch_add(1, std::memory_order_relaxed)) {
+          const size_t lo = m * probe_rows;
+          const size_t hi = std::min(probe.size(), lo + probe_rows);
+          JoinPairs& pout = partial[m];
+          for (size_t i = lo; i < hi; ++i) {
+            const Value& k = probe[i].Get(pc);
+            if (k.is_null()) continue;
+            const uint64_t h = k.Hash() & hash_mask;
+            const size_t p = h & part_mask;
+            if (resident[p]) {
+              parts[p].ForEachHashMatch(h, [&](uint32_t r) {
+                if (build[r].Get(bc) != k) return;
+                pout.emplace_back(static_cast<uint32_t>(i), r);
+              });
+            } else {
+              EncodeSpillRecord(static_cast<uint32_t>(i), probe[i], &bufs[p]);
+              ++buf_rows[p];
+            }
+          }
+          for (size_t p = 0; p < nparts; ++p) {
+            if (bufs[p].empty()) continue;
+            std::lock_guard<std::mutex> lock(part_mu[p]);
+            Status st;
+            if (!probe_runs[p].is_open())
+              st = probe_runs[p].Open(dir, "p" + std::to_string(p));
+            if (st.ok()) st = probe_runs[p].Append(bufs[p]);
+            if (st.ok()) {
+              sc.rows_written.fetch_add(buf_rows[p],
+                                        std::memory_order_relaxed);
+              sc.bytes_written.fetch_add(bufs[p].size(),
+                                         std::memory_order_relaxed);
+            } else {
+              probe_spill_ok[p] = 0;  // guarded by part_mu[p]
+            }
+            bufs[p].clear();
+            buf_rows[p] = 0;
+          }
+        }
+      });
+    }
+  }
+  JoinPairs pairs;
+  size_t total = 0;
+  for (const auto& m : partial) total += m.size();
+  pairs.reserve(total);
+  for (const auto& m : partial) pairs.insert(pairs.end(), m.begin(), m.end());
+
+  // 6. Join the spilled partitions one at a time (index order). Any I/O
+  // failure — including a probe flush that failed above — falls back to
+  // recomputing that partition from the in-memory inputs.
+  size_t spilled = 0;
+  for (size_t p = 0; p < nparts; ++p) {
+    if (resident[p]) continue;
+    ++spilled;
+    JoinPairs part_pairs;
+    Status st;
+    if (probe_spill_ok[p]) {
+      st = JoinSpilledPartition(std::move(build_runs[p]),
+                                std::move(probe_runs[p]), probe_col,
+                                build_col, exec, dir, base_bits, 0, &sc,
+                                &part_pairs);
+    } else {
+      st = Status::IOError("probe-side spill failed");
+      build_runs[p].Discard();
+      probe_runs[p].Discard();
+    }
+    if (st.ok()) {
+      pairs.insert(pairs.end(), part_pairs.begin(), part_pairs.end());
+    } else {
+      std::fprintf(stderr,
+                   "htapdb: grace join partition %zu recomputed in memory "
+                   "(%s)\n",
+                   p, st.ToString().c_str());
+      JoinPartitionInMemory(probe, build, probe_col, build_col, hash_mask,
+                            part_mask, p, &pairs);
+    }
+  }
+
+  // 7. Restore nested-loop order: pairs are unique, so the (probe, build)
+  // lexicographic sort is a total order identical to the serial join's.
+  std::sort(pairs.begin(), pairs.end());
+
+  js->partitions = nparts;
+  js->parallel = exec.parallel();
+  js->partitions_spilled = spilled;
+  js->spill_rows_written = sc.rows_written.load(std::memory_order_relaxed);
+  js->spill_bytes_written = sc.bytes_written.load(std::memory_order_relaxed);
+  js->spill_bytes_read = sc.bytes_read;
+  js->spill_max_recursion = sc.max_depth;
+  return pairs;
+}
+
 }  // namespace
+
+size_t EstimateRowsBytes(const std::vector<Row>& rows) {
+  size_t bytes = 0;
+  for (const Row& r : rows) bytes += r.MemoryBytes();
+  return bytes;
+}
+
+JoinPairs HashJoinPairs(const std::vector<Row>& probe,
+                        const std::vector<Row>& build, int probe_col,
+                        int build_col, const ExecContext& exec,
+                        JoinStats* stats) {
+  const Stopwatch sw;
+  JoinStats local;
+  JoinStats* js = stats != nullptr ? stats : &local;
+  js->build_rows = build.size();
+  js->probe_rows = probe.size();
+
+  const auto bc = static_cast<size_t>(build_col);
+  const uint64_t hash_mask = exec.join_hash_mask;
+  const size_t budget = exec.join_spill_budget_bytes;
+  const size_t est = budget > 0 ? EstimateRowsBytes(build) : 0;
+  JoinPairs pairs;
+
+  if (budget > 0 && est > budget) {
+    // Grace regime: the build side does not fit the configured budget.
+    // Checked before the serial fallback — spilling must trigger at any
+    // thread count.
+    pairs = GraceJoinPairs(probe, build, probe_col, build_col, exec, est, js);
+  } else if (!exec.parallel() ||
+             build.size() < exec.min_parallel_join_build) {
+    // Serial regime: one partition, built and probed inline.
+    std::vector<JoinPartitionTable> parts(1);
+    parts[0].Reserve(build.size());
+    for (size_t i = 0; i < build.size(); ++i) {
+      const Value& k = build[i].Get(bc);
+      if (k.is_null()) continue;
+      parts[0].Insert(k.Hash() & hash_mask, static_cast<uint32_t>(i));
+    }
+    ProbePairsRange(probe, 0, probe.size(), probe_col, build, build_col,
+                    parts, /*part_mask=*/0, hash_mask, &pairs);
+    js->partitions = 1;
+    js->parallel = false;
+  } else {
+    // Radix-partitioned parallel regime (DESIGN.md §8).
+    const size_t workers = exec.max_parallelism;
+    const size_t nparts = JoinPartitionCount(workers);
+    const uint64_t part_mask = nparts - 1;
+
+    // 1. Partition pass: contiguous build chunks scatter (hash, row) pairs
+    // into per-chunk partition buffers. Workers never share a buffer.
+    const size_t nchunks = std::clamp<size_t>(
+        build.size() / kMinScatterRowsPerChunk, 1, workers);
+    const size_t chunk_rows = (build.size() + nchunks - 1) / nchunks;
+    std::vector<std::vector<std::vector<std::pair<uint64_t, uint32_t>>>>
+        scatter(nchunks);
+    {
+      TaskGroup tg(exec.pool);
+      for (size_t c = 0; c < nchunks; ++c) {
+        tg.Run([&, c] {
+          auto& buckets = scatter[c];
+          buckets.resize(nparts);
+          const size_t hi = std::min(build.size(), (c + 1) * chunk_rows);
+          for (size_t i = c * chunk_rows; i < hi; ++i) {
+            const Value& k = build[i].Get(bc);
+            if (k.is_null()) continue;
+            const uint64_t h = k.Hash() & hash_mask;
+            buckets[h & part_mask].emplace_back(h, static_cast<uint32_t>(i));
+          }
+        });
+      }
+    }
+
+    // 2. Build pass: each partition's table is an independent morsel.
+    // Chunk buffers merge in chunk order, so per-hash chains hold build
+    // rows in input order exactly as the serial build does.
+    std::vector<JoinPartitionTable> parts(nparts);
+    {
+      TaskGroup tg(exec.pool);
+      for (size_t p = 0; p < nparts; ++p) {
+        tg.Run([&, p] {
+          size_t total = 0;
+          for (const auto& buckets : scatter) total += buckets[p].size();
+          parts[p].Reserve(total);
+          for (const auto& buckets : scatter)
+            for (const auto& [h, idx] : buckets[p]) parts[p].Insert(h, idx);
+        });
+      }
+    }
+
+    // 3. Probe pass: probe chunks are morsels claimed through a shared
+    // cursor; per-morsel pair outputs concatenate in morsel order,
+    // preserving probe input order — byte-identical to the serial join.
+    const size_t nprobe =
+        probe.empty() ? 0
+                      : std::clamp<size_t>(
+                            probe.size() / kMinProbeRowsPerMorsel, 1,
+                            workers * 4);
+    std::vector<JoinPairs> partial(nprobe);
+    if (nprobe > 0) {
+      const size_t probe_rows = (probe.size() + nprobe - 1) / nprobe;
+      std::atomic<size_t> next{0};
+      TaskGroup tg(exec.pool);
+      for (size_t w = 0; w < std::min(workers, nprobe); ++w) {
+        tg.Run([&] {
+          for (size_t m = next.fetch_add(1, std::memory_order_relaxed);
+               m < nprobe; m = next.fetch_add(1, std::memory_order_relaxed)) {
+            const size_t lo = m * probe_rows;
+            const size_t hi = std::min(probe.size(), lo + probe_rows);
+            ProbePairsRange(probe, lo, hi, probe_col, build, build_col,
+                            parts, part_mask, hash_mask, &partial[m]);
+          }
+        });
+      }
+    }
+    size_t total = 0;
+    for (const auto& m : partial) total += m.size();
+    pairs.reserve(total);
+    for (const auto& m : partial)
+      pairs.insert(pairs.end(), m.begin(), m.end());
+
+    js->partitions = nparts;
+    js->parallel = true;
+  }
+
+  js->output_rows = pairs.size();
+  js->seconds = sw.ElapsedSeconds();
+  return pairs;
+}
+
+std::vector<Row> MaterializeJoinPairs(const std::vector<Row>& probe,
+                                      const std::vector<Row>& build,
+                                      const JoinPairs& pairs,
+                                      bool build_side_first,
+                                      const ExecContext& exec) {
+  std::vector<Row> out(pairs.size());
+  const auto emit = [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      const Row& l = probe[pairs[k].first];
+      const Row& r = build[pairs[k].second];
+      out[k] = build_side_first ? ConcatRows(r, l) : ConcatRows(l, r);
+    }
+  };
+  if (exec.parallel() && pairs.size() >= 2 * kMinProbeRowsPerMorsel) {
+    // Workers fill disjoint ranges of the pre-sized output in place.
+    const size_t nchunks = std::min(exec.max_parallelism,
+                                    pairs.size() / kMinProbeRowsPerMorsel);
+    const size_t chunk = (pairs.size() + nchunks - 1) / nchunks;
+    TaskGroup tg(exec.pool);
+    for (size_t c = 0; c < nchunks; ++c)
+      tg.Run([&, c] { emit(c * chunk, std::min(pairs.size(), (c + 1) * chunk)); });
+  } else {
+    emit(0, pairs.size());
+  }
+  return out;
+}
 
 std::vector<Row> HashJoin(const std::vector<Row>& left,
                           const std::vector<Row>& right, int left_col,
@@ -447,113 +1062,12 @@ std::vector<Row> HashJoin(const std::vector<Row>& left,
                           int right_col, const ExecContext& exec,
                           JoinStats* stats) {
   const Stopwatch sw;
-  JoinStats local;
-  JoinStats* js = stats != nullptr ? stats : &local;
-  js->build_rows = right.size();
-  js->probe_rows = left.size();
-
-  const auto rc = static_cast<size_t>(right_col);
-  const uint64_t hash_mask = exec.join_hash_mask;
-  std::vector<Row> out;
-
-  if (!exec.parallel() || right.size() < exec.min_parallel_join_build) {
-    // Serial path: one partition, built and probed inline.
-    std::vector<JoinPartitionTable> parts(1);
-    parts[0].Reserve(right.size());
-    for (size_t i = 0; i < right.size(); ++i) {
-      const Value& k = right[i].Get(rc);
-      if (k.is_null()) continue;
-      parts[0].Insert(k.Hash() & hash_mask, static_cast<uint32_t>(i));
-    }
-    ProbeRange(left, 0, left.size(), left_col, right, right_col, parts,
-               /*part_mask=*/0, hash_mask, &out);
-    js->partitions = 1;
-    js->parallel = false;
-    js->output_rows = out.size();
-    js->seconds = sw.ElapsedSeconds();
-    return out;
-  }
-
-  const size_t workers = exec.max_parallelism;
-  const size_t nparts = JoinPartitionCount(workers);
-  const uint64_t part_mask = nparts - 1;
-
-  // 1. Partition pass: contiguous build chunks scatter (hash, row) pairs
-  // into per-chunk partition buffers. Workers never share a buffer.
-  const size_t nchunks = std::clamp<size_t>(
-      right.size() / kMinScatterRowsPerChunk, 1, workers);
-  const size_t chunk_rows = (right.size() + nchunks - 1) / nchunks;
-  std::vector<std::vector<std::vector<std::pair<uint64_t, uint32_t>>>> scatter(
-      nchunks);
-  {
-    TaskGroup tg(exec.pool);
-    for (size_t c = 0; c < nchunks; ++c) {
-      tg.Run([&, c] {
-        auto& buckets = scatter[c];
-        buckets.resize(nparts);
-        const size_t hi = std::min(right.size(), (c + 1) * chunk_rows);
-        for (size_t i = c * chunk_rows; i < hi; ++i) {
-          const Value& k = right[i].Get(rc);
-          if (k.is_null()) continue;
-          const uint64_t h = k.Hash() & hash_mask;
-          buckets[h & part_mask].emplace_back(h, static_cast<uint32_t>(i));
-        }
-      });
-    }
-  }
-
-  // 2. Build pass: each partition's table is an independent morsel. Chunk
-  // buffers merge in chunk order, so per-hash chains hold build rows in
-  // input order exactly as the serial build does.
-  std::vector<JoinPartitionTable> parts(nparts);
-  {
-    TaskGroup tg(exec.pool);
-    for (size_t p = 0; p < nparts; ++p) {
-      tg.Run([&, p] {
-        size_t total = 0;
-        for (const auto& buckets : scatter) total += buckets[p].size();
-        parts[p].Reserve(total);
-        for (const auto& buckets : scatter)
-          for (const auto& [h, idx] : buckets[p]) parts[p].Insert(h, idx);
-      });
-    }
-  }
-
-  // 3. Probe pass: left chunks are morsels claimed through a shared cursor;
-  // per-morsel outputs concatenate in morsel order, preserving left input
-  // order — the parallel join is byte-identical to the serial one.
-  const size_t nprobe = left.empty()
-                            ? 0
-                            : std::clamp<size_t>(
-                                  left.size() / kMinProbeRowsPerMorsel, 1,
-                                  workers * 4);
-  std::vector<std::vector<Row>> partial(nprobe);
-  if (nprobe > 0) {
-    const size_t probe_rows = (left.size() + nprobe - 1) / nprobe;
-    std::atomic<size_t> next{0};
-    TaskGroup tg(exec.pool);
-    for (size_t w = 0; w < std::min(workers, nprobe); ++w) {
-      tg.Run([&] {
-        for (size_t m = next.fetch_add(1, std::memory_order_relaxed);
-             m < nprobe; m = next.fetch_add(1, std::memory_order_relaxed)) {
-          const size_t lo = m * probe_rows;
-          const size_t hi = std::min(left.size(), lo + probe_rows);
-          ProbeRange(left, lo, hi, left_col, right, right_col, parts,
-                     part_mask, hash_mask, &partial[m]);
-        }
-      });
-    }
-  }
-  size_t total = 0;
-  for (const auto& p : partial) total += p.size();
-  out.reserve(total);
-  for (auto& p : partial)
-    for (Row& r : p) out.push_back(std::move(r));
-
-  js->partitions = nparts;
-  js->parallel = true;
-  js->output_rows = out.size();
-  js->seconds = sw.ElapsedSeconds();
+  const JoinPairs pairs =
+      HashJoinPairs(left, right, left_col, right_col, exec, stats);
+  std::vector<Row> out = MaterializeJoinPairs(left, right, pairs,
+                                              /*build_side_first=*/false,
+                                              exec);
+  if (stats != nullptr) stats->seconds = sw.ElapsedSeconds();
   return out;
 }
 

@@ -6,15 +6,37 @@
 // (row vs column vs hybrid access paths) are unaffected because all paths
 // share the same materialization discipline.
 //
+// Map of this header (each operator links its DESIGN.md section):
+//
+//   ScanRowStore / ScanHtap    serial + morsel-driven scans ....... DESIGN §7
+//   HashAggregate              serial + partial-table parallel .... DESIGN §7
+//   HashJoinPairs / HashJoin   hash equi-join; three regimes ...... DESIGN §§8–9
+//     - serial: one chained table (small builds)
+//     - radix-partitioned parallel: scatter/build/probe morsels
+//     - grace (out-of-core): oversized partitions spill both sides to
+//       temporary on-disk runs (src/storage/spill_file.h) and join
+//       partition-at-a-time, recursively re-partitioning skewed
+//       partitions; triggered by ExecContext::join_spill_budget_bytes
+//   MaterializeJoinPairs       (probe,build) index pairs -> rows
+//   SortLimit / Project        output shaping
+//
 // Scans, aggregation, and the hash join are morsel-driven when given an
 // ExecContext with a thread pool: one morsel per row group (column scans),
 // key range (row scans), radix partition (join build), or input chunk (join
-// probe), per-worker partial state, deterministic merge. See DESIGN.md
-// "Intra-query parallelism".
+// probe), per-worker partial state, deterministic merge.
+//
+// Determinism contract: every operator here returns output byte-identical
+// to its serial execution at any thread count, and the joins additionally
+// match a nested-loop reference (probe rows in input order; per probe row,
+// matches in build-input order). Build-side and join-order selection live
+// one layer up (src/opt/join_planner.h, applied by core/query_runner.cc),
+// which restores the same nested-loop order after reordering.
 
 #ifndef HTAP_EXEC_EXECUTOR_H_
 #define HTAP_EXEC_EXECUTOR_H_
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "columnar/column_table.h"
@@ -43,8 +65,20 @@ struct ExecContext {
 
   /// Test seam: join key hashes are ANDed with this mask before table
   /// insertion and partition selection. Narrow masks force hash collisions
-  /// onto the key-confirm path; production code leaves it all-ones.
+  /// onto the key-confirm path (and, with the low radix bits zeroed, funnel
+  /// every build row into one partition to exercise the grace join's
+  /// recursive re-partitioning); production code leaves it all-ones.
   uint64_t join_hash_mask = ~0ull;
+
+  /// Grace-join spill budget: when the estimated build-side footprint of a
+  /// hash join exceeds this, the join radix-partitions (even without a
+  /// pool) and spills partitions that do not fit to temporary on-disk runs,
+  /// joining them partition-at-a-time (DESIGN.md §9). 0 = unlimited — never
+  /// spill. Mirrors DatabaseOptions::join_spill_budget_bytes.
+  size_t join_spill_budget_bytes = 0;
+
+  /// Directory for spill runs (htap-spill-*). Empty = DefaultSpillDir().
+  std::string join_spill_dir;
 
   bool parallel() const { return pool != nullptr && max_parallelism > 1; }
 };
@@ -102,15 +136,48 @@ std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
                           const std::vector<int>& projection,
                           const ExecContext& exec, ScanStats* stats);
 
-/// Counters the hash join fills in; benchmarks and EXPLAIN read these.
+/// Counters the hash join fills in; benchmarks, tests, and EXPLAIN read
+/// these. The spill_* group is nonzero only when the grace path ran
+/// (ExecContext::join_spill_budget_bytes exceeded).
 struct JoinStats {
   size_t build_rows = 0;
   size_t probe_rows = 0;
   size_t output_rows = 0;
   size_t partitions = 1;   // radix partition count (1 = unpartitioned build)
-  bool parallel = false;   // took the radix-partitioned path
+  bool parallel = false;   // fanned morsels onto an AP pool
+  bool build_swapped = false;  // planner built on the left side (query_runner)
+  size_t partitions_spilled = 0;  // top-level partitions that went to disk
+  size_t spill_rows_written = 0;  // records written across both sides
+  size_t spill_bytes_written = 0;
+  size_t spill_bytes_read = 0;
+  size_t spill_max_recursion = 0;  // deepest re-partition level (0 = none)
   double seconds = 0;      // wall time inside the operator
 };
+
+/// One join match: (probe row index, build row index). The pair vector of a
+/// join is always in nested-loop order — probe index ascending, and within
+/// one probe index, build index ascending (= build input order).
+using JoinPairs = std::vector<std::pair<uint32_t, uint32_t>>;
+
+/// Hash inner-equi-join core: probes `probe` against a table built on
+/// `build`, returning matching index pairs (NULL keys never match). Picks
+/// the serial, radix-partitioned parallel, or grace (spilling) regime from
+/// `exec` — see the header comment. The pair order is identical across all
+/// regimes and thread counts.
+JoinPairs HashJoinPairs(const std::vector<Row>& probe,
+                        const std::vector<Row>& build, int probe_col,
+                        int build_col, const ExecContext& exec,
+                        JoinStats* stats = nullptr);
+
+/// Materializes join pairs as concatenated rows, one per pair, in pair
+/// order: probe ++ build columns, or build ++ probe when
+/// `build_side_first` (used by the planner's build-side swap to restore
+/// the plan's left ++ right layout). Parallel over `exec` when available.
+std::vector<Row> MaterializeJoinPairs(const std::vector<Row>& probe,
+                                      const std::vector<Row>& build,
+                                      const JoinPairs& pairs,
+                                      bool build_side_first = false,
+                                      const ExecContext& exec = ExecContext{});
 
 /// Hash inner-equi-join: emits left ++ right rows. Builds on `right`.
 /// Output order is nested-loop order — left rows in input order, and for
@@ -119,17 +186,18 @@ std::vector<Row> HashJoin(const std::vector<Row>& left,
                           const std::vector<Row>& right, int left_col,
                           int right_col);
 
-/// Radix-partitioned parallel variant: build rows scatter into partitions
-/// by key-hash radix (one morsel per input chunk, per-chunk buffers merged
-/// in chunk order), each partition's table builds as an independent morsel,
-/// and probe morsels stream left chunks against the matching partition with
-/// per-morsel output concatenated in morsel order — byte-identical to the
-/// serial join. Falls back to the serial path below
-/// `exec.min_parallel_join_build` build rows.
+/// As above with execution resources: radix-partitioned parallel morsels
+/// when `exec` has a pool (build rows ≥ exec.min_parallel_join_build), and
+/// the out-of-core grace path when exec.join_spill_budget_bytes is set and
+/// the build side exceeds it — byte-identical output in every regime.
 std::vector<Row> HashJoin(const std::vector<Row>& left,
                           const std::vector<Row>& right, int left_col,
                           int right_col, const ExecContext& exec,
                           JoinStats* stats = nullptr);
+
+/// Estimated in-memory footprint of `rows` (sum of Row::MemoryBytes) — the
+/// quantity compared against join_spill_budget_bytes.
+size_t EstimateRowsBytes(const std::vector<Row>& rows);
 
 /// Hash aggregation. With empty `group_cols`, emits one global row. Output
 /// row layout: group values then one value per AggSpec.

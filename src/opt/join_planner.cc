@@ -1,0 +1,66 @@
+#include "opt/join_planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace htap {
+
+bool ChooseBuildSideLeft(size_t left_rows, size_t right_rows) {
+  return left_rows < right_rows;
+}
+
+std::vector<size_t> ChooseJoinOrder(
+    size_t base_rows, const std::vector<JoinRelEstimate>& rels,
+    const std::vector<std::vector<size_t>>& deps) {
+  const size_t n = rels.size();
+  std::vector<size_t> order;
+  order.reserve(n);
+  std::vector<uint8_t> done(n, 0);
+  double cur = static_cast<double>(base_rows);
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = n;
+    double best_est = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      const bool eligible =
+          i >= deps.size() ||
+          std::all_of(deps[i].begin(), deps[i].end(),
+                      [&](size_t d) { return d < n && done[d] != 0; });
+      if (!eligible) continue;
+      const double est = cur * static_cast<double>(rels[i].rows) /
+                         std::max(1.0, rels[i].key_ndv);
+      if (est < best_est) {  // strict: ties keep the lowest index
+        best_est = est;
+        best = i;
+      }
+    }
+    // A dependency cycle cannot arise from well-formed plans (a join key
+    // can only reference columns of earlier clauses), but fall back to
+    // plan order rather than loop forever.
+    if (best == n) {
+      for (size_t i = 0; i < n; ++i)
+        if (!done[i]) {
+          best = i;
+          break;
+        }
+      best_est = cur;
+    }
+    done[best] = 1;
+    order.push_back(best);
+    cur = std::max(best_est, 1.0);
+  }
+  return order;
+}
+
+size_t CountDistinctKeys(const std::vector<Row>& rows, int col) {
+  const auto c = static_cast<size_t>(col);
+  std::set<Value> keys;
+  for (const Row& r : rows) {
+    const Value& v = r.Get(c);
+    if (!v.is_null()) keys.insert(v);
+  }
+  return keys.size();
+}
+
+}  // namespace htap

@@ -1,0 +1,90 @@
+#include "storage/spill_file.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+namespace htap {
+
+namespace {
+
+/// Monotonic per-process sequence number: concurrent joins (and concurrent
+/// partitions within one join) never collide on a file name.
+std::atomic<uint64_t> g_spill_seq{0};
+
+}  // namespace
+
+std::string DefaultSpillDir() {
+  std::error_code ec;
+  const std::filesystem::path p = std::filesystem::temp_directory_path(ec);
+  if (ec || p.empty()) return "/tmp";
+  return p.string();
+}
+
+SpillRun& SpillRun::operator=(SpillRun&& other) noexcept {
+  if (this != &other) {
+    Discard();
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::exchange(other.path_, {});
+    bytes_ = std::exchange(other.bytes_, 0);
+  }
+  return *this;
+}
+
+Status SpillRun::Open(const std::string& dir, const std::string& tag) {
+  Discard();
+  const std::string d = dir.empty() ? DefaultSpillDir() : dir;
+  path_ = d + "/htap-spill-" +
+          std::to_string(static_cast<uint64_t>(::getpid())) + "-" +
+          std::to_string(g_spill_seq.fetch_add(1)) + "-" + tag + ".run";
+  file_ = std::fopen(path_.c_str(), "wb+");
+  if (file_ == nullptr) {
+    Status st = Status::IOError("cannot create spill run " + path_ + ": " +
+                                std::strerror(errno));
+    path_.clear();
+    return st;
+  }
+  bytes_ = 0;
+  return Status::OK();
+}
+
+Status SpillRun::Append(const std::string& bytes) {
+  if (file_ == nullptr) return Status::Internal("spill run not open");
+  if (bytes.empty()) return Status::OK();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size())
+    return Status::IOError("short write to spill run " + path_);
+  bytes_ += bytes.size();
+  return Status::OK();
+}
+
+Result<std::string> SpillRun::ReadAll() {
+  if (file_ == nullptr) return Status::Internal("spill run not open");
+  if (std::fflush(file_) != 0 || std::fseek(file_, 0, SEEK_SET) != 0)
+    return Status::IOError("cannot rewind spill run " + path_);
+  std::string out;
+  out.resize(bytes_);
+  if (bytes_ != 0 && std::fread(out.data(), 1, bytes_, file_) != bytes_)
+    return Status::IOError("short read from spill run " + path_);
+  // Leave the stream positioned at the end so further Appends stay valid.
+  std::fseek(file_, 0, SEEK_END);
+  return out;
+}
+
+void SpillRun::Discard() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);  // best-effort; name is unique
+    path_.clear();
+  }
+  bytes_ = 0;
+}
+
+}  // namespace htap

@@ -1,0 +1,64 @@
+// SpillRun: a temporary on-disk run of encoded records for out-of-core
+// operators — currently the grace hash join (DESIGN.md §9), which spills
+// oversized build/probe partitions here and reads them back
+// partition-at-a-time.
+//
+// A run is append-then-read: the producer appends encoded bytes, the
+// consumer calls ReadAll() once, and the file is unlinked on Discard() or
+// destruction. Files are named `htap-spill-<pid>-<seq>-<tag>.run` inside
+// the chosen directory (DefaultSpillDir() = the system temp directory), so
+// tooling can find leaks by prefix — ci.sh fails the build if any
+// `htap-spill-*` file survives a bench or test run.
+
+#ifndef HTAP_STORAGE_SPILL_FILE_H_
+#define HTAP_STORAGE_SPILL_FILE_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+
+namespace htap {
+
+/// Directory spill runs are created in when the caller does not configure
+/// one (DatabaseOptions::join_spill_dir / ExecContext::join_spill_dir):
+/// std::filesystem::temp_directory_path(), falling back to "/tmp".
+std::string DefaultSpillDir();
+
+class SpillRun {
+ public:
+  SpillRun() = default;
+  ~SpillRun() { Discard(); }
+
+  SpillRun(SpillRun&& other) noexcept { *this = std::move(other); }
+  SpillRun& operator=(SpillRun&& other) noexcept;
+  SpillRun(const SpillRun&) = delete;
+  SpillRun& operator=(const SpillRun&) = delete;
+
+  /// Creates the backing file in `dir` (empty = DefaultSpillDir()). `tag`
+  /// becomes part of the file name, e.g. "b12" for build partition 12.
+  Status Open(const std::string& dir, const std::string& tag);
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  size_t bytes() const { return bytes_; }
+
+  /// Appends raw encoded bytes to the run.
+  Status Append(const std::string& bytes);
+
+  /// Flushes and reads the whole run back. The run stays open (ReadAll may
+  /// be called again), but the common pattern is ReadAll then Discard.
+  Result<std::string> ReadAll();
+
+  /// Closes and unlinks the backing file. Idempotent.
+  void Discard();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace htap
+
+#endif  // HTAP_STORAGE_SPILL_FILE_H_

@@ -11,6 +11,11 @@
 // Part 3 models the heterogeneous CPU/GPU split: a device executor with
 // kernel-launch latency + high scan bandwidth vs. the task-parallel CPU
 // path, for OLAP and OLTP separately.
+// Part 4 measures how far the plan-time statistics path misestimates join
+// cardinalities when the fact table's value distribution is skewed: the
+// uniform-distribution assumption behind the catalog stats is exact on
+// uniform data and off by ~an order of magnitude under skew (q-error from
+// QueryExecInfo's estimated vs. actual rows per join step).
 
 #include "bench_util.h"
 #include "benchlib/adapt.h"
@@ -172,6 +177,82 @@ int main() {
     std::printf("    -> the device wins the scan %.1fx but loses OLTP %.1fx "
                 "(high AP, low TP — the paper's cells).\n",
                 cpu_scan_ms / gpu_scan_ms, gpu_tp_ms / cpu_tp_ms);
+  }
+
+  // ---- Part 4: join misestimation under skew (plan-time stats) ----------
+  {
+    std::printf("\n[4] Plan-time join estimates vs. actuals under skew\n");
+    std::printf("    %-8s | %-6s | %12s | %12s | %8s\n", "dataset", "step",
+                "est rows", "actual rows", "q-error");
+    for (const bool skewed : {false, true}) {
+      auto db = MakeDb(ArchitectureKind::kRowPlusInMemoryColumn, 1, false);
+      db->ExecuteSql("CREATE TABLE dim_a (a_id INT64 PRIMARY KEY, "
+                     "a_val INT64)");
+      db->ExecuteSql("CREATE TABLE dim_b (b_id INT64 PRIMARY KEY, "
+                     "b_val INT64)");
+      db->ExecuteSql("CREATE TABLE fact (f_id INT64 PRIMARY KEY, "
+                     "f_a INT64, f_b INT64, f_val INT64)");
+      {
+        auto txn = db->Begin();
+        for (int64_t i = 1; i <= 100; ++i) {
+          txn->Insert("dim_a", Row{Value(i), Value(i % 7)});
+          txn->Insert("dim_b", Row{Value(i), Value(i % 5)});
+        }
+        txn->Commit();
+      }
+      // f_val spans [1, 100]. Uniform: every value equally likely, so the
+      // min/max-based selectivity estimate for f_val <= 10 is exact.
+      // Skewed: 90% of rows sit at f_val = 1, so the same estimate is ~9x
+      // under the truth.
+      Random rng(42);
+      constexpr int64_t kFactRows = 20000;
+      for (int64_t i = 1; i <= kFactRows;) {
+        auto txn = db->Begin();
+        for (int64_t j = 0; j < 500 && i <= kFactRows; ++j, ++i) {
+          const int64_t val =
+              skewed ? (rng.Uniform(10) == 0
+                            ? 1 + static_cast<int64_t>(rng.Uniform(100))
+                            : 1)
+                     : 1 + static_cast<int64_t>(rng.Uniform(100));
+          txn->Insert("fact",
+                      Row{Value(i), Value(1 + static_cast<int64_t>(i % 100)),
+                          Value(1 + static_cast<int64_t>((i / 100) % 100)),
+                          Value(val)});
+        }
+        txn->Commit();
+      }
+      db->ForceSyncAll();  // publishes catalog stats for all three tables
+
+      QueryExecInfo info;
+      auto res = db->ExecuteSql(
+          "SELECT COUNT(*) AS n FROM fact "
+          "JOIN dim_a ON f_a = a_id "
+          "JOIN dim_b ON f_b = b_id "
+          "WHERE f_val <= 10",
+          &info);
+      if (!res.ok()) {
+        std::printf("    query failed: %s\n", res.status().ToString().c_str());
+        continue;
+      }
+      const char* label = skewed ? "skewed" : "uniform";
+      for (size_t s = 0; s < info.join_order.size(); ++s) {
+        const double est =
+            s < info.join_est_rows.size() ? info.join_est_rows[s] : 0;
+        const size_t act =
+            s < info.join_actual_rows.size() ? info.join_actual_rows[s] : 0;
+        const double qerr =
+            est > 0 && act > 0
+                ? (est > static_cast<double>(act) ? est / act : act / est)
+                : 0;
+        std::printf("    %-8s | %-6zu | %12.0f | %12zu | %8.2f\n", label, s,
+                    est, act, qerr);
+      }
+      std::printf("    %-8s   planner: %s, stats age %llu commits\n", label,
+                  info.join_used_catalog_stats ? "catalog stats" : "fallback",
+                  static_cast<unsigned long long>(info.join_stats_age_csns));
+    }
+    std::printf("    -> uniform data keeps q-error ~1; skew breaks the "
+                "uniformity assumption the estimates rest on.\n");
   }
   return 0;
 }

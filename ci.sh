@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification, a Release smoke run of the parallel-join bench, and a
-# ThreadSanitizer pass over the concurrency tests (parallel scan/aggregate,
-# parallel join, grace join, columnar, executor, pools, sync, scheduler).
+# Tier-1 verification, a Release smoke run of the parallel-join bench gated
+# against the checked-in BENCH_baseline.json, an ASan+UBSan pass over the
+# memory-heavy executor/join/spill tests, and a ThreadSanitizer pass over
+# the concurrency tests (parallel scan/aggregate, parallel join, grace join,
+# columnar, executor, pools, sync, scheduler).
 # Also verifies that no grace-join spill run (htap-spill-*) leaks out of any
 # bench or test run.
 # Usage: ./ci.sh [jobs]
@@ -17,11 +19,25 @@ rm -f "$SPILL_DIR"/htap-spill-*
 echo "== tier-1: build + ctest =="
 cmake -B build -S . > /dev/null
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure
+ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "== bench smoke: parallel join + grace spill point (identity-checked) =="
 cmake --build build -j "$JOBS" --target bench_parallel_join
-./build/bench/bench_parallel_join smoke
+./build/bench/bench_parallel_join smoke | tee build/bench_smoke.log
+
+echo "== bench regression gate (vs BENCH_baseline.json) =="
+python3 scripts/check_bench_regression.py build/bench_smoke.log \
+  BENCH_baseline.json
+
+echo "== asan+ubsan: executor/join/spill tests =="
+ASAN_TESTS=(executor_test parallel_scan_test parallel_join_test
+            grace_join_test columnar_test)
+cmake -B build-asan -S . -DHTAP_ASAN=ON > /dev/null
+cmake --build build-asan -j "$JOBS" --target "${ASAN_TESTS[@]}"
+for t in "${ASAN_TESTS[@]}"; do
+  echo "-- $t (asan+ubsan)"
+  ./build-asan/tests/"$t" --gtest_brief=1
+done
 
 echo "== tsan: concurrency tests =="
 TSAN_TESTS=(parallel_scan_test parallel_join_test grace_join_test

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a bench_parallel_join smoke run against
+the checked-in baseline and fail on significant slowdowns.
+
+Usage:
+    check_bench_regression.py <smoke_log> <baseline_json> [--threshold F]
+
+Both inputs may be raw logs: only lines that parse as a JSON object with a
+"bench" key count as records. Records are keyed by every non-metric field
+(bench name, thread count, workload shape), so the comparison survives
+reordering and interleaved table output.
+
+For throughput metrics (higher is better) the run fails when the new value
+drops more than `threshold` below the baseline; for time metrics (lower is
+better) when it rises more than `threshold` above it. The default threshold
+is 0.25 (25%), wide enough for shared-runner noise while catching real
+regressions. A baseline record with no counterpart in the new run is also a
+failure (lost coverage); new records absent from the baseline are reported
+but pass, so adding benchmarks never blocks CI.
+
+Stdlib only — no pip installs in CI.
+"""
+
+import argparse
+import json
+import sys
+
+# Metric direction; every other numeric field is part of the record key.
+HIGHER_IS_BETTER = {"probe_rows_per_sec", "speedup"}
+LOWER_IS_BETTER = {"join_ms"}
+METRICS = HIGHER_IS_BETTER | LOWER_IS_BETTER
+
+
+def parse_records(path):
+    """Extract JSON bench records from a (possibly mixed) log file."""
+    records = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(obj, dict) or "bench" not in obj:
+                continue
+            key = tuple(
+                sorted((k, v) for k, v in obj.items() if k not in METRICS)
+            )
+            records[key] = {k: v for k, v in obj.items() if k in METRICS}
+    return records
+
+
+def describe(key):
+    return ", ".join(f"{k}={v}" for k, v in key)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("smoke_log", help="new run (raw log or JSON lines)")
+    ap.add_argument("baseline", help="checked-in baseline JSON lines")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    args = ap.parse_args()
+
+    new = parse_records(args.smoke_log)
+    base = parse_records(args.baseline)
+    if not base:
+        print(f"ERROR: no bench records in baseline {args.baseline}")
+        return 2
+    if not new:
+        print(f"ERROR: no bench records in smoke log {args.smoke_log}")
+        return 2
+
+    failures = []
+    for key, base_metrics in sorted(base.items()):
+        if key not in new:
+            failures.append(f"missing record ({describe(key)})")
+            continue
+        for metric, base_val in sorted(base_metrics.items()):
+            if metric not in new[key] or not base_val:
+                continue
+            new_val = new[key][metric]
+            if metric in HIGHER_IS_BETTER:
+                change = (base_val - new_val) / base_val
+                arrow = f"{base_val:g} -> {new_val:g}"
+            else:
+                change = (new_val - base_val) / base_val
+                arrow = f"{base_val:g} -> {new_val:g}"
+            status = "FAIL" if change > args.threshold else "ok"
+            print(f"[{status}] {metric} ({describe(key)}): {arrow} "
+                  f"({change:+.1%} vs {args.threshold:.0%} allowed)")
+            if change > args.threshold:
+                failures.append(f"{metric} ({describe(key)}): {arrow}")
+
+    for key in sorted(new.keys() - base.keys()):
+        print(f"[new ] unbaselined record ({describe(key)})")
+
+    if failures:
+        print(f"\nBench regression gate FAILED ({len(failures)} issue(s)):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nBench regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -408,6 +408,12 @@ std::vector<ChQuery> ChQueries() {
     q.plan.aggs = {AggSpec::Sum(orderline::kAmount, "revenue")};
     q.plan.order_by = 1;
     q.plan.order_desc = true;
+    // Full CH shape adds the customer dimension (3-table chain).
+    q.sql =
+        "SELECT o_d_id, SUM(ol_amount) AS revenue FROM orderline "
+        "JOIN orders ON ol_o_key = o_key "
+        "JOIN customer ON o_c_key = c_key "
+        "WHERE c_balance < 0 GROUP BY o_d_id ORDER BY revenue DESC";
     qs.push_back(std::move(q));
   }
   {  // Q4-ish: order-size distribution over an entry window.
@@ -434,6 +440,12 @@ std::vector<ChQuery> ChQueries() {
     q.plan.aggs = {AggSpec::Sum(stock::kYtd, "volume")};
     q.plan.order_by = 1;
     q.plan.order_desc = true;
+    // Full CH shape also walks stock back to its warehouse (3-table chain).
+    q.sql =
+        "SELECT i_category, SUM(s_ytd) AS volume FROM stock "
+        "JOIN item ON s_i_id = i_id "
+        "JOIN warehouse ON s_w_id = w_id "
+        "GROUP BY i_category ORDER BY volume DESC";
     qs.push_back(std::move(q));
   }
   {  // Q12-ish: carrier distribution.
@@ -459,6 +471,12 @@ std::vector<ChQuery> ChQueries() {
     q.plan.join_where = Predicate::Gt(item::kPrice, Value(50.0));
     q.plan.group_by = {static_cast<int>(ol_cols) + item::kCategory};
     q.plan.aggs = {AggSpec::Sum(orderline::kAmount, "revenue")};
+    // Full CH shape ties lines back to their order header (3-table chain).
+    q.sql =
+        "SELECT i_category, SUM(ol_amount) AS revenue FROM orderline "
+        "JOIN item ON ol_i_id = i_id "
+        "JOIN orders ON ol_o_key = o_key "
+        "WHERE i_price > 50 GROUP BY i_category ORDER BY revenue DESC";
     qs.push_back(std::move(q));
   }
   {  // Q18-ish: top customers by ordered volume.

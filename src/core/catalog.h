@@ -1,5 +1,7 @@
 // Catalog: table name/id registry shared by the facade, the engines, and
-// the SQL binder.
+// the SQL binder; also the publication point for per-table statistics
+// (DESIGN.md §10) — the sync driver publishes TableStats snapshots here and
+// the join planner reads them at plan time.
 
 #ifndef HTAP_CORE_CATALOG_H_
 #define HTAP_CORE_CATALOG_H_
@@ -7,11 +9,24 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "common/status.h"
 #include "core/engine.h"
+#include "opt/optimizer.h"
+#include "txn/types.h"
 
 namespace htap {
+
+/// A statistics snapshot published for one table. `as_of_csn` is the commit
+/// frontier the snapshot reflects — the planner compares it against the
+/// current committed CSN to decide whether the stats are fresh enough to
+/// plan from (ExecContext::stats_staleness_csns).
+struct PublishedTableStats {
+  TableStats stats;
+  CSN as_of_csn = 0;
+  uint64_t version = 0;  // bumps on every publish
+};
 
 class Catalog {
  public:
@@ -44,9 +59,32 @@ class Catalog {
     return out;
   }
 
+  /// Publishes (replaces) a table's statistics snapshot. Writers are the
+  /// engines' sync/maintenance paths; readers copy out under the same lock,
+  /// so a publish never tears a concurrent planner's view.
+  void PublishStats(const std::string& name, TableStats stats,
+                    CSN as_of_csn) {
+    std::lock_guard<std::mutex> lk(mu_);
+    PublishedTableStats& p = stats_by_name_[name];
+    p.stats = std::move(stats);
+    p.as_of_csn = as_of_csn;
+    ++p.version;
+  }
+
+  /// Copies out the latest published snapshot. False if the table has never
+  /// published (the planner then falls back to execution-time sampling).
+  bool GetStats(const std::string& name, PublishedTableStats* out) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = stats_by_name_.find(name);
+    if (it == stats_by_name_.end()) return false;
+    if (out != nullptr) *out = it->second;
+    return true;
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, TableInfo> by_name_;
+  std::map<std::string, PublishedTableStats> stats_by_name_;
   uint32_t next_id_ = 1;
 };
 

@@ -79,9 +79,12 @@ class Database {
                             QueryExecInfo* info = nullptr);
 
   /// Executes a SQL statement (see sql/ for the supported subset: CREATE
-  /// TABLE, INSERT, UPDATE, DELETE, SELECT with WHERE/JOIN/GROUP BY/
-  /// ORDER BY/LIMIT). DML autocommits.
-  Result<QueryResult> ExecuteSql(const std::string& sql);
+  /// TABLE, INSERT, UPDATE, DELETE, SELECT with WHERE/chained JOINs/
+  /// GROUP BY/ORDER BY/LIMIT). DML autocommits. For SELECT, `info` (when
+  /// non-null) receives execution details — join order, estimated vs.
+  /// actual rows per join step, and stats provenance.
+  Result<QueryResult> ExecuteSql(const std::string& sql,
+                                 QueryExecInfo* info = nullptr);
 
   // ---- HTAP control ---------------------------------------------------
   /// Forces delta -> column-store synchronization for one table.

@@ -55,6 +55,13 @@ Status DeltaMainHtapEngine::CreateTable(const TableInfo& info) {
   ts->sync = std::make_unique<DataSynchronizer>(
       SyncStrategy::kInMemoryMerge, ts->main.get(),
       std::make_unique<DeltaSourceAdapter<L1L2DeltaStore>>(ts->delta.get()));
+  // Every L2->Main merge republishes incremental TableStats to the catalog
+  // for plan-time join ordering (DESIGN.md §10).
+  ts->sync->EnableStatsMaintenance(
+      [this, name = info.name](const TableStats& st, CSN as_of) {
+        catalog_->PublishStats(name, st, as_of);
+      },
+      options_.stats_compact_delete_threshold);
   if (daemon_) daemon_->AddTask(ts->sync.get());
   std::lock_guard<std::mutex> lk(tables_mu_);
   tables_[info.id] = std::move(ts);
@@ -136,7 +143,7 @@ Result<QueryResult> DeltaMainHtapEngine::Execute(const QueryPlan& plan,
   return RunPlan(plan, *catalog_,
                  [this](const ScanRequest& req, ScanStats* stats,
                         std::string* desc) { return Scan(req, stats, desc); },
-                 info, ap_.ctx());
+                 info, ap_.ctx(layer_.txn_mgr()->LastCommittedCsn()));
 }
 
 Status DeltaMainHtapEngine::ForceSync(const TableInfo& tbl) {

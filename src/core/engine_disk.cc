@@ -211,6 +211,9 @@ void DiskHtapEngine::MaybeRefreshStats(TableState* ts) {
   ts->stats = TableStats::Compute(ts->info.schema, sample);
   ts->stats.row_count = store->ApproxRowCount();
   ts->stats_at_csn = now;
+  // This architecture has no sync driver to maintain stats incrementally;
+  // the sampling refresher doubles as the catalog publisher (DESIGN.md §10).
+  catalog_->PublishStats(ts->info.name, ts->stats, now);
 }
 
 Result<ColumnAdvisor::Selection> DiskHtapEngine::RefreshColumnSelection(
@@ -368,7 +371,7 @@ Result<QueryResult> DiskHtapEngine::Execute(const QueryPlan& plan,
   return RunPlan(plan, *catalog_,
                  [this](const ScanRequest& req, ScanStats* stats,
                         std::string* desc) { return Scan(req, stats, desc); },
-                 info, ap_.ctx());
+                 info, ap_.ctx(layer_.txn_mgr()->LastCommittedCsn()));
 }
 
 Status DiskHtapEngine::ForceSync(const TableInfo& tbl) {

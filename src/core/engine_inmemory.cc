@@ -75,6 +75,13 @@ Status InMemoryHtapEngine::CreateTable(const TableInfo& info) {
       SyncStrategy::kInMemoryMerge, ts->columns.get(),
       std::make_unique<DeltaSourceAdapter<InMemoryDeltaStore>>(
           ts->delta.get()));
+  // Every merge republishes incremental TableStats to the catalog, so join
+  // planning can happen at plan time from metadata (DESIGN.md §10).
+  ts->sync->EnableStatsMaintenance(
+      [this, name = info.name](const TableStats& st, CSN as_of) {
+        catalog_->PublishStats(name, st, as_of);
+      },
+      options_.stats_compact_delete_threshold);
   if (daemon_) daemon_->AddTask(ts->sync.get());
   std::lock_guard<std::mutex> lk(tables_mu_);
   tables_[info.id] = std::move(ts);
@@ -214,7 +221,7 @@ Result<QueryResult> InMemoryHtapEngine::Execute(const QueryPlan& plan,
   return RunPlan(plan, *catalog_,
                  [this](const ScanRequest& req, ScanStats* stats,
                         std::string* desc) { return Scan(req, stats, desc); },
-                 info, ap_.ctx());
+                 info, ap_.ctx(layer_.txn_mgr()->LastCommittedCsn()));
 }
 
 Status InMemoryHtapEngine::ForceSync(const TableInfo& tbl) {

@@ -35,22 +35,28 @@ struct ApScanRuntime {
   size_t min_join_build = 4096;
   size_t spill_budget = 0;
   std::string spill_dir;
+  uint64_t stats_staleness = 65536;
 
   explicit ApScanRuntime(const DatabaseOptions& options)
       : threads(EffectiveParallelScanThreads(options)),
         min_join_build(options.parallel_join_min_build_rows),
         spill_budget(options.join_spill_budget_bytes),
-        spill_dir(options.join_spill_dir) {
+        spill_dir(options.join_spill_dir),
+        stats_staleness(options.stats_staleness_csns) {
     if (threads > 1) pool = std::make_unique<ThreadPool>(threads, "ap-scan");
   }
 
-  ExecContext ctx() const {
+  /// `committed_csn` is the engine's commit frontier at query start — the
+  /// reference point for the planner's stats-staleness check.
+  ExecContext ctx(CSN committed_csn = 0) const {
     ExecContext exec;
     exec.pool = pool.get();
     exec.max_parallelism = threads;
     exec.min_parallel_join_build = min_join_build;
     exec.join_spill_budget_bytes = spill_budget;
     exec.join_spill_dir = spill_dir;
+    exec.committed_csn = committed_csn;
+    exec.stats_staleness_csns = stats_staleness;
     return exec;
   }
 };

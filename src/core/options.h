@@ -54,6 +54,17 @@ struct DatabaseOptions {
   /// How often table statistics are recomputed (in commits).
   uint64_t stats_refresh_interval = 4096;
 
+  /// Plan-time join ordering (DESIGN.md §10): catalog statistics more than
+  /// this many commits behind the engine's committed CSN are considered
+  /// stale, and join planning falls back to the execution-time sampling
+  /// path instead of trusting them.
+  uint64_t stats_staleness_csns = 65536;
+
+  /// Delete drift tolerated by incremental statistics maintenance: once the
+  /// sync driver has merged this many deletes since the last full pass, it
+  /// compacts the column table and fully recomputes the table's statistics.
+  size_t stats_compact_delete_threshold = 8192;
+
   /// Intra-query parallelism: size of the engine's AP scan pool. Morsel-
   /// driven scans, aggregations, and hash joins fan out across it; the
   /// resource scheduler throttles analytical CPU through its concurrency

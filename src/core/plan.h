@@ -88,6 +88,20 @@ struct QueryExecInfo {
   /// fewer than two joins.
   std::vector<size_t> join_order;
 
+  /// Join-planning provenance (DESIGN.md §10). True when the join order was
+  /// chosen at plan time from published catalog statistics; false when the
+  /// planner fell back to scanning the join tables and counting keys
+  /// exactly (stats missing or staler than the bound).
+  bool join_used_catalog_stats = false;
+  /// Worst stats age across the referenced tables, in commits (stats path
+  /// only).
+  uint64_t join_stats_age_csns = 0;
+  /// Estimated and actual output rows per executed join step (execution
+  /// order, parallel to join_steps; filled when the plan has ≥2 joins).
+  /// bench_table2_qo plots the q-error between these under skew.
+  std::vector<double> join_est_rows;
+  std::vector<size_t> join_actual_rows;
+
   double cost_estimate = 0;
   double est_selectivity = 1;
 };

@@ -91,16 +91,18 @@ void FoldJoinStats(const JoinStats& step, JoinStats* total) {
   total->seconds += step.seconds;
 }
 
-/// One hash join with build-side selection (DESIGN.md §9). Builds on the
-/// smaller input; when that is the left side, the swapped join's pairs —
-/// (right, left) index order — are re-sorted to (left, right) and
-/// materialized build-side-first, so the output rows and their order are
-/// byte-identical to the unswapped join in every regime.
+/// One hash join with build-side selection (DESIGN.md §9). `build_left` is
+/// the planner's decision — from catalog-statistics estimates when the plan
+/// was ordered at plan time, from exact input sizes otherwise. When
+/// building on the left, the swapped join's pairs — (right, left) index
+/// order — are re-sorted to (left, right) and materialized build-side-
+/// first, so the output rows and their order are byte-identical to the
+/// unswapped join in every regime.
 std::vector<Row> JoinStep(const std::vector<Row>& cur,
                           const std::vector<Row>& right, int left_col,
-                          int right_col, const ExecContext& exec,
-                          JoinStats* step) {
-  if (!ChooseBuildSideLeft(cur.size(), right.size())) {
+                          int right_col, bool build_left,
+                          const ExecContext& exec, JoinStats* step) {
+  if (!build_left) {
     const JoinPairs pairs =
         HashJoinPairs(cur, right, left_col, right_col, exec, step);
     return MaterializeJoinPairs(cur, right, pairs,
@@ -118,7 +120,61 @@ std::vector<Row> JoinStep(const std::vector<Row>& cur,
                               exec);
 }
 
+/// Rounds a fractional cardinality estimate to a row count.
+size_t RoundRows(double est) {
+  return est <= 0 ? 0 : static_cast<size_t>(est + 0.5);
+}
+
+/// Plan-time cardinality estimates from published catalog statistics
+/// (DESIGN.md §10). Succeeds only when the base table and every join table
+/// have published stats no staler than exec.stats_staleness_csns commits
+/// behind exec.committed_csn (0 = unknown frontier, trusted as fresh). On
+/// success fills the filtered base-table estimate, one JoinRelEstimate per
+/// clause, and the worst stats age observed.
+bool CatalogJoinEstimates(const QueryPlan& plan, const Catalog& catalog,
+                          const TableInfo& base,
+                          const std::vector<BoundJoin>& joins,
+                          const ExecContext& exec, size_t* base_rows,
+                          std::vector<JoinRelEstimate>* rels,
+                          uint64_t* max_age) {
+  uint64_t worst = 0;
+  const auto fetch = [&](const std::string& name, PublishedTableStats* p) {
+    if (!catalog.GetStats(name, p)) return false;
+    const uint64_t age = exec.committed_csn > p->as_of_csn
+                             ? exec.committed_csn - p->as_of_csn
+                             : 0;
+    if (age > exec.stats_staleness_csns) return false;
+    worst = std::max(worst, age);
+    return true;
+  };
+  PublishedTableStats bp;
+  if (!fetch(base.name, &bp)) return false;
+  *base_rows = RoundRows(static_cast<double>(bp.stats.row_count) *
+                         EstimateSelectivity(plan.where, bp.stats));
+  for (size_t j = 0; j < joins.size(); ++j) {
+    PublishedTableStats jp;
+    if (!fetch(joins[j].table->name, &jp)) return false;
+    const double rows = static_cast<double>(jp.stats.row_count) *
+                        EstimateSelectivity(*joins[j].where, jp.stats);
+    const size_t rc = static_cast<size_t>(joins[j].right_col);
+    double ndv = rc < jp.stats.columns.size() ? jp.stats.columns[rc].ndv : 1.0;
+    // A predicate that filters rows can only shrink the key domain.
+    ndv = std::max(1.0, std::min(ndv, std::max(rows, 1.0)));
+    (*rels)[j].rows = RoundRows(rows);
+    (*rels)[j].key_ndv = ndv;
+  }
+  *max_age = worst;
+  return true;
+}
+
 /// Executes the plan's joins over `*rows_io` (the scanned base table).
+///
+/// Join ordering is decided BEFORE any join table is read. When every
+/// referenced table has fresh published statistics in the catalog, the
+/// greedy order is chosen at plan time purely from metadata and the join
+/// tables are then scanned lazily in execution order; otherwise the planner
+/// falls back to the pre-stats behavior — scan every join table up front
+/// and count distinct join keys exactly.
 ///
 /// Join-order selection may execute clauses out of plan order; when it
 /// does, every input grows a hidden int64 index column, and after the last
@@ -127,32 +183,24 @@ std::vector<Row> JoinStep(const std::vector<Row>& cur,
 /// exactly the plan-order nested-loop order — then projected back to the
 /// plan's combined layout. When the chosen order is plan order (always the
 /// case for 0–1 joins), none of that machinery is engaged.
-Status ExecuteJoins(const std::vector<BoundJoin>& joins, size_t base_width,
-                    const ScanFn& scan, const QueryPlan& plan,
-                    const ExecContext& exec, QueryExecInfo* xi,
-                    std::vector<Row>* rows_io) {
+Status ExecuteJoins(const std::vector<BoundJoin>& joins, const TableInfo& base,
+                    const Catalog& catalog, const ScanFn& scan,
+                    const QueryPlan& plan, const ExecContext& exec,
+                    QueryExecInfo* xi, std::vector<Row>* rows_io) {
   const size_t njoins = joins.size();
+  const size_t base_width = base.schema.columns().size();
 
-  // Scan every join table (full rows; its predicate pushed down).
-  std::vector<std::vector<Row>> jrows(njoins);
+  // Combined layout, key validation, and ordering dependencies come from
+  // the schemas alone — no data access. A clause whose left_col lands
+  // inside an earlier clause's column span must run after that clause.
   std::vector<size_t> width(njoins);    // schema width per clause
   std::vector<size_t> offset(njoins);   // plan-order combined-layout offset
   size_t total_cols = base_width;
   for (size_t j = 0; j < njoins; ++j) {
-    ScanRequest rreq;
-    rreq.table = joins[j].table;
-    rreq.pred = joins[j].where;
-    rreq.path = plan.path;
-    rreq.require_fresh = plan.require_fresh;
-    HTAP_ASSIGN_OR_RETURN(jrows[j], scan(rreq, nullptr, nullptr));
     width[j] = joins[j].table->schema.columns().size();
     offset[j] = total_cols;
     total_cols += width[j];
   }
-
-  // Validate join keys and derive ordering dependencies: a clause whose
-  // left_col lands inside an earlier clause's column span must run after
-  // that clause.
   std::vector<std::vector<size_t>> deps(njoins);
   for (size_t j = 0; j < njoins; ++j) {
     const int lc = joins[j].left_col;
@@ -167,31 +215,57 @@ Status ExecuteJoins(const std::vector<BoundJoin>& joins, size_t base_width,
         deps[j].push_back(k);
   }
 
+  std::vector<std::vector<Row>> jrows(njoins);
+  std::vector<uint8_t> scanned(njoins, 0);
+  const auto scan_join = [&](size_t j) -> Status {
+    if (scanned[j]) return Status::OK();
+    ScanRequest rreq;
+    rreq.table = joins[j].table;
+    rreq.pred = joins[j].where;
+    rreq.path = plan.path;
+    rreq.require_fresh = plan.require_fresh;
+    HTAP_ASSIGN_OR_RETURN(jrows[j], scan(rreq, nullptr, nullptr));
+    scanned[j] = 1;
+    return Status::OK();
+  };
+
   // Greedy join-order selection (trivial for 0–1 joins).
   std::vector<size_t> order(njoins);
   for (size_t j = 0; j < njoins; ++j) order[j] = j;
+  std::vector<JoinRelEstimate> rels(njoins);
+  std::vector<double> est_steps;  // estimated output rows per executed step
+  bool stats_planned = false;
+  size_t base_est = 0;
   if (njoins > 1) {
-    std::vector<JoinRelEstimate> rels(njoins);
-    for (size_t j = 0; j < njoins; ++j) {
-      rels[j].rows = jrows[j].size();
-      rels[j].key_ndv = static_cast<double>(
-          CountDistinctKeys(jrows[j], joins[j].right_col));
+    uint64_t age = 0;
+    stats_planned = CatalogJoinEstimates(plan, catalog, base, joins, exec,
+                                         &base_est, &rels, &age);
+    if (stats_planned) {
+      order = ChooseJoinOrder(base_est, rels, deps, &est_steps);
+      xi->join_used_catalog_stats = true;
+      xi->join_stats_age_csns = age;
+    } else {
+      // Sampling fallback: read every join table and count keys exactly.
+      for (size_t j = 0; j < njoins; ++j) HTAP_RETURN_NOT_OK(scan_join(j));
+      for (size_t j = 0; j < njoins; ++j) {
+        rels[j].rows = jrows[j].size();
+        rels[j].key_ndv = static_cast<double>(
+            CountDistinctKeys(jrows[j], joins[j].right_col));
+      }
+      order = ChooseJoinOrder(rows_io->size(), rels, deps, &est_steps);
     }
-    order = ChooseJoinOrder(rows_io->size(), rels, deps);
     xi->join_order = order;
+    xi->join_est_rows = est_steps;
   }
   bool reorder = false;
   for (size_t s = 0; s < njoins; ++s) reorder = reorder || order[s] != s;
 
-  // Tag every input with a hidden index column when the order changed.
+  // Tag the base input with a hidden index column when the order changed
+  // (join inputs are tagged as they are scanned, below).
   std::vector<Row> cur = std::move(*rows_io);
-  if (reorder) {
+  if (reorder)
     for (size_t i = 0; i < cur.size(); ++i)
       cur[i].Append(Value(static_cast<int64_t>(i)));
-    for (size_t j = 0; j < njoins; ++j)
-      for (size_t i = 0; i < jrows[j].size(); ++i)
-        jrows[j][i].Append(Value(static_cast<int64_t>(i)));
-  }
 
   // phys_of_logical maps plan-order combined columns to their position in
   // the physical (execution-order, hidden-tagged) layout.
@@ -204,11 +278,25 @@ Status ExecuteJoins(const std::vector<BoundJoin>& joins, size_t base_width,
 
   for (size_t s = 0; s < njoins; ++s) {
     const size_t j = order[s];
+    HTAP_RETURN_NOT_OK(scan_join(j));  // no-op on the fallback path
+    if (reorder)
+      for (size_t i = 0; i < jrows[j].size(); ++i)
+        jrows[j][i].Append(Value(static_cast<int64_t>(i)));
     const int lc_phys = phys_of_logical[static_cast<size_t>(joins[j].left_col)];
     if (lc_phys < 0)
       return Status::Internal("join order violated a key dependency");
+    // Build-side selection: plan-time estimates when stats chose the order,
+    // exact input sizes otherwise. Either way the output is restored to the
+    // unswapped layout/order, so a misestimate can only cost time.
+    const bool build_left =
+        stats_planned
+            ? ChooseBuildSideLeft(
+                  s == 0 ? base_est : RoundRows(est_steps[s - 1]),
+                  rels[j].rows)
+            : ChooseBuildSideLeft(cur.size(), jrows[j].size());
     JoinStats step;
-    cur = JoinStep(cur, jrows[j], lc_phys, joins[j].right_col, exec, &step);
+    cur = JoinStep(cur, jrows[j], lc_phys, joins[j].right_col, build_left,
+                   exec, &step);
     std::vector<Row>().swap(jrows[j]);  // scanned side now folded into cur
     for (size_t c = 0; c < width[j]; ++c)
       phys_of_logical[offset[j] + c] = static_cast<int>(cur_width + c);
@@ -216,6 +304,7 @@ Status ExecuteJoins(const std::vector<BoundJoin>& joins, size_t base_width,
     cur_width += width[j] + (reorder ? 1 : 0);
     FoldJoinStats(step, &xi->join);
     xi->join_steps.push_back(step);
+    if (njoins > 1) xi->join_actual_rows.push_back(cur.size());
   }
 
   if (reorder) {
@@ -306,8 +395,8 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
     // The joins fan build/probe morsels onto the same AP pool as scans, so
     // the scheduler's OLAP concurrency quota bounds their in-flight morsels
     // exactly as it bounds scan morsels.
-    HTAP_RETURN_NOT_OK(ExecuteJoins(joins, base->schema.columns().size(),
-                                    scan, plan, exec, xi, &rows));
+    HTAP_RETURN_NOT_OK(
+        ExecuteJoins(joins, *base, catalog, scan, plan, exec, xi, &rows));
   }
 
   if (!plan.aggs.empty()) {

@@ -12,10 +12,15 @@ bool ChooseBuildSideLeft(size_t left_rows, size_t right_rows) {
 
 std::vector<size_t> ChooseJoinOrder(
     size_t base_rows, const std::vector<JoinRelEstimate>& rels,
-    const std::vector<std::vector<size_t>>& deps) {
+    const std::vector<std::vector<size_t>>& deps,
+    std::vector<double>* step_estimates) {
   const size_t n = rels.size();
   std::vector<size_t> order;
   order.reserve(n);
+  if (step_estimates != nullptr) {
+    step_estimates->clear();
+    step_estimates->reserve(n);
+  }
   std::vector<uint8_t> done(n, 0);
   double cur = static_cast<double>(base_rows);
   for (size_t step = 0; step < n; ++step) {
@@ -48,6 +53,7 @@ std::vector<size_t> ChooseJoinOrder(
     }
     done[best] = 1;
     order.push_back(best);
+    if (step_estimates != nullptr) step_estimates->push_back(best_est);
     cur = std::max(best_est, 1.0);
   }
   return order;

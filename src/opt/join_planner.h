@@ -38,10 +38,13 @@ struct JoinRelEstimate {
 /// `deps[i]` lists clause indexes that must run before clause i (its join
 /// key references their output columns). Ties break toward the lowest
 /// clause index, so the order is deterministic. Returns a permutation of
-/// [0, rels.size()).
+/// [0, rels.size()). When `step_estimates` is non-null it receives the
+/// estimated output cardinality of each chosen step, in execution order —
+/// the planner's est-vs-actual provenance (QueryExecInfo::join_est_rows).
 std::vector<size_t> ChooseJoinOrder(
     size_t base_rows, const std::vector<JoinRelEstimate>& rels,
-    const std::vector<std::vector<size_t>>& deps);
+    const std::vector<std::vector<size_t>>& deps,
+    std::vector<double>* step_estimates = nullptr);
 
 /// Exact count of distinct non-NULL values in column `col` (the NDV input
 /// above; computed from the already-scanned relation, so no estimation

@@ -36,16 +36,35 @@ int ResolveInTable(const std::string& name, const TableInfo& table) {
   return table.schema.FindColumn(StripPrefix(name, table.name));
 }
 
-/// Resolves within the combined (left ++ right) layout.
-Result<int> ResolveCombined(const std::string& name, const TableInfo& left,
-                            const TableInfo* right) {
-  int idx = ResolveInTable(name, left);
-  if (idx >= 0) return idx;
-  if (right != nullptr) {
-    idx = ResolveInTable(name, *right);
-    if (idx >= 0) return idx + static_cast<int>(left.schema.num_columns());
+/// One table participating in a (possibly multi-way) join, with its column
+/// offset in the combined output layout (base columns first, then each
+/// join's columns in plan order).
+struct TableLayout {
+  const TableInfo* info = nullptr;
+  size_t offset = 0;
+};
+
+/// Resolves within a combined layout. Returns the combined column index,
+/// -1 when no table has the column, -2 when an unqualified name matches
+/// more than one table (qualify it as "table.col" to disambiguate).
+int ResolveAcrossRaw(const std::string& name,
+                     const std::vector<TableLayout>& tables) {
+  int found = -1;
+  for (const TableLayout& t : tables) {
+    const int idx = ResolveInTable(name, *t.info);
+    if (idx < 0) continue;
+    if (found >= 0) return -2;
+    found = idx + static_cast<int>(t.offset);
   }
-  return Status::InvalidArgument("unknown column: " + name);
+  return found;
+}
+
+Result<int> ResolveAcross(const std::string& name,
+                          const std::vector<TableLayout>& tables) {
+  const int idx = ResolveAcrossRaw(name, tables);
+  if (idx == -2) return Status::InvalidArgument("ambiguous column: " + name);
+  if (idx < 0) return Status::InvalidArgument("unknown column: " + name);
+  return idx;
 }
 
 CmpOp ParseCmpOp(const std::string& op) {
@@ -97,33 +116,38 @@ void CollectColumns(const Expr& e, std::vector<std::string>* out) {
   for (const Expr& c : e.children) CollectColumns(c, out);
 }
 
-/// Splits the WHERE of a join into left-only and right-only conjuncts.
-Status SplitJoinWhere(const Expr& where, const TableInfo& left,
-                      const TableInfo& right, std::vector<Expr>* left_out,
-                      std::vector<Expr>* right_out) {
-  // Flatten top-level ANDs, classify each conjunct by referenced side.
+/// Splits a WHERE into per-table conjunct lists (index 0 = base table,
+/// i >= 1 = joined table i-1). Flattens top-level ANDs; every remaining
+/// conjunct must reference columns of exactly one table so it can be pushed
+/// down to that table's scan.
+Status ClassifyWhere(const Expr& where, const std::vector<TableLayout>& tables,
+                     std::vector<std::vector<Expr>>* per_table) {
   if (where.kind == Expr::Kind::kAnd) {
     for (const Expr& c : where.children)
-      HTAP_RETURN_NOT_OK(SplitJoinWhere(c, left, right, left_out, right_out));
+      HTAP_RETURN_NOT_OK(ClassifyWhere(c, tables, per_table));
     return Status::OK();
   }
   std::vector<std::string> cols;
   CollectColumns(where, &cols);
-  bool all_left = true, all_right = true;
-  for (const std::string& c : cols) {
-    if (ResolveInTable(c, left) < 0) all_left = false;
-    if (ResolveInTable(c, right) < 0) all_right = false;
+  int owner = -1;
+  for (const std::string& name : cols) {
+    const int combined = ResolveAcrossRaw(name, tables);
+    if (combined == -2)
+      return Status::InvalidArgument("ambiguous column: " + name);
+    if (combined < 0)
+      return Status::InvalidArgument("unknown column: " + name);
+    int t = 0;
+    for (size_t i = 0; i < tables.size(); ++i)
+      if (combined >= static_cast<int>(tables[i].offset))
+        t = static_cast<int>(i);
+    if (owner >= 0 && owner != t)
+      return Status::NotSupported(
+          "predicates spanning multiple join tables are not supported");
+    owner = t;
   }
-  if (all_left) {
-    left_out->push_back(where);
-    return Status::OK();
-  }
-  if (all_right) {
-    right_out->push_back(where);
-    return Status::OK();
-  }
-  return Status::NotSupported(
-      "predicates spanning both join sides are not supported");
+  if (owner < 0) owner = 0;  // constant conjunct: evaluate at the base scan
+  (*per_table)[static_cast<size_t>(owner)].push_back(where);
+  return Status::OK();
 }
 
 AggSpec::Fn ParseAggFn(const std::string& f) {
@@ -144,73 +168,79 @@ std::string DefaultAggName(const SelectItem& item) {
 Result<QueryPlan> BindSelect(const sql::SelectStmt& stmt,
                              const Catalog& catalog,
                              std::vector<int>* out_perm) {
-  const TableInfo* left = catalog.Find(stmt.table);
-  if (left == nullptr)
+  const TableInfo* base = catalog.Find(stmt.table);
+  if (base == nullptr)
     return Status::NotFound("no table: " + stmt.table);
-  const TableInfo* right = nullptr;
   std::vector<size_t> agg_positions;
 
   QueryPlan plan;
   plan.table = stmt.table;
 
-  if (!stmt.join_table.empty()) {
-    right = catalog.Find(stmt.join_table);
-    if (right == nullptr)
-      return Status::NotFound("no table: " + stmt.join_table);
-    plan.has_join = true;
-    plan.join_table = stmt.join_table;
-    // Join columns: try left name on the left table, right on the right;
-    // accept either order.
-    int l = ResolveInTable(stmt.join_left_col, *left);
-    int r = ResolveInTable(stmt.join_right_col, *right);
+  // Combined layout built up clause by clause: base columns, then each
+  // joined table's columns in written order. Chained JOINs bind exclusively
+  // onto QueryPlan::joins (the legacy has_join fields stay unset).
+  std::vector<TableLayout> tables;
+  tables.push_back({base, 0});
+
+  for (const sql::JoinSpec& js : stmt.joins) {
+    const TableInfo* t = catalog.Find(js.table);
+    if (t == nullptr) return Status::NotFound("no table: " + js.table);
+    // ON columns: one side binds into the combined-so-far layout, the other
+    // into the new table; either written order is accepted.
+    int l = ResolveAcrossRaw(js.left_col, tables);
+    int r = ResolveInTable(js.right_col, *t);
+    int l_alt = -1;
     if (l < 0 || r < 0) {
-      l = ResolveInTable(stmt.join_right_col, *left);
-      r = ResolveInTable(stmt.join_left_col, *right);
+      l_alt = ResolveAcrossRaw(js.right_col, tables);
+      const int r_alt = ResolveInTable(js.left_col, *t);
+      if (l_alt >= 0 && r_alt >= 0) {
+        l = l_alt;
+        r = r_alt;
+      }
     }
-    if (l < 0 || r < 0)
-      return Status::InvalidArgument("cannot resolve join columns");
-    plan.left_col = l;
-    plan.right_col = r;
+    if (l < 0 || r < 0) {
+      if (l == -2 || l_alt == -2)
+        return Status::InvalidArgument("ambiguous column in join condition: " +
+                                       js.left_col + " = " + js.right_col);
+      return Status::InvalidArgument("cannot resolve join columns: " +
+                                     js.left_col + " = " + js.right_col);
+    }
+    JoinClause jc;
+    jc.table = js.table;
+    jc.left_col = l;
+    jc.right_col = r;
+    plan.joins.push_back(std::move(jc));
+    const TableLayout& last = tables.back();
+    tables.push_back({t, last.offset + last.info->schema.num_columns()});
   }
 
-  auto resolve_combined = [&](const std::string& name) {
-    return ResolveCombined(name, *left, right);
+  auto resolve_combined = [&tables](const std::string& name) {
+    return ResolveAcross(name, tables);
   };
 
   if (stmt.where.has_value()) {
-    if (plan.has_join) {
-      std::vector<Expr> lconj, rconj;
-      HTAP_RETURN_NOT_OK(
-          SplitJoinWhere(*stmt.where, *left, *right, &lconj, &rconj));
-      auto res_left = [&](const std::string& n) -> Result<int> {
-        const int i = ResolveInTable(n, *left);
+    std::vector<std::vector<Expr>> conj(tables.size());
+    HTAP_RETURN_NOT_OK(ClassifyWhere(*stmt.where, tables, &conj));
+    for (size_t t = 0; t < tables.size(); ++t) {
+      if (conj[t].empty()) continue;
+      const TableInfo& ti = *tables[t].info;
+      auto res = [&ti](const std::string& n) -> Result<int> {
+        const int i = ResolveInTable(n, ti);
         if (i < 0) return Status::InvalidArgument("unknown column: " + n);
         return i;
       };
-      auto res_right = [&](const std::string& n) -> Result<int> {
-        const int i = ResolveInTable(n, *right);
-        if (i < 0) return Status::InvalidArgument("unknown column: " + n);
-        return i;
-      };
-      std::vector<Predicate> lp, rp;
-      for (const Expr& e : lconj) {
-        HTAP_ASSIGN_OR_RETURN(Predicate p, LowerExpr(e, res_left));
-        lp.push_back(std::move(p));
+      std::vector<Predicate> ps;
+      for (const Expr& e : conj[t]) {
+        HTAP_ASSIGN_OR_RETURN(Predicate p, LowerExpr(e, res));
+        ps.push_back(std::move(p));
       }
-      for (const Expr& e : rconj) {
-        HTAP_ASSIGN_OR_RETURN(Predicate p, LowerExpr(e, res_right));
-        rp.push_back(std::move(p));
+      Predicate merged = ps.size() == 1 ? std::move(ps[0])
+                                        : Predicate::And(std::move(ps));
+      if (t == 0) {
+        plan.where = std::move(merged);
+      } else {
+        plan.joins[t - 1].where = std::move(merged);
       }
-      if (!lp.empty()) plan.where = Predicate::And(std::move(lp));
-      if (!rp.empty()) plan.join_where = Predicate::And(std::move(rp));
-    } else {
-      auto res = [&](const std::string& n) -> Result<int> {
-        const int i = ResolveInTable(n, *left);
-        if (i < 0) return Status::InvalidArgument("unknown column: " + n);
-        return i;
-      };
-      HTAP_ASSIGN_OR_RETURN(Predicate p, LowerExpr(*stmt.where, res));
-      plan.where = std::move(p);
     }
   }
 
@@ -335,7 +365,8 @@ QueryResult MakeDmlResult(const std::string& counter_name, int64_t n) {
 
 }  // namespace
 
-Result<QueryResult> Database::ExecuteSql(const std::string& sql_text) {
+Result<QueryResult> Database::ExecuteSql(const std::string& sql_text,
+                                         QueryExecInfo* info) {
   HTAP_ASSIGN_OR_RETURN(Statement stmt, sql::Parse(sql_text));
 
   switch (stmt.kind) {
@@ -426,7 +457,7 @@ Result<QueryResult> Database::ExecuteSql(const std::string& sql_text) {
       std::vector<int> out_perm;
       HTAP_ASSIGN_OR_RETURN(QueryPlan plan,
                             BindSelect(stmt.select, catalog_, &out_perm));
-      HTAP_ASSIGN_OR_RETURN(QueryResult result, Query(plan, nullptr));
+      HTAP_ASSIGN_OR_RETURN(QueryResult result, Query(plan, info));
       if (!out_perm.empty()) {
         // Reshape [groups..., aggs...] into the user's select-list order.
         std::vector<ColumnDef> cols;

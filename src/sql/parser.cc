@@ -291,19 +291,27 @@ class Parser {
       return Status::InvalidArgument("expected table name");
     out->table = t.raw;
 
-    if (lex_.AcceptIdent("JOIN")) {
+    // Chained joins: any number of [INNER] JOIN t ON l = r clauses.
+    while (true) {
+      if (lex_.AcceptIdent("INNER")) {
+        HTAP_RETURN_NOT_OK(lex_.ExpectIdent("JOIN"));
+      } else if (!lex_.AcceptIdent("JOIN")) {
+        break;
+      }
+      JoinSpec js;
       t = lex_.Take();
       if (t.kind != Token::Kind::kIdent)
         return Status::InvalidArgument("expected join table");
-      out->join_table = t.raw;
+      js.table = t.raw;
       HTAP_RETURN_NOT_OK(lex_.ExpectIdent("ON"));
       const Token l = lex_.Take();
       HTAP_RETURN_NOT_OK(lex_.ExpectSymbol("="));
       const Token r = lex_.Take();
       if (l.kind != Token::Kind::kIdent || r.kind != Token::Kind::kIdent)
         return Status::InvalidArgument("bad join condition");
-      out->join_left_col = l.raw;
-      out->join_right_col = r.raw;
+      js.left_col = l.raw;
+      js.right_col = r.raw;
+      out->joins.push_back(std::move(js));
     }
 
     if (lex_.AcceptIdent("WHERE")) {

@@ -5,7 +5,7 @@
 //   INSERT INTO t VALUES (...), (...)
 //   UPDATE t SET col = lit, ... [WHERE pred]
 //   DELETE FROM t [WHERE pred]
-//   SELECT items FROM t [JOIN t2 ON col = col] [WHERE pred]
+//   SELECT items FROM t [[INNER] JOIN t2 ON col = col]... [WHERE pred]
 //     [GROUP BY cols] [ORDER BY out_col [DESC]] [LIMIT n]
 // where items are *, columns, or COUNT(*) / SUM / AVG / MIN / MAX(col)
 // [AS alias]; predicates use =, !=, <>, <, <=, >, >=, BETWEEN..AND,
@@ -46,11 +46,19 @@ struct SelectItem {
   std::string alias;
 };
 
+/// One [INNER] JOIN t ON l = r clause. The binder resolves each side of the
+/// ON condition against either the tables joined so far or the new table
+/// (written order is free), so chains like a JOIN b ON .. JOIN c ON .. bind
+/// naturally onto QueryPlan::joins.
+struct JoinSpec {
+  std::string table;
+  std::string left_col, right_col;  // as written; binder resolves sides
+};
+
 struct SelectStmt {
   std::vector<SelectItem> items;
   std::string table;
-  std::string join_table;       // empty = no join
-  std::string join_left_col, join_right_col;
+  std::vector<JoinSpec> joins;  // chained JOIN clauses, in written order
   std::optional<Expr> where;
   std::vector<std::string> group_by;
   std::string order_by;  // output column name/alias

@@ -88,6 +88,15 @@ void ApplyEntriesToColumnTable(ColumnTable* table,
   table->AppendBatch(batch, up_to);
 }
 
+void DataSynchronizer::EnableStatsMaintenance(
+    StatsPublishFn publish, size_t compact_delete_threshold) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_builder_ =
+      std::make_unique<TableStatsBuilder>(table_->schema().num_columns());
+  publish_stats_ = std::move(publish);
+  compact_delete_threshold_ = compact_delete_threshold;
+}
+
 Status DataSynchronizer::SyncTo(CSN target_csn) {
   std::lock_guard<std::mutex> lk(mu_);
   if (target_csn <= table_->merged_csn()) return Status::OK();
@@ -107,12 +116,29 @@ Status DataSynchronizer::SyncTo(CSN target_csn) {
     table_->Clear();
     table_->AppendBatch(rows, target_csn);
     stats_.rows_loaded += rows.size();
+    if (stats_builder_ != nullptr) {
+      // A rebuild already holds the full live row set — recompute exactly.
+      stats_builder_->RecomputeFromRows(rows);
+      publish_stats_(stats_builder_->Snapshot(rows.size()), target_csn);
+    }
   } else {
     if (source_ == nullptr)
       return Status::Internal("merge synchronizer has no delta source");
     const std::vector<DeltaEntry> entries = source_->DrainUpTo(target_csn);
     ApplyEntriesToColumnTable(table_, entries, target_csn);
     stats_.entries_merged += entries.size();
+    if (stats_builder_ != nullptr) {
+      stats_builder_->ApplyEntries(entries);
+      if (stats_builder_->deletes_since_recompute() >
+          compact_delete_threshold_) {
+        // Delete drift: the sketches only widen, so compact away the dead
+        // rows and recompute from what actually survives.
+        table_->Compact();
+        stats_builder_->RecomputeFromColumnTable(*table_);
+      }
+      publish_stats_(stats_builder_->Snapshot(table_->live_rows()),
+                     target_csn);
+    }
   }
 
   const Micros dt = clock_->NowMicros() - t0;

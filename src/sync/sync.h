@@ -24,6 +24,7 @@
 #include "columnar/column_table.h"
 #include "common/clock.h"
 #include "delta/delta.h"
+#include "opt/stats_builder.h"
 #include "storage/mvcc_row_store.h"
 #include "txn/txn_manager.h"
 
@@ -116,6 +117,19 @@ class DataSynchronizer {
     return source_ != nullptr ? source_->PendingEntries() : 0;
   }
 
+  /// Statistics maintenance (DESIGN.md §10): after every merge the
+  /// synchronizer folds the applied entries into an incremental
+  /// TableStatsBuilder and calls `publish` with a fresh TableStats snapshot
+  /// and the CSN it reflects (engines route this to Catalog::PublishStats).
+  /// Deletes only accumulate drift in the incremental sketches, so once
+  /// more than `compact_delete_threshold` deletes have been merged since
+  /// the last full pass, the column table is compacted and the statistics
+  /// fully recomputed from the surviving rows. The rebuild strategy always
+  /// recomputes from the reloaded rows. Call before the first SyncTo.
+  using StatsPublishFn = std::function<void(const TableStats&, CSN)>;
+  void EnableStatsMaintenance(StatsPublishFn publish,
+                              size_t compact_delete_threshold);
+
  private:
   const SyncStrategy strategy_;
   ColumnTable* const table_;
@@ -123,6 +137,10 @@ class DataSynchronizer {
   const MvccRowStore* primary_ = nullptr;
   const Clock* clock_;
   SyncStats stats_;
+  // Stats maintenance state; mutated only under mu_ (SyncTo).
+  std::unique_ptr<TableStatsBuilder> stats_builder_;
+  StatsPublishFn publish_stats_;
+  size_t compact_delete_threshold_ = 0;
   std::mutex mu_;  // one merge at a time
 };
 

@@ -45,9 +45,45 @@ TEST(SqlParserTest, JoinClause) {
   auto res = Parse("SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z < 3");
   ASSERT_TRUE(res.ok());
   const auto& s = res->select;
-  EXPECT_EQ(s.join_table, "b");
-  EXPECT_EQ(s.join_left_col, "a.x");
-  EXPECT_EQ(s.join_right_col, "b.y");
+  ASSERT_EQ(s.joins.size(), 1u);
+  EXPECT_EQ(s.joins[0].table, "b");
+  EXPECT_EQ(s.joins[0].left_col, "a.x");
+  EXPECT_EQ(s.joins[0].right_col, "b.y");
+}
+
+TEST(SqlParserTest, ChainedJoinClauses) {
+  auto res = Parse(
+      "SELECT * FROM a JOIN b ON a.x = b.y INNER JOIN c ON b.z = c.w "
+      "JOIN d ON c.u = d.v WHERE a.z < 3");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const auto& s = res->select;
+  ASSERT_EQ(s.joins.size(), 3u);
+  EXPECT_EQ(s.joins[0].table, "b");
+  EXPECT_EQ(s.joins[1].table, "c");
+  EXPECT_EQ(s.joins[1].left_col, "b.z");
+  EXPECT_EQ(s.joins[1].right_col, "c.w");
+  EXPECT_EQ(s.joins[2].table, "d");
+  EXPECT_EQ(s.joins[2].right_col, "d.v");
+}
+
+TEST(SqlParserTest, JoinParseErrors) {
+  // Dangling or incomplete join clauses fail with a pointed message.
+  EXPECT_FALSE(Parse("SELECT * FROM a JOIN").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM a JOIN b").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM a JOIN b ON").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM a JOIN b ON x").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM a JOIN b ON x =").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM a INNER b ON x = y").ok());
+
+  auto st = Parse("SELECT * FROM a JOIN b WHERE x = 1").status();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.ToString().find("expected ON"), std::string::npos)
+      << st.ToString();
+
+  auto st2 = Parse("SELECT * FROM a JOIN b ON x < y").status();
+  EXPECT_TRUE(st2.IsInvalidArgument());
+  EXPECT_NE(st2.ToString().find("expected '='"), std::string::npos)
+      << st2.ToString();
 }
 
 TEST(SqlParserTest, BetweenNotParensPrecedence) {
@@ -133,6 +169,14 @@ class SqlBinderTest : public ::testing::Test {
     ASSERT_TRUE(db_->ExecuteSql("INSERT INTO sale VALUES (10, 1, 4), "
                                 "(11, 1, 1), (12, 2, 2)")
                     .ok());
+    // `qty` deliberately collides with sale.qty to exercise ambiguity
+    // detection in chained joins.
+    ASSERT_TRUE(db_->ExecuteSql("CREATE TABLE promo (p_id INT64 PRIMARY KEY, "
+                                "p_item INT64, qty INT64)")
+                    .ok());
+    ASSERT_TRUE(db_->ExecuteSql("INSERT INTO promo VALUES (100, 1, 9), "
+                                "(101, 2, 0)")
+                    .ok());
     ASSERT_TRUE(db_->ForceSyncAll().ok());
   }
   std::unique_ptr<Database> db_;
@@ -193,6 +237,78 @@ TEST_F(SqlBinderTest, ProjectionOrderPreserved) {
   EXPECT_DOUBLE_EQ(res->rows[0].Get(0).AsDouble(), 3.0);
   EXPECT_EQ(res->rows[0].Get(1).AsInt64(), 2);
   EXPECT_EQ(res->schema.column(0).name, "price");
+}
+
+TEST_F(SqlBinderTest, ThreeTableChainBindsAndExecutes) {
+  // Each sale matches exactly one item and each item one promo, so the
+  // chain preserves per-sale rows; the second ON reuses item.i_id from the
+  // combined layout.
+  auto res = db_->ExecuteSql(
+      "SELECT item.name, SUM(sale.qty) AS sold FROM sale "
+      "JOIN item ON sale.item_id = item.i_id "
+      "JOIN promo ON item.i_id = promo.p_item "
+      "GROUP BY item.name ORDER BY sold DESC");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->rows.size(), 2u);
+  EXPECT_EQ(res->rows[0].Get(0).AsString(), "apple");
+  EXPECT_DOUBLE_EQ(res->rows[0].Get(1).AsDouble(), 5.0);
+  EXPECT_EQ(res->rows[1].Get(0).AsString(), "pear");
+  EXPECT_DOUBLE_EQ(res->rows[1].Get(1).AsDouble(), 2.0);
+}
+
+TEST_F(SqlBinderTest, ChainReportsExecInfo) {
+  QueryExecInfo info;
+  auto res = db_->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM sale "
+      "INNER JOIN item ON sale.item_id = item.i_id "
+      "INNER JOIN promo ON item.i_id = promo.p_item "
+      "WHERE promo.qty > 0",
+      &info);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->rows[0].Get(0).AsInt64(), 2);  // apple sales only
+  ASSERT_EQ(info.join_steps.size(), 2u);
+  ASSERT_EQ(info.join_order.size(), 2u);
+  EXPECT_EQ(info.join_actual_rows.size(), 2u);
+}
+
+TEST_F(SqlBinderTest, AmbiguousColumnErrors) {
+  // `qty` exists in both sale and promo once the chain includes promo.
+  auto st = db_->ExecuteSql(
+                   "SELECT COUNT(*) AS n FROM sale "
+                   "JOIN item ON item_id = i_id "
+                   "JOIN promo ON i_id = p_item WHERE qty > 1")
+                .status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.ToString().find("ambiguous column"), std::string::npos)
+      << st.ToString();
+
+  // Ambiguity inside an ON condition is also rejected: after joining
+  // promo, `qty` matches both sale and promo in the combined layout.
+  auto st2 = db_->ExecuteSql(
+                    "SELECT COUNT(*) AS n FROM sale "
+                    "JOIN promo ON item_id = p_item "
+                    "JOIN item ON qty = i_id")
+                 .status();
+  EXPECT_TRUE(st2.IsInvalidArgument()) << st2.ToString();
+  EXPECT_NE(st2.ToString().find("ambiguous"), std::string::npos)
+      << st2.ToString();
+
+  // Qualification resolves the ambiguity.
+  auto ok = db_->ExecuteSql(
+      "SELECT COUNT(*) AS n FROM sale "
+      "JOIN item ON item_id = i_id "
+      "JOIN promo ON i_id = p_item WHERE sale.qty > 1");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->rows[0].Get(0).AsInt64(), 2);  // sales 10 and 12
+}
+
+TEST_F(SqlBinderTest, ChainedJoinToUnknownTableIsNotFound) {
+  EXPECT_TRUE(db_->ExecuteSql(
+                     "SELECT COUNT(*) AS n FROM sale "
+                     "JOIN item ON item_id = i_id "
+                     "JOIN missing ON i_id = x")
+                  .status()
+                  .IsNotFound());
 }
 
 TEST_F(SqlBinderTest, DeleteAllThenCountIsZero) {

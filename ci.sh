@@ -1,15 +1,35 @@
 #!/usr/bin/env bash
-# Tier-1 verification, a Release smoke run of the parallel-join bench gated
-# against the checked-in BENCH_baseline.json, an ASan+UBSan pass over the
-# memory-heavy executor/join/spill tests, and a ThreadSanitizer pass over
-# the concurrency tests (parallel scan/aggregate, parallel join, grace join,
-# columnar, executor, pools, sync, scheduler).
-# Also verifies that no grace-join spill run (htap-spill-*) leaks out of any
-# bench or test run.
+# CI pipeline:
+#   1. tier-1: Release build + full ctest
+#   2. bench smoke + regression gate (vs BENCH_baseline.json)
+#   3. lock-rank tree (-DHTAP_LOCK_RANK=ON): full ctest under the runtime
+#      lock-order checker, including the lock_rank death tests
+#   4. asan+ubsan suite over the memory-heavy executor/join/spill tests
+#   5. tsan suite over the concurrency tests
+#   6. clang thread-safety build (-DHTAP_THREAD_SAFETY=ON, -Werror) —
+#      skipped with a notice when clang++ is not installed
+#   7. clang-tidy over every first-party TU — skipped with a notice when
+#      clang-tidy is not installed
+#   8. spill-run leak check
+# Sanitizer/test failures are accumulated per suite (not fail-fast) and the
+# failing tree is named in the summary; any failure exits nonzero.
 # Usage: ./ci.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")"
 JOBS="${1:-$(nproc)}"
+
+FAILED_SUITES=()
+
+# run_suite <tree-label> <binary> [args...] — runs one test binary,
+# recording (instead of aborting on) failure so every suite reports.
+run_suite() {
+  local tree="$1"; shift
+  echo "-- $1 ($tree)"
+  if ! "$@"; then
+    echo "FAIL: $1 in $tree tree" >&2
+    FAILED_SUITES+=("$tree/$1")
+  fi
+}
 
 # Grace-join spill runs land in the system temp dir (unless overridden);
 # start from a clean slate so the leak check below is meaningful.
@@ -26,36 +46,87 @@ cmake --build build -j "$JOBS" --target bench_parallel_join
 ./build/bench/bench_parallel_join smoke | tee build/bench_smoke.log
 
 echo "== bench regression gate (vs BENCH_baseline.json) =="
-python3 scripts/check_bench_regression.py build/bench_smoke.log \
-  BENCH_baseline.json
+# Accumulated, not fail-fast: a throughput blip on a noisy runner must not
+# mask correctness-suite results below.
+if ! python3 scripts/check_bench_regression.py build/bench_smoke.log \
+    BENCH_baseline.json; then
+  echo "FAIL: bench regression gate" >&2
+  FAILED_SUITES+=("bench/regression-gate")
+fi
+
+echo "== lock-rank: full ctest under the runtime lock-order checker =="
+cmake -B build-rank -S . -DHTAP_LOCK_RANK=ON > /dev/null
+cmake --build build-rank -j "$JOBS"
+if ! ctest --test-dir build-rank --output-on-failure -j "$JOBS"; then
+  echo "FAIL: ctest in lock-rank tree" >&2
+  FAILED_SUITES+=("rank/ctest")
+fi
 
 echo "== asan+ubsan: executor/join/spill tests =="
 ASAN_TESTS=(executor_test parallel_scan_test parallel_join_test
-            grace_join_test columnar_test)
+            grace_join_test columnar_test thread_safety_regression_test)
 cmake -B build-asan -S . -DHTAP_ASAN=ON > /dev/null
 cmake --build build-asan -j "$JOBS" --target "${ASAN_TESTS[@]}"
 for t in "${ASAN_TESTS[@]}"; do
-  echo "-- $t (asan+ubsan)"
-  ./build-asan/tests/"$t" --gtest_brief=1
+  run_suite asan "./build-asan/tests/$t" --gtest_brief=1
 done
 
 echo "== tsan: concurrency tests =="
 TSAN_TESTS=(parallel_scan_test parallel_join_test grace_join_test
-            columnar_test executor_test common_test sync_test scheduler_test)
+            columnar_test executor_test common_test sync_test scheduler_test
+            thread_safety_regression_test)
 cmake -B build-tsan -S . -DHTAP_TSAN=ON > /dev/null
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do
-  echo "-- $t (tsan)"
-  ./build-tsan/tests/"$t" --gtest_brief=1
+  run_suite tsan "./build-tsan/tests/$t" --gtest_brief=1
 done
+
+echo "== clang thread-safety analysis (-Werror=thread-safety) =="
+if command -v clang++ > /dev/null 2>&1; then
+  CC=clang CXX=clang++ cmake -B build-ts -S . -DHTAP_THREAD_SAFETY=ON \
+    > /dev/null
+  if ! cmake --build build-ts -j "$JOBS"; then
+    echo "FAIL: thread-safety analysis in build-ts tree" >&2
+    FAILED_SUITES+=("ts/build")
+  fi
+else
+  echo "SKIPPED: clang++ not installed (the GitHub workflow runs this gate)"
+fi
+
+echo "== clang-tidy (bugprone-*, concurrency-*, performance-*) =="
+if command -v clang-tidy > /dev/null 2>&1; then
+  # Use the thread-safety tree's compile_commands.json when clang built it
+  # above, else the Release tree's.
+  TIDY_BUILD=build
+  [[ -f build-ts/compile_commands.json ]] && TIDY_BUILD=build-ts
+  # First-party TUs minus suppressed paths (.clang-tidy-suppressions:
+  # substring-per-line, comments/blank lines ignored; third-party only).
+  mapfile -t TIDY_FILES < <(
+    find src tests bench examples -name '*.cc' |
+      grep -v -F -f <(grep -v '^\s*#' .clang-tidy-suppressions |
+                      grep -v '^\s*$' || true) || true
+  )
+  if ! printf '%s\n' "${TIDY_FILES[@]}" |
+       xargs -P "$JOBS" -n 8 clang-tidy -p "$TIDY_BUILD" --quiet; then
+    echo "FAIL: clang-tidy findings (tidy tree: $TIDY_BUILD)" >&2
+    FAILED_SUITES+=("tidy/clang-tidy")
+  fi
+else
+  echo "SKIPPED: clang-tidy not installed (the GitHub workflow runs this gate)"
+fi
 
 echo "== spill-run leak check =="
 leaks=$(find "$SPILL_DIR" -maxdepth 1 -name 'htap-spill-*' 2>/dev/null || true)
 if [[ -n "$leaks" ]]; then
   echo "FAIL: leaked spill runs:" >&2
   echo "$leaks" >&2
+  FAILED_SUITES+=("spill/leak-check")
+else
+  echo "no leaked htap-spill-* files"
+fi
+
+if ((${#FAILED_SUITES[@]} > 0)); then
+  echo "CI FAILED in: ${FAILED_SUITES[*]}" >&2
   exit 1
 fi
-echo "no leaked htap-spill-* files"
-
 echo "CI OK"

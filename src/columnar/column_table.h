@@ -18,6 +18,8 @@
 #include "columnar/segment.h"
 #include "common/bitmap.h"
 #include "common/latch.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "txn/types.h"
 #include "types/row.h"
@@ -72,8 +74,12 @@ class ColumnTable {
 
   /// Unlatched variants: caller must hold latch() shared for the duration
   /// of use (the scan path holds it across the whole pass).
-  size_t num_groups_unlocked() const { return groups_.size(); }
-  const RowGroup* group_unlocked(size_t i) const { return groups_[i].get(); }
+  size_t num_groups_unlocked() const REQUIRES_SHARED(latch_) {
+    return groups_.size();
+  }
+  const RowGroup* group_unlocked(size_t i) const REQUIRES_SHARED(latch_) {
+    return groups_[i].get();
+  }
 
   /// Reconstructs a full row from group/offset (for hybrid plans).
   Row MaterializeRow(const RowGroup& g, size_t offset) const;
@@ -91,16 +97,17 @@ class ColumnTable {
   void set_merged_csn(CSN csn) { merged_csn_ = csn; }
 
   /// The scan latch: scans hold shared, the sync pipeline holds exclusive.
-  RWLatch& latch() const { return latch_; }
+  RWLatch& latch() const RETURN_CAPABILITY(latch_) { return latch_; }
 
  private:
-  void AppendBatchLocked(const std::vector<Row>& rows);
+  void AppendBatchLocked(const std::vector<Row>& rows) REQUIRES(latch_);
 
   Schema schema_;
-  std::vector<std::unique_ptr<RowGroup>> groups_;
-  std::unordered_map<Key, std::pair<uint32_t, uint32_t>> key_index_;
+  std::vector<std::unique_ptr<RowGroup>> groups_ GUARDED_BY(latch_);
+  std::unordered_map<Key, std::pair<uint32_t, uint32_t>> key_index_
+      GUARDED_BY(latch_);
   std::atomic<CSN> merged_csn_{0};
-  mutable RWLatch latch_;
+  mutable RWLatch latch_{LockRank::kTableLatch, "column-table"};
 };
 
 }  // namespace htap

@@ -1,22 +1,40 @@
 // Lightweight synchronization primitives: a spin latch for short critical
 // sections (version-chain manipulation) and a readers/writer latch for
-// structures with scan-heavy access (B+-tree, column tables).
+// structures with scan-heavy access (B+-tree, column tables). Both carry
+// thread-safety capability annotations and participate in the lock-rank
+// checker (common/mutex.h, DESIGN.md §11).
 
 #ifndef HTAP_COMMON_LATCH_H_
 #define HTAP_COMMON_LATCH_H_
 
 #include <atomic>
-#include <shared_mutex>
 #include <thread>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace htap {
 
 /// Test-and-test-and-set spin latch. Use only around a handful of
 /// instructions; yields to the OS after a bounded number of spins so a
 /// single-core host still makes progress.
-class SpinLatch {
+class CAPABILITY("spin_latch") SpinLatch {
  public:
-  void Lock() {
+  explicit SpinLatch([[maybe_unused]] LockRank rank = LockRank::kLeaf,
+                     [[maybe_unused]] const char* name = "spin_latch")
+#if HTAP_LOCK_RANK_CHECKS
+      : rank_(static_cast<uint16_t>(rank)), name_(name)
+#endif
+  {
+  }
+
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void Lock() ACQUIRE() {
+#if HTAP_LOCK_RANK_CHECKS
+    lock_rank::OnAcquire(this, rank_, name_);
+#endif
     int spins = 0;
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
@@ -29,19 +47,36 @@ class SpinLatch {
     }
   }
 
-  void Unlock() { flag_.store(false, std::memory_order_release); }
+  void Unlock() RELEASE() {
+    flag_.store(false, std::memory_order_release);
+#if HTAP_LOCK_RANK_CHECKS
+    lock_rank::OnRelease(this);
+#endif
+  }
 
-  bool TryLock() { return !flag_.exchange(true, std::memory_order_acquire); }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (flag_.exchange(true, std::memory_order_acquire)) return false;
+#if HTAP_LOCK_RANK_CHECKS
+    lock_rank::OnTryAcquire(this, rank_, name_);
+#endif
+    return true;
+  }
 
  private:
   std::atomic<bool> flag_{false};
+#if HTAP_LOCK_RANK_CHECKS
+  uint16_t rank_;
+  const char* name_;
+#endif
 };
 
 /// RAII guard for SpinLatch.
-class SpinGuard {
+class SCOPED_CAPABILITY SpinGuard {
  public:
-  explicit SpinGuard(SpinLatch& latch) : latch_(latch) { latch_.Lock(); }
-  ~SpinGuard() { latch_.Unlock(); }
+  explicit SpinGuard(SpinLatch& latch) ACQUIRE(latch) : latch_(latch) {
+    latch_.Lock();
+  }
+  ~SpinGuard() RELEASE() { latch_.Unlock(); }
   SpinGuard(const SpinGuard&) = delete;
   SpinGuard& operator=(const SpinGuard&) = delete;
 
@@ -49,25 +84,14 @@ class SpinGuard {
   SpinLatch& latch_;
 };
 
-/// Readers/writer latch; thin wrapper so call sites read as latches, not
-/// generic mutexes.
-class RWLatch {
+/// Readers/writer latch: the annotated + ranked SharedMutex, under the name
+/// call sites use for scan-heavy structures (B+-tree, column tables).
+using RWLatch = SharedMutex;
+
+class SCOPED_CAPABILITY ReadGuard {
  public:
-  void LockShared() { mu_.lock_shared(); }
-  void UnlockShared() { mu_.unlock_shared(); }
-  void LockExclusive() { mu_.lock(); }
-  void UnlockExclusive() { mu_.unlock(); }
-
-  std::shared_mutex& native() { return mu_; }
-
- private:
-  std::shared_mutex mu_;
-};
-
-class ReadGuard {
- public:
-  explicit ReadGuard(RWLatch& l) : l_(l) { l_.LockShared(); }
-  ~ReadGuard() { l_.UnlockShared(); }
+  explicit ReadGuard(RWLatch& l) ACQUIRE_SHARED(l) : l_(l) { l_.LockShared(); }
+  ~ReadGuard() RELEASE() { l_.UnlockShared(); }
   ReadGuard(const ReadGuard&) = delete;
   ReadGuard& operator=(const ReadGuard&) = delete;
 
@@ -75,16 +99,21 @@ class ReadGuard {
   RWLatch& l_;
 };
 
-class WriteGuard {
+class SCOPED_CAPABILITY WriteGuard {
  public:
-  explicit WriteGuard(RWLatch& l) : l_(l) { l_.LockExclusive(); }
-  ~WriteGuard() { l_.UnlockExclusive(); }
+  explicit WriteGuard(RWLatch& l) ACQUIRE(l) : l_(l) { l_.Lock(); }
+  ~WriteGuard() RELEASE() { l_.Unlock(); }
   WriteGuard(const WriteGuard&) = delete;
   WriteGuard& operator=(const WriteGuard&) = delete;
 
  private:
   RWLatch& l_;
 };
+
+#if !HTAP_LOCK_RANK_CHECKS
+static_assert(sizeof(SpinLatch) == sizeof(std::atomic<bool>),
+              "SpinLatch must add no state in release builds");
+#endif
 
 }  // namespace htap
 

@@ -1,0 +1,78 @@
+#include "common/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace htap {
+namespace lock_rank {
+namespace {
+
+// Per-thread stack of currently-held locks. Fixed-size: no allocation on the
+// lock path, and 64 simultaneously-held locks per thread is far beyond any
+// real nesting in this codebase (deepest observed chain is 5).
+struct Held {
+  const void* lock;
+  uint16_t rank;
+  const char* name;
+};
+
+constexpr int kMaxHeld = 64;
+thread_local Held t_held[kMaxHeld];
+thread_local int t_depth = 0;
+
+[[noreturn]] void Die(const char* fmt, const char* a, unsigned ar,
+                      const char* b, unsigned br) {
+  std::fprintf(stderr, fmt, a, ar, b, br);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void Record(const void* lock, uint16_t rank, const char* name) {
+  if (t_depth >= kMaxHeld) {
+    Die("htap lock-rank: held-lock stack overflow acquiring \"%s\" (rank %u);"
+        " outermost held is \"%s\" (rank %u)\n",
+        name, rank, t_held[0].name, t_held[0].rank);
+  }
+  t_held[t_depth++] = Held{lock, rank, name};
+}
+
+}  // namespace
+
+void OnAcquire(const void* lock, uint16_t rank, const char* name) {
+  // Validate against every held lock, not just the top: releases may be
+  // non-LIFO, so the maximum held rank can sit anywhere in the stack.
+  for (int i = 0; i < t_depth; ++i) {
+    if (t_held[i].rank > rank) {
+      Die("htap lock-rank violation: acquiring \"%s\" (rank %u) while "
+          "holding \"%s\" (rank %u); see DESIGN.md #11 for the global "
+          "lock order\n",
+          name, rank, t_held[i].name, t_held[i].rank);
+    }
+  }
+  Record(lock, rank, name);
+}
+
+void OnTryAcquire(const void* lock, uint16_t rank, const char* name) {
+  // TryLock never blocks, so an out-of-order try-acquisition cannot
+  // deadlock; record the hold without validating so that *subsequent*
+  // blocking acquisitions are still checked against it.
+  Record(lock, rank, name);
+}
+
+void OnRelease(const void* lock) {
+  // Drop the most recent record for this lock; tolerate non-LIFO release.
+  for (int i = t_depth - 1; i >= 0; --i) {
+    if (t_held[i].lock == lock) {
+      for (int j = i; j + 1 < t_depth; ++j) t_held[j] = t_held[j + 1];
+      --t_depth;
+      return;
+    }
+  }
+  // Unlock of a lock this thread never recorded: only possible if a lock
+  // was handed between threads (std::mutex forbids that) — ignore.
+}
+
+int HeldCountForTest() { return t_depth; }
+
+}  // namespace lock_rank
+}  // namespace htap

@@ -1,0 +1,91 @@
+// Clang thread-safety ("capability") analysis macros, following the naming
+// of the LLVM documentation. Under Clang every macro expands to the matching
+// __attribute__ so that -Wthread-safety can prove locking discipline at
+// compile time; under every other compiler they expand to nothing, so GCC
+// builds are unaffected.
+//
+// Usage conventions in this codebase (see DESIGN.md §11):
+//   - every mutex-protected member is declared with GUARDED_BY(mu_),
+//   - every `...Locked()` / `..._unlocked()` helper that expects the caller
+//     to hold a lock is declared with REQUIRES(mu_) / REQUIRES_SHARED(mu_),
+//   - lock wrappers (htap::Mutex, htap::SharedMutex, SpinLatch, RWLatch) are
+//     CAPABILITY types and the RAII guards are SCOPED_CAPABILITY types, so
+//     the analysis crosses our own lock vocabulary.
+
+#ifndef HTAP_COMMON_THREAD_ANNOTATIONS_H_
+#define HTAP_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define HTAP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define HTAP_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+// Type attributes -----------------------------------------------------------
+
+/// Marks a class as a lock ("capability"); `x` names the capability kind in
+/// diagnostics, e.g. CAPABILITY("mutex").
+#define CAPABILITY(x) HTAP_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (std::lock_guard-style).
+#define SCOPED_CAPABILITY HTAP_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data-member attributes ----------------------------------------------------
+
+/// The member may only be read/written while holding `x`.
+#define GUARDED_BY(x) HTAP_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is protected by `x`.
+#define PT_GUARDED_BY(x) HTAP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function attributes -------------------------------------------------------
+
+/// Caller must hold `...` exclusively before calling; still held on return.
+#define REQUIRES(...) \
+  HTAP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must hold `...` at least shared before calling.
+#define REQUIRES_SHARED(...) \
+  HTAP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (and does not release it).
+#define ACQUIRE(...) \
+  HTAP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Shared (reader) flavour of ACQUIRE.
+#define ACQUIRE_SHARED(...) \
+  HTAP_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (exclusive or shared).
+#define RELEASE(...) \
+  HTAP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  HTAP_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`
+/// (try-lock pattern).
+#define TRY_ACQUIRE(b, ...) \
+  HTAP_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(b, ...) \
+  HTAP_THREAD_ANNOTATION_(try_acquire_shared_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold `...` (anti-deadlock assertion for re-entrancy).
+#define EXCLUDES(...) HTAP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the capability `x`; lets guard
+/// expressions like GUARDED_BY(table.latch()) resolve to the member latch.
+#define RETURN_CAPABILITY(x) HTAP_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Asserts (without acquiring) that the capability is held — for helpers
+/// reached only under a lock the analysis cannot see.
+#define ASSERT_CAPABILITY(x) HTAP_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Use only where a
+/// restructure is genuinely impossible; every use needs a comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  HTAP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // HTAP_COMMON_THREAD_ANNOTATIONS_H_

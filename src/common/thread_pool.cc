@@ -8,21 +8,21 @@ void TaskGroup::Run(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     ++pending_;
   }
   std::function<void()> wrapped = [this, task = std::move(task)] {
     task();
-    std::lock_guard<std::mutex> lk(mu_);
-    if (--pending_ == 0) cv_.notify_all();
+    MutexLock lk(&mu_);
+    if (--pending_ == 0) cv_.NotifyAll();
   };
   // Pool shutting down: run on the caller so Wait() still terminates.
   if (!pool_->Submit(wrapped)) wrapped();
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [this] { return pending_ == 0; });
+  MutexLock lk(&mu_);
+  while (pending_ != 0) cv_.Wait(mu_);
 }
 
 ThreadPool::ThreadPool(size_t num_threads, std::string name)
@@ -36,43 +36,43 @@ ThreadPool::ThreadPool(size_t num_threads, std::string name)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lk(&mu_);
+  while (!queue_.empty() || running_ != 0) idle_cv_.Wait(mu_);
 }
 
 size_t ThreadPool::QueueDepth() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return queue_.size();
 }
 
 void ThreadPool::SetConcurrencyQuota(size_t quota) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     quota_ = quota;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t ThreadPool::concurrency_quota() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return quota_;
 }
 
@@ -80,11 +80,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] {
-        return shutdown_ ||
-               (!queue_.empty() && (quota_ == 0 || running_ < quota_));
-      });
+      MutexLock lk(&mu_);
+      while (!shutdown_ &&
+             (queue_.empty() || (quota_ != 0 && running_ >= quota_))) {
+        cv_.Wait(mu_);
+      }
       if (shutdown_ && queue_.empty()) return;
       if (queue_.empty() || (quota_ != 0 && running_ >= quota_)) continue;
       task = std::move(queue_.front());
@@ -93,11 +93,11 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       --running_;
-      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && running_ == 0) idle_cv_.NotifyAll();
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 }
 

@@ -6,12 +6,14 @@
 #ifndef HTAP_COMMON_THREAD_POOL_H_
 #define HTAP_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace htap {
 
@@ -38,9 +40,9 @@ class TaskGroup {
 
  private:
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t pending_ = 0;
+  Mutex mu_{LockRank::kTaskGroup, "task-group"};
+  CondVar cv_;
+  size_t pending_ GUARDED_BY(mu_) = 0;
 };
 
 /// A pool of worker threads draining a FIFO task queue.
@@ -73,14 +75,14 @@ class ThreadPool {
   void WorkerLoop();
 
   std::string name_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        // wakes workers
-  std::condition_variable idle_cv_;   // wakes Wait()
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_{LockRank::kThreadPool, "thread-pool"};
+  CondVar cv_;       // wakes workers
+  CondVar idle_cv_;  // wakes Wait()
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
-  size_t running_ = 0;
-  size_t quota_ = 0;  // 0 = unlimited
-  bool shutdown_ = false;
+  size_t running_ GUARDED_BY(mu_) = 0;
+  size_t quota_ GUARDED_BY(mu_) = 0;  // 0 = unlimited
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace htap

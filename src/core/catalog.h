@@ -7,11 +7,12 @@
 #define HTAP_CORE_CATALOG_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "opt/optimizer.h"
 #include "txn/types.h"
@@ -31,7 +32,7 @@ struct PublishedTableStats {
 class Catalog {
  public:
   Status AddTable(const std::string& name, Schema schema, TableInfo* out) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (by_name_.count(name) != 0)
       return Status::AlreadyExists("table exists: " + name);
     HTAP_RETURN_NOT_OK(schema.Validate());
@@ -47,13 +48,13 @@ class Catalog {
   /// nullptr if absent. Pointers remain valid for the catalog's lifetime
   /// (tables are never dropped through this API).
   const TableInfo* Find(const std::string& name) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     const auto it = by_name_.find(name);
     return it == by_name_.end() ? nullptr : &it->second;
   }
 
   std::vector<std::string> TableNames() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     std::vector<std::string> out;
     for (const auto& [name, info] : by_name_) out.push_back(name);
     return out;
@@ -64,7 +65,7 @@ class Catalog {
   /// so a publish never tears a concurrent planner's view.
   void PublishStats(const std::string& name, TableStats stats,
                     CSN as_of_csn) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     PublishedTableStats& p = stats_by_name_[name];
     p.stats = std::move(stats);
     p.as_of_csn = as_of_csn;
@@ -74,7 +75,7 @@ class Catalog {
   /// Copies out the latest published snapshot. False if the table has never
   /// published (the planner then falls back to execution-time sampling).
   bool GetStats(const std::string& name, PublishedTableStats* out) const {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     const auto it = stats_by_name_.find(name);
     if (it == stats_by_name_.end()) return false;
     if (out != nullptr) *out = it->second;
@@ -82,10 +83,13 @@ class Catalog {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, TableInfo> by_name_;
-  std::map<std::string, PublishedTableStats> stats_by_name_;
-  uint32_t next_id_ = 1;
+  mutable Mutex mu_{LockRank::kCatalog, "catalog"};
+  // Find() returns pointers into by_name_: std::map nodes are stable and
+  // tables are never dropped, so escaped pointers stay valid (documented
+  // contract above).
+  std::map<std::string, TableInfo> by_name_ GUARDED_BY(mu_);
+  std::map<std::string, PublishedTableStats> stats_by_name_ GUARDED_BY(mu_);
+  uint32_t next_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace htap

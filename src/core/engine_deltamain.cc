@@ -63,7 +63,7 @@ Status DeltaMainHtapEngine::CreateTable(const TableInfo& info) {
       },
       options_.stats_compact_delete_threshold);
   if (daemon_) daemon_->AddTask(ts->sync.get());
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   tables_[info.id] = std::move(ts);
   return Status::OK();
 }
@@ -97,18 +97,18 @@ void DeltaMainHtapEngine::OnCommit(const std::vector<ChangeEvent>& events) {
   // The TP commit path pays the L1 append (and occasionally the L1->L2
   // dictionary-encoding spill) — the cost behind Table 1's "Low TP
   // scalability" for this architecture.
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   for (auto& [tid, ts] : tables_) ts->delta->AppendBatch(events, tid);
 }
 
 L1L2DeltaStore* DeltaMainHtapEngine::delta(uint32_t table_id) {
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   const auto it = tables_.find(table_id);
   return it == tables_.end() ? nullptr : it->second->delta.get();
 }
 
 ColumnTable* DeltaMainHtapEngine::main(uint32_t table_id) {
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   const auto it = tables_.find(table_id);
   return it == tables_.end() ? nullptr : it->second->main.get();
 }
@@ -118,7 +118,7 @@ Result<std::vector<Row>> DeltaMainHtapEngine::Scan(const ScanRequest& req,
                                                    std::string* path_desc) {
   TableState* ts;
   {
-    std::lock_guard<std::mutex> lk(tables_mu_);
+    MutexLock lk(&tables_mu_);
     const auto it = tables_.find(req.table->id);
     if (it == tables_.end()) return Status::NotFound("no such table");
     ts = it->second.get();
@@ -147,7 +147,7 @@ Result<QueryResult> DeltaMainHtapEngine::Execute(const QueryPlan& plan,
 }
 
 Status DeltaMainHtapEngine::ForceSync(const TableInfo& tbl) {
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   const auto it = tables_.find(tbl.id);
   if (it == tables_.end()) return Status::NotFound("no such table");
   return it->second->sync->SyncTo(layer_.txn_mgr()->LastCommittedCsn());
@@ -155,7 +155,7 @@ Status DeltaMainHtapEngine::ForceSync(const TableInfo& tbl) {
 
 FreshnessInfo DeltaMainHtapEngine::Freshness(const TableInfo& tbl) {
   FreshnessInfo f;
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   const auto it = tables_.find(tbl.id);
   if (it == tables_.end()) return f;
   f.committed_csn = layer_.txn_mgr()->LastCommittedCsn();
@@ -174,10 +174,11 @@ EngineStats DeltaMainHtapEngine::Stats() {
   s.aborts = layer_.txn_mgr()->aborts();
   s.conflicts = layer_.txn_mgr()->conflicts();
   s.row_store_bytes = layer_.TotalRowStoreBytes();
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   for (const auto& [tid, ts] : tables_) {
-    s.merges += ts->sync->stats().merges;
-    s.entries_merged += ts->sync->stats().entries_merged;
+    const SyncStats ss = ts->sync->stats();
+    s.merges += ss.merges;
+    s.entries_merged += ss.entries_merged;
     s.column_store_bytes += ts->main->MemoryBytes();
     s.delta_bytes += ts->delta->MemoryBytes();
   }

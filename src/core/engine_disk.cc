@@ -130,8 +130,8 @@ Status DiskHtapEngine::CreateTable(const TableInfo& info) {
   // advisor + budget once a workload has been observed.
   for (size_t c = 0; c < info.schema.num_columns(); ++c)
     ts->loaded.push_back(static_cast<int>(c));
-  ts->imcs = std::make_unique<ColumnTable>(info.schema);
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  ts->imcs = std::make_shared<ColumnTable>(info.schema);
+  MutexLock lk(&tables_mu_);
   tables_[info.id] = std::move(ts);
   return Status::OK();
 }
@@ -159,7 +159,7 @@ Status DiskHtapEngine::Read(const TableInfo& tbl, Key key, Row* out) {
 }
 
 void DiskHtapEngine::OnCommit(const std::vector<ChangeEvent>& events) {
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   for (const ChangeEvent& ev : events) {
     const auto it = tables_.find(ev.table_id);
     if (it == tables_.end()) continue;
@@ -172,14 +172,29 @@ void DiskHtapEngine::OnCommit(const std::vector<ChangeEvent>& events) {
   for (auto& [tid, ts] : tables_) ts->delta->AppendBatch(events, tid);
 }
 
-Row DiskHtapEngine::ProjectToLoaded(const TableState& ts,
-                                    const Row& row) const {
+Row DiskHtapEngine::ProjectToLoaded(const std::vector<int>& loaded,
+                                    const Row& row) {
   Row out;
-  for (int c : ts.loaded) out.Append(row.Get(static_cast<size_t>(c)));
+  for (int c : loaded) out.Append(row.Get(static_cast<size_t>(c)));
   return out;
 }
 
-Status DiskHtapEngine::SyncImcs(TableState* ts, CSN target) {
+Status DiskHtapEngine::SyncImcs(TableState* ts, CSN target,
+                                std::shared_ptr<ColumnTable>* imcs_out,
+                                std::vector<int>* loaded_out) {
+  // merge_mu serializes drain+apply: two unserialized drains could apply
+  // delta batches out of commit order, and a drain concurrent with
+  // RefreshColumnSelection could lose its entries into a superseded
+  // generation. It is taken *before* tables_mu_ (rank 280 < 300) so the
+  // generation snapshot below is the one current for the whole merge.
+  MutexLock merge_lk(&ts->merge_mu);
+  std::shared_ptr<ColumnTable> imcs;
+  std::vector<int> loaded;
+  {
+    MutexLock lk(&tables_mu_);
+    imcs = ts->imcs;
+    loaded = ts->loaded;
+  }
   auto entries = ts->delta->DrainUpTo(target);
   std::vector<DeltaEntry> projected;
   projected.reserve(entries.size());
@@ -188,19 +203,21 @@ Status DiskHtapEngine::SyncImcs(TableState* ts, CSN target) {
     p.op = e.op;
     p.key = e.key;
     p.csn = e.csn;
-    if (e.op != ChangeOp::kDelete) p.row = ProjectToLoaded(*ts, e.row);
+    if (e.op != ChangeOp::kDelete) p.row = ProjectToLoaded(loaded, e.row);
     projected.push_back(std::move(p));
   }
-  ApplyEntriesToColumnTable(ts->imcs.get(),
-                            projected, target);
+  ApplyEntriesToColumnTable(imcs.get(), projected, target);
+  if (imcs_out != nullptr) *imcs_out = std::move(imcs);
+  if (loaded_out != nullptr) *loaded_out = std::move(loaded);
   return Status::OK();
 }
 
-void DiskHtapEngine::MaybeRefreshStats(TableState* ts) {
+TableStats DiskHtapEngine::RefreshedStats(TableState* ts) {
   const CSN now = layer_.txn_mgr()->LastCommittedCsn();
+  MutexLock lk(&ts->stats_mu);
   if (ts->stats.row_count != 0 &&
       now < ts->stats_at_csn + options_.stats_refresh_interval)
-    return;
+    return ts->stats;
   const MvccRowStore* store = layer_.store(ts->info.id);
   std::vector<Row> sample;
   sample.reserve(2048);
@@ -214,20 +231,21 @@ void DiskHtapEngine::MaybeRefreshStats(TableState* ts) {
   // This architecture has no sync driver to maintain stats incrementally;
   // the sampling refresher doubles as the catalog publisher (DESIGN.md §10).
   catalog_->PublishStats(ts->info.name, ts->stats, now);
+  return ts->stats;
 }
 
 Result<ColumnAdvisor::Selection> DiskHtapEngine::RefreshColumnSelection(
     const TableInfo& tbl) {
   TableState* ts;
   {
-    std::lock_guard<std::mutex> lk(tables_mu_);
+    MutexLock lk(&tables_mu_);
     const auto it = tables_.find(tbl.id);
     if (it == tables_.end()) return Status::NotFound("no such table");
     ts = it->second.get();
   }
-  MaybeRefreshStats(ts);
+  const TableStats table_stats = RefreshedStats(ts);
   const std::vector<size_t> col_bytes =
-      EstimateColumnBytes(tbl.schema, ts->stats);
+      EstimateColumnBytes(tbl.schema, table_stats);
   ColumnAdvisor::Selection sel =
       advisor_.Advise(tbl.name, col_bytes, options_.column_memory_budget_bytes);
 
@@ -239,22 +257,29 @@ Result<ColumnAdvisor::Selection> DiskHtapEngine::RefreshColumnSelection(
     std::sort(sel.columns.begin(), sel.columns.end());
   }
 
-  // Rebuild the IMCS on the new projection from the durable heap.
-  std::lock_guard<std::mutex> lk(tables_mu_);
-  ts->loaded = sel.columns;
-  ts->imcs = std::make_unique<ColumnTable>(tbl.schema.Project(ts->loaded));
+  // Rebuild the IMCS on the new projection from the durable heap, as a new
+  // generation. merge_mu keeps SyncImcs out for the whole drain+rebuild, so
+  // no merge can strand drained entries in the superseded generation; in-
+  // flight scans keep their pinned shared_ptr alive until they finish.
+  MutexLock merge_lk(&ts->merge_mu);
+  auto imcs = std::make_shared<ColumnTable>(tbl.schema.Project(sel.columns));
   ts->delta->DrainUpTo(kMaxCSN);  // heap already reflects these
   std::vector<Row> rows;
   HTAP_RETURN_NOT_OK(ts->heap->Scan([&](Key, const Row& r) {
-    rows.push_back(ProjectToLoaded(*ts, r));
+    rows.push_back(ProjectToLoaded(sel.columns, r));
     return true;
   }));
-  ts->imcs->AppendBatch(rows, layer_.txn_mgr()->LastCommittedCsn());
+  imcs->AppendBatch(rows, layer_.txn_mgr()->LastCommittedCsn());
+  {
+    MutexLock lk(&tables_mu_);
+    ts->loaded = sel.columns;
+    ts->imcs = std::move(imcs);
+  }
   return sel;
 }
 
 std::vector<int> DiskHtapEngine::LoadedColumns(uint32_t table_id) const {
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   const auto it = tables_.find(table_id);
   return it == tables_.end() ? std::vector<int>{} : it->second->loaded;
 }
@@ -263,13 +288,15 @@ Result<std::vector<Row>> DiskHtapEngine::Scan(const ScanRequest& req,
                                               ScanStats* stats,
                                               std::string* path_desc) {
   TableState* ts;
+  std::vector<int> loaded0;
   {
-    std::lock_guard<std::mutex> lk(tables_mu_);
+    MutexLock lk(&tables_mu_);
     const auto it = tables_.find(req.table->id);
     if (it == tables_.end()) return Status::NotFound("no such table");
     ts = it->second.get();
+    loaded0 = ts->loaded;
   }
-  MaybeRefreshStats(ts);
+  const TableStats table_stats = RefreshedStats(ts);
   const std::vector<int> touched = TouchedColumns(req);
   advisor_.RecordAccess(req.table->name, touched);
 
@@ -277,12 +304,11 @@ Result<std::vector<Row>> DiskHtapEngine::Scan(const ScanRequest& req,
   // survey's "columns for a new query may have not been selected" caveat.
   const bool all_loaded = std::all_of(
       touched.begin(), touched.end(), [&](int c) {
-        return std::find(ts->loaded.begin(), ts->loaded.end(), c) !=
-               ts->loaded.end();
+        return std::find(loaded0.begin(), loaded0.end(), c) != loaded0.end();
       });
   const bool full_projection_ok =
       !req.projection.empty() ||
-      ts->loaded.size() == req.table->schema.num_columns();
+      loaded0.size() == req.table->schema.num_columns();
   const bool column_capable = all_loaded && full_projection_ok;
 
   Key pk_key = 0;
@@ -301,7 +327,7 @@ Result<std::vector<Row>> DiskHtapEngine::Scan(const ScanRequest& req,
       break;
     case PathHint::kAuto: {
       AccessQuery q;
-      q.stats = &ts->stats;
+      q.stats = &table_stats;
       q.pred = req.pred;
       q.columns_needed = touched.size();
       q.total_columns = req.table->schema.num_columns();
@@ -331,20 +357,38 @@ Result<std::vector<Row>> DiskHtapEngine::Scan(const ScanRequest& req,
   }
 
   if (path == AccessPath::kColumnScan) {
-    if (path_desc != nullptr) *path_desc = "imcs-pushdown";
-    // Keep the IMCS current, then scan in the projected layout.
-    SyncImcs(ts, layer_.txn_mgr()->LastCommittedCsn());
-    std::vector<int> base_to_imcs(req.table->schema.num_columns(), -1);
-    for (size_t i = 0; i < ts->loaded.size(); ++i)
-      base_to_imcs[static_cast<size_t>(ts->loaded[i])] = static_cast<int>(i);
-    const Predicate imcs_pred = RemapPredicate(*req.pred, base_to_imcs);
-    std::vector<int> imcs_proj;
-    for (int c : req.projection)
-      imcs_proj.push_back(base_to_imcs[static_cast<size_t>(c)]);
-    ProjectingDeltaReader delta(ts->delta.get(), ts->loaded);
-    return ScanHtap(*ts->imcs, req.require_fresh ? &delta : nullptr,
-                    layer_.txn_mgr()->LastCommittedCsn(), imcs_pred,
-                    imcs_proj, ap_.ctx(), stats);
+    // Keep the IMCS current, then scan the synced generation in its
+    // projected layout. SyncImcs pins the generation it merged into, so a
+    // concurrent RefreshColumnSelection cannot free it under this scan.
+    std::shared_ptr<ColumnTable> imcs;
+    std::vector<int> loaded;
+    HTAP_RETURN_NOT_OK(SyncImcs(ts, layer_.txn_mgr()->LastCommittedCsn(),
+                                &imcs, &loaded));
+    // Re-check against the generation actually pinned: a concurrent refresh
+    // may have evicted a touched column since the capability check above.
+    const bool still_capable =
+        (!req.projection.empty() ||
+         loaded.size() == req.table->schema.num_columns()) &&
+        std::all_of(touched.begin(), touched.end(), [&](int c) {
+          return std::find(loaded.begin(), loaded.end(), c) != loaded.end();
+        });
+    if (still_capable) {
+      if (path_desc != nullptr) *path_desc = "imcs-pushdown";
+      std::vector<int> base_to_imcs(req.table->schema.num_columns(), -1);
+      for (size_t i = 0; i < loaded.size(); ++i)
+        base_to_imcs[static_cast<size_t>(loaded[i])] = static_cast<int>(i);
+      const Predicate imcs_pred = RemapPredicate(*req.pred, base_to_imcs);
+      std::vector<int> imcs_proj;
+      for (int c : req.projection)
+        imcs_proj.push_back(base_to_imcs[static_cast<size_t>(c)]);
+      ProjectingDeltaReader delta(ts->delta.get(), loaded);
+      return ScanHtap(*imcs, req.require_fresh ? &delta : nullptr,
+                      layer_.txn_mgr()->LastCommittedCsn(), imcs_pred,
+                      imcs_proj, ap_.ctx(), stats);
+    }
+    if (req.path == PathHint::kForceColumn)
+      return Status::InvalidArgument("columns not loaded in IMCS");
+    // else fall through to the disk-heap scan below
   }
 
   // Row fallback: scan the disk heap through the buffer pool.
@@ -375,15 +419,21 @@ Result<QueryResult> DiskHtapEngine::Execute(const QueryPlan& plan,
 }
 
 Status DiskHtapEngine::ForceSync(const TableInfo& tbl) {
-  std::lock_guard<std::mutex> lk(tables_mu_);
-  const auto it = tables_.find(tbl.id);
-  if (it == tables_.end()) return Status::NotFound("no such table");
-  return SyncImcs(it->second.get(), layer_.txn_mgr()->LastCommittedCsn());
+  TableState* ts;
+  {
+    MutexLock lk(&tables_mu_);
+    const auto it = tables_.find(tbl.id);
+    if (it == tables_.end()) return Status::NotFound("no such table");
+    ts = it->second.get();
+  }
+  // SyncImcs takes merge_mu then tables_mu_; calling it with tables_mu_
+  // held would invert the rank order.
+  return SyncImcs(ts, layer_.txn_mgr()->LastCommittedCsn(), nullptr, nullptr);
 }
 
 FreshnessInfo DiskHtapEngine::Freshness(const TableInfo& tbl) {
   FreshnessInfo f;
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   const auto it = tables_.find(tbl.id);
   if (it == tables_.end()) return f;
   f.committed_csn = layer_.txn_mgr()->LastCommittedCsn();
@@ -402,12 +452,13 @@ EngineStats DiskHtapEngine::Stats() {
   s.aborts = layer_.txn_mgr()->aborts();
   s.conflicts = layer_.txn_mgr()->conflicts();
   s.row_store_bytes = layer_.TotalRowStoreBytes();
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   for (const auto& [tid, ts] : tables_) {
     s.column_store_bytes += ts->imcs->MemoryBytes();
     s.delta_bytes += ts->delta->MemoryBytes();
-    s.buffer_pool_hits += ts->heap->pool().hits();
-    s.buffer_pool_misses += ts->heap->pool().misses();
+    const BufferPoolStats bp = ts->heap->pool_stats();
+    s.buffer_pool_hits += bp.hits;
+    s.buffer_pool_misses += bp.misses;
   }
   return s;
 }

@@ -83,7 +83,7 @@ Status InMemoryHtapEngine::CreateTable(const TableInfo& info) {
       },
       options_.stats_compact_delete_threshold);
   if (daemon_) daemon_->AddTask(ts->sync.get());
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   tables_[info.id] = std::move(ts);
   return Status::OK();
 }
@@ -114,27 +114,28 @@ Status InMemoryHtapEngine::Read(const TableInfo& tbl, Key key, Row* out) {
 }
 
 void InMemoryHtapEngine::OnCommit(const std::vector<ChangeEvent>& events) {
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   for (auto& [tid, ts] : tables_) ts->delta->AppendBatch(events, tid);
 }
 
 ColumnTable* InMemoryHtapEngine::column_table(uint32_t table_id) {
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   const auto it = tables_.find(table_id);
   return it == tables_.end() ? nullptr : it->second->columns.get();
 }
 
 InMemoryDeltaStore* InMemoryHtapEngine::delta(uint32_t table_id) {
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   const auto it = tables_.find(table_id);
   return it == tables_.end() ? nullptr : it->second->delta.get();
 }
 
-void InMemoryHtapEngine::MaybeRefreshStats(TableState* ts) {
+TableStats InMemoryHtapEngine::RefreshedStats(TableState* ts) {
   const CSN now = layer_.txn_mgr()->LastCommittedCsn();
+  MutexLock lk(&ts->stats_mu);
   if (ts->stats.row_count != 0 &&
       now < ts->stats_at_csn + options_.stats_refresh_interval)
-    return;
+    return ts->stats;
   const MvccRowStore* store = layer_.store(ts->info.id);
   std::vector<Row> sample;
   sample.reserve(2048);
@@ -146,6 +147,7 @@ void InMemoryHtapEngine::MaybeRefreshStats(TableState* ts) {
   ts->stats = TableStats::Compute(ts->info.schema, sample);
   ts->stats.row_count = store->ApproxRowCount();
   ts->stats_at_csn = now;
+  return ts->stats;
 }
 
 Result<std::vector<Row>> InMemoryHtapEngine::Scan(const ScanRequest& req,
@@ -153,12 +155,12 @@ Result<std::vector<Row>> InMemoryHtapEngine::Scan(const ScanRequest& req,
                                                   std::string* path_desc) {
   TableState* ts;
   {
-    std::lock_guard<std::mutex> lk(tables_mu_);
+    MutexLock lk(&tables_mu_);
     const auto it = tables_.find(req.table->id);
     if (it == tables_.end()) return Status::NotFound("no such table");
     ts = it->second.get();
   }
-  MaybeRefreshStats(ts);
+  const TableStats table_stats = RefreshedStats(ts);
 
   const std::vector<int> touched = TouchedColumns(req);
   advisor_.RecordAccess(req.table->name, touched);
@@ -176,7 +178,7 @@ Result<std::vector<Row>> InMemoryHtapEngine::Scan(const ScanRequest& req,
       break;
     case PathHint::kAuto: {
       AccessQuery q;
-      q.stats = &ts->stats;
+      q.stats = &table_stats;
       q.pred = req.pred;
       q.columns_needed = touched.size();
       q.total_columns = req.table->schema.num_columns();
@@ -225,7 +227,7 @@ Result<QueryResult> InMemoryHtapEngine::Execute(const QueryPlan& plan,
 }
 
 Status InMemoryHtapEngine::ForceSync(const TableInfo& tbl) {
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   const auto it = tables_.find(tbl.id);
   if (it == tables_.end()) return Status::NotFound("no such table");
   return it->second->sync->SyncTo(layer_.txn_mgr()->LastCommittedCsn());
@@ -233,7 +235,7 @@ Status InMemoryHtapEngine::ForceSync(const TableInfo& tbl) {
 
 FreshnessInfo InMemoryHtapEngine::Freshness(const TableInfo& tbl) {
   FreshnessInfo f;
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   const auto it = tables_.find(tbl.id);
   if (it == tables_.end()) return f;
   f.committed_csn = layer_.txn_mgr()->LastCommittedCsn();
@@ -252,10 +254,11 @@ EngineStats InMemoryHtapEngine::Stats() {
   s.aborts = layer_.txn_mgr()->aborts();
   s.conflicts = layer_.txn_mgr()->conflicts();
   s.row_store_bytes = layer_.TotalRowStoreBytes();
-  std::lock_guard<std::mutex> lk(tables_mu_);
+  MutexLock lk(&tables_mu_);
   for (const auto& [tid, ts] : tables_) {
-    s.merges += ts->sync->stats().merges;
-    s.entries_merged += ts->sync->stats().entries_merged;
+    const SyncStats ss = ts->sync->stats();
+    s.merges += ss.merges;
+    s.entries_merged += ss.entries_merged;
     s.column_store_bytes += ts->columns->MemoryBytes();
     s.delta_bytes += ts->delta->MemoryBytes();
   }

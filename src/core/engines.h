@@ -13,8 +13,11 @@
 #ifndef HTAP_CORE_ENGINES_H_
 #define HTAP_CORE_ENGINES_H_
 
+#include <memory>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/catalog.h"
 #include "core/options.h"
@@ -98,13 +101,17 @@ class InMemoryHtapEngine : public HtapEngine, public ChangeSink {
     std::unique_ptr<InMemoryDeltaStore> delta;
     std::unique_ptr<ColumnTable> columns;
     std::unique_ptr<DataSynchronizer> sync;
-    TableStats stats;
-    uint64_t stats_at_csn = 0;
+    // Plan-time row-store stats: refreshed from a snapshot scan while
+    // concurrent queries copy them out, so they carry their own mutex.
+    Mutex stats_mu{LockRank::kEngineTableStats, "inmemory-table-stats"};
+    TableStats stats GUARDED_BY(stats_mu);
+    uint64_t stats_at_csn GUARDED_BY(stats_mu) = 0;
   };
 
   Result<std::vector<Row>> Scan(const ScanRequest& req, ScanStats* stats,
                                 std::string* path_desc);
-  void MaybeRefreshStats(TableState* ts);
+  /// Refreshes the sampled row-store stats if stale and returns a copy.
+  TableStats RefreshedStats(TableState* ts);
 
   DatabaseOptions options_;
   Catalog* catalog_;
@@ -113,9 +120,12 @@ class InMemoryHtapEngine : public HtapEngine, public ChangeSink {
   FreshnessTracker freshness_;
   ColumnAdvisor advisor_;
   ApScanRuntime ap_;
-  std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_;
+  // TableState pointers are stable: entries are never erased, so a pointer
+  // copied out under the lock stays valid for the engine's lifetime.
+  std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_
+      GUARDED_BY(tables_mu_);
   std::unique_ptr<SyncDaemon> daemon_;
-  mutable std::mutex tables_mu_;
+  mutable Mutex tables_mu_{LockRank::kEngineTables, "inmemory-tables"};
 };
 
 // ---------------------------------------------------------------------------
@@ -165,9 +175,10 @@ class DeltaMainHtapEngine : public HtapEngine, public ChangeSink {
   RowTxnLayer layer_;  // the delta row store with MVCC semantics
   FreshnessTracker freshness_;
   ApScanRuntime ap_;
-  std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_;
+  std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_
+      GUARDED_BY(tables_mu_);
   std::unique_ptr<SyncDaemon> daemon_;
-  mutable std::mutex tables_mu_;
+  mutable Mutex tables_mu_{LockRank::kEngineTables, "deltamain-tables"};
 };
 
 // ---------------------------------------------------------------------------
@@ -210,17 +221,32 @@ class DiskHtapEngine : public HtapEngine, public ChangeSink {
     TableInfo info;
     std::unique_ptr<DiskRowStore> heap;          // durable row heap
     std::unique_ptr<InMemoryDeltaStore> delta;   // staged changes for IMCS
-    std::unique_ptr<ColumnTable> imcs;           // loaded-column store
+    // The IMCS generation: RefreshColumnSelection replaces the pair
+    // wholesale; readers copy the shared_ptr + loaded vector out under
+    // tables_mu_ and the old store stays alive until the last scan drops it
+    // (a scan must never dereference a generation it did not pin).
+    std::shared_ptr<ColumnTable> imcs;           // loaded-column store
     std::vector<int> loaded;                     // base column indexes
-    TableStats stats;
-    uint64_t stats_at_csn = 0;
+    // Serializes "snapshot the current generation + drain the delta +
+    // apply" so concurrent scans cannot apply drained batches out of commit
+    // order (or drain entries into a superseded generation).
+    Mutex merge_mu{LockRank::kEngineTableSync, "disk-imcs-merge"};
+    Mutex stats_mu{LockRank::kEngineTableStats, "disk-table-stats"};
+    TableStats stats GUARDED_BY(stats_mu);
+    uint64_t stats_at_csn GUARDED_BY(stats_mu) = 0;
   };
 
   Result<std::vector<Row>> Scan(const ScanRequest& req, ScanStats* stats,
                                 std::string* path_desc);
-  Status SyncImcs(TableState* ts, CSN target);
-  Row ProjectToLoaded(const TableState& ts, const Row& row) const;
-  void MaybeRefreshStats(TableState* ts);
+  /// Drains the delta up to `target` into the current IMCS generation and
+  /// (optionally) returns the synced generation for the caller to scan.
+  Status SyncImcs(TableState* ts, CSN target,
+                  std::shared_ptr<ColumnTable>* imcs_out,
+                  std::vector<int>* loaded_out);
+  static Row ProjectToLoaded(const std::vector<int>& loaded, const Row& row);
+  /// Refreshes the sampled row-store stats if stale (publishing to the
+  /// catalog) and returns a copy.
+  TableStats RefreshedStats(TableState* ts);
 
   DatabaseOptions options_;
   Catalog* catalog_;
@@ -229,8 +255,10 @@ class DiskHtapEngine : public HtapEngine, public ChangeSink {
   FreshnessTracker freshness_;
   ColumnAdvisor advisor_;
   ApScanRuntime ap_;
-  std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_;
-  mutable std::mutex tables_mu_;
+  // TableState pointers are stable (entries never erased); see (a).
+  std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_
+      GUARDED_BY(tables_mu_);
+  mutable Mutex tables_mu_{LockRank::kEngineTables, "disk-tables"};
 };
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,9 @@
 
 #include <atomic>
 #include <map>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include <memory>
 #include <thread>
 #include <vector>
@@ -107,7 +110,7 @@ class SyncDaemon {
   ~SyncDaemon() { Stop(); }
 
   void AddTask(DataSynchronizer* sync) {
-    std::lock_guard<std::mutex> lk(tasks_mu_);
+    MutexLock lk(&tasks_mu_);
     tasks_.push_back(sync);
   }
 
@@ -124,7 +127,7 @@ class SyncDaemon {
 
   Status SyncAllNow() {
     const CSN target = txn_mgr_->LastCommittedCsn();
-    std::lock_guard<std::mutex> lk(tasks_mu_);
+    MutexLock lk(&tasks_mu_);
     for (DataSynchronizer* t : tasks_) HTAP_RETURN_NOT_OK(t->SyncTo(target));
     return Status::OK();
   }
@@ -138,7 +141,7 @@ class SyncDaemon {
       slept += tick;
       bool threshold_hit = false;
       if (entry_threshold_ != 0) {
-        std::lock_guard<std::mutex> lk(tasks_mu_);
+        MutexLock lk(&tasks_mu_);
         for (DataSynchronizer* t : tasks_)
           threshold_hit |= t->PendingEntries() >= entry_threshold_;
       }
@@ -152,8 +155,10 @@ class SyncDaemon {
   TransactionManager* const txn_mgr_;
   const Micros interval_micros_;
   const size_t entry_threshold_;
-  std::mutex tasks_mu_;
-  std::vector<DataSynchronizer*> tasks_;
+  // Outermost lock in the system: held across SyncTo(), which reaches the
+  // sync, table-latch, delta, and catalog locks (DESIGN.md §11).
+  Mutex tasks_mu_{LockRank::kSyncDaemon, "sync-daemon-tasks"};
+  std::vector<DataSynchronizer*> tasks_ GUARDED_BY(tasks_mu_);
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };

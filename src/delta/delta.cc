@@ -21,14 +21,14 @@ DeltaEntry FromEvent(const ChangeEvent& ev) {
 // ---------------------------------------------------------------------------
 
 void InMemoryDeltaStore::Append(const DeltaEntry& e) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   mem_bytes_ += EntryBytes(e);
   entries_.push_back(e);
 }
 
 void InMemoryDeltaStore::AppendBatch(const std::vector<ChangeEvent>& events,
                                      uint32_t table_id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (const auto& ev : events) {
     if (ev.table_id != table_id) continue;
     entries_.push_back(FromEvent(ev));
@@ -38,7 +38,7 @@ void InMemoryDeltaStore::AppendBatch(const std::vector<ChangeEvent>& events,
 
 void InMemoryDeltaStore::ScanVisible(
     CSN snapshot, const std::function<void(const DeltaEntry&)>& visit) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (const auto& e : entries_) {
     if (e.csn > snapshot) break;  // commit order: everything after is newer
     visit(e);
@@ -46,17 +46,17 @@ void InMemoryDeltaStore::ScanVisible(
 }
 
 size_t InMemoryDeltaStore::EntryCount() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return entries_.size();
 }
 
 size_t InMemoryDeltaStore::MemoryBytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return mem_bytes_;
 }
 
 std::vector<DeltaEntry> InMemoryDeltaStore::DrainUpTo(CSN csn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vector<DeltaEntry> out;
   while (!entries_.empty() && entries_.front().csn <= csn) {
     mem_bytes_ -= std::min(mem_bytes_, EntryBytes(entries_.front()));
@@ -67,7 +67,7 @@ std::vector<DeltaEntry> InMemoryDeltaStore::DrainUpTo(CSN csn) {
 }
 
 CSN InMemoryDeltaStore::max_csn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return entries_.empty() ? 0 : entries_.back().csn;
 }
 
@@ -79,14 +79,14 @@ L1L2DeltaStore::L1L2DeltaStore(Schema schema, size_t l1_spill_threshold)
     : schema_(std::move(schema)), l1_spill_threshold_(l1_spill_threshold) {}
 
 void L1L2DeltaStore::Append(const DeltaEntry& e) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   l1_.push_back(e);
   if (l1_.size() >= l1_spill_threshold_) SpillL1Locked();
 }
 
 void L1L2DeltaStore::AppendBatch(const std::vector<ChangeEvent>& events,
                                  uint32_t table_id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (const auto& ev : events) {
     if (ev.table_id != table_id) continue;
     l1_.push_back(FromEvent(ev));
@@ -95,7 +95,7 @@ void L1L2DeltaStore::AppendBatch(const std::vector<ChangeEvent>& events,
 }
 
 void L1L2DeltaStore::SpillL1() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   SpillL1Locked();
 }
 
@@ -139,7 +139,7 @@ DeltaEntry L1L2DeltaStore::L2Entry(const L2Chunk& c, size_t i) const {
 
 void L1L2DeltaStore::ScanVisible(
     CSN snapshot, const std::function<void(const DeltaEntry&)>& visit) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   // L2 chunks are strictly older than L1 (spill preserves order).
   for (const auto& chunk : l2_) {
     for (size_t i = 0; i < chunk.num_rows; ++i) {
@@ -154,7 +154,7 @@ void L1L2DeltaStore::ScanVisible(
 }
 
 size_t L1L2DeltaStore::EntryCount() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   size_t n = l1_.size();
   for (const auto& c : l2_) n += c.num_rows;
   return n;
@@ -168,7 +168,7 @@ size_t L1L2DeltaStore::L2Chunk::MemoryBytes() const {
 }
 
 size_t L1L2DeltaStore::MemoryBytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   size_t b = 0;
   for (const auto& e : l1_) b += EntryBytes(e);
   for (const auto& c : l2_) b += c.MemoryBytes();
@@ -176,7 +176,7 @@ size_t L1L2DeltaStore::MemoryBytes() const {
 }
 
 std::vector<DeltaEntry> L1L2DeltaStore::DrainUpTo(CSN csn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vector<DeltaEntry> out;
   while (!l2_.empty() && l2_.front().max_csn <= csn) {
     const L2Chunk& c = l2_.front();
@@ -206,12 +206,12 @@ std::vector<DeltaEntry> L1L2DeltaStore::DrainUpTo(CSN csn) {
 }
 
 size_t L1L2DeltaStore::l1_size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return l1_.size();
 }
 
 size_t L1L2DeltaStore::l2_size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   size_t n = 0;
   for (const auto& c : l2_) n += c.num_rows;
   return n;
@@ -251,7 +251,7 @@ void LogDeltaStore::AppendFile(const std::vector<DeltaEntry>& entries) {
     f.max_csn = std::max(f.max_csn, e.csn);
     EncodeEntry(e, &f.blob);
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const uint64_t seq = file_seq_base_ + files_.size();
   files_.push_back(std::move(f));
   for (size_t i = 0; i < entries.size(); ++i)
@@ -268,7 +268,7 @@ void LogDeltaStore::AppendBatch(const std::vector<ChangeEvent>& events,
 
 void LogDeltaStore::ScanVisible(
     CSN snapshot, const std::function<void(const DeltaEntry&)>& visit) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (const auto& f : files_) {
     if (f.min_csn > snapshot) break;
     // Reads must decode the file — the cost the survey flags for this design.
@@ -283,21 +283,21 @@ void LogDeltaStore::ScanVisible(
 }
 
 size_t LogDeltaStore::EntryCount() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   size_t n = 0;
   for (const auto& f : files_) n += f.count;
   return n;
 }
 
 size_t LogDeltaStore::MemoryBytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   size_t b = key_index_.MemoryBytes();
   for (const auto& f : files_) b += f.blob.capacity() + sizeof(DeltaFile);
   return b;
 }
 
 bool LogDeltaStore::LookupLatest(Key key, DeltaEntry* out) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   uint64_t payload;
   if (!key_index_.Lookup(key, &payload)) return false;
   const uint64_t seq = payload >> 32;
@@ -319,7 +319,7 @@ bool LogDeltaStore::LookupLatest(Key key, DeltaEntry* out) const {
 }
 
 std::vector<DeltaEntry> LogDeltaStore::DrainUpTo(CSN csn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vector<DeltaEntry> out;
   while (!files_.empty() && files_.front().max_csn <= csn) {
     const DeltaFile& f = files_.front();
@@ -333,7 +333,7 @@ std::vector<DeltaEntry> LogDeltaStore::DrainUpTo(CSN csn) {
 }
 
 size_t LogDeltaStore::num_files() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return files_.size();
 }
 

@@ -14,11 +14,12 @@
 
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "columnar/column_vector.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "index/btree.h"
 #include "txn/types.h"
 #include "types/row.h"
@@ -75,9 +76,9 @@ class InMemoryDeltaStore : public DeltaReader {
   CSN max_csn() const;
 
  private:
-  mutable std::mutex mu_;
-  std::deque<DeltaEntry> entries_;
-  size_t mem_bytes_ = 0;
+  mutable Mutex mu_{LockRank::kDeltaStore, "delta-inmemory"};
+  std::deque<DeltaEntry> entries_ GUARDED_BY(mu_);
+  size_t mem_bytes_ GUARDED_BY(mu_) = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -121,14 +122,14 @@ class L1L2DeltaStore : public DeltaReader {
     size_t MemoryBytes() const;
   };
 
-  void SpillL1Locked();
+  void SpillL1Locked() REQUIRES(mu_);
   DeltaEntry L2Entry(const L2Chunk& c, size_t i) const;
 
   const Schema schema_;
   const size_t l1_spill_threshold_;
-  mutable std::mutex mu_;
-  std::deque<DeltaEntry> l1_;
-  std::deque<L2Chunk> l2_;
+  mutable Mutex mu_{LockRank::kDeltaStore, "delta-l1l2"};
+  std::deque<DeltaEntry> l1_ GUARDED_BY(mu_);
+  std::deque<L2Chunk> l2_ GUARDED_BY(mu_);
 };
 
 // ---------------------------------------------------------------------------
@@ -172,10 +173,12 @@ class LogDeltaStore : public DeltaReader {
   static void EncodeEntry(const DeltaEntry& e, std::string* out);
   static bool DecodeEntry(const std::string& in, size_t* pos, DeltaEntry* out);
 
-  mutable std::mutex mu_;
-  std::deque<DeltaFile> files_;
-  BTree key_index_;  // key -> (file_seq << 32 | entry_idx), newest wins
-  uint64_t file_seq_base_ = 0;  // seq of files_.front()
+  mutable Mutex mu_{LockRank::kDeltaStore, "delta-log"};
+  std::deque<DeltaFile> files_ GUARDED_BY(mu_);
+  // key -> (file_seq << 32 | entry_idx), newest wins. The B+-tree has its
+  // own internal latch (rank kBtree, acquired under mu_).
+  BTree key_index_;
+  uint64_t file_seq_base_ GUARDED_BY(mu_) = 0;  // seq of files_.front()
   mutable std::atomic<uint64_t> bytes_decoded_{0};
 };
 

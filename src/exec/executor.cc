@@ -6,11 +6,11 @@
 #include <cstdio>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/spill_file.h"
 
@@ -792,7 +792,8 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
                                          1, workers * 4);
   std::vector<JoinPairs> partial(nprobe);
   std::vector<uint8_t> probe_spill_ok(nparts, 1);
-  const std::unique_ptr<std::mutex[]> part_mu(new std::mutex[nparts]);
+  // Leaf locks: workers hold nothing else while flushing a spill buffer.
+  const std::unique_ptr<Mutex[]> part_mu(new Mutex[nparts]);
   if (nprobe > 0) {
     const size_t probe_rows = (probe.size() + nprobe - 1) / nprobe;
     std::atomic<size_t> next{0};
@@ -823,7 +824,7 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
           }
           for (size_t p = 0; p < nparts; ++p) {
             if (bufs[p].empty()) continue;
-            std::lock_guard<std::mutex> lock(part_mu[p]);
+            MutexLock lock(&part_mu[p]);
             Status st;
             if (!probe_runs[p].is_open())
               st = probe_runs[p].Open(dir, "p" + std::to_string(p));

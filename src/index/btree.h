@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "common/latch.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "types/row.h"
 
@@ -59,16 +61,16 @@ class BTree {
  private:
   struct Node;
 
-  Node* FindLeaf(Key key) const;
-  void InsertIntoParent(Node* left, Key sep, Node* right);
-  void RebalanceAfterErase(Node* node);
-  void FreeSubtree(Node* node);
+  Node* FindLeaf(Key key) const REQUIRES_SHARED(latch_);
+  void InsertIntoParent(Node* left, Key sep, Node* right) REQUIRES(latch_);
+  void RebalanceAfterErase(Node* node) REQUIRES(latch_);
+  void FreeSubtree(Node* node) REQUIRES(latch_);
 
   const int order_;
   const int min_keys_;
-  Node* root_;
-  size_t size_ = 0;
-  mutable RWLatch latch_;
+  Node* root_ GUARDED_BY(latch_);
+  size_t size_ GUARDED_BY(latch_) = 0;
+  mutable RWLatch latch_{LockRank::kBtree, "btree"};
 };
 
 }  // namespace htap

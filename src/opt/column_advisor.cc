@@ -8,7 +8,7 @@ namespace htap {
 void ColumnAdvisor::RecordAccess(const std::string& table,
                                  const std::vector<int>& columns,
                                  double weight) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto& heat = heat_[table];
   for (int c : columns) {
     if (c < 0) continue;
@@ -18,7 +18,7 @@ void ColumnAdvisor::RecordAccess(const std::string& table,
 }
 
 std::vector<double> ColumnAdvisor::Heat(const std::string& table) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const auto it = heat_.find(table);
   return it == heat_.end() ? std::vector<double>{} : it->second;
 }
@@ -59,7 +59,7 @@ ColumnAdvisor::Selection ColumnAdvisor::Advise(
 }
 
 void ColumnAdvisor::Decay() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (auto& [table, heat] : heat_)
     for (double& h : heat) h *= decay_;
 }

@@ -9,11 +9,12 @@
 #ifndef HTAP_OPT_COLUMN_ADVISOR_H_
 #define HTAP_OPT_COLUMN_ADVISOR_H_
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "opt/optimizer.h"
 #include "types/schema.h"
 
@@ -50,8 +51,8 @@ class ColumnAdvisor {
 
  private:
   const double decay_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::vector<double>> heat_;
+  mutable Mutex mu_{LockRank::kAdvisor, "column-advisor"};
+  std::unordered_map<std::string, std::vector<double>> heat_ GUARDED_BY(mu_);
 };
 
 /// Estimated in-memory bytes per column for a table.

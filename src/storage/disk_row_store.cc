@@ -93,7 +93,7 @@ DiskRowStore::~DiskRowStore() {
 }
 
 Status DiskRowStore::Open() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   file_ = std::fopen(path_.c_str(), "r+b");
   if (!file_) file_ = std::fopen(path_.c_str(), "w+b");
   if (!file_) return Status::IOError("cannot open heap file: " + path_);
@@ -225,14 +225,14 @@ Status DiskRowStore::AppendRecord(bool tombstone, Key key, const Row& row) {
 }
 
 Status DiskRowStore::Put(const Row& row) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (row.size() != schema_.num_columns())
     return Status::InvalidArgument("row arity mismatch");
   return AppendRecord(false, row.GetKey(schema_), row);
 }
 
 Status DiskRowStore::Delete(Key key) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (index_.find(key) == index_.end()) return Status::NotFound("no such key");
   return AppendRecord(true, key, Row{});
 }
@@ -248,7 +248,7 @@ Status DiskRowStore::ReadRecordAt(RecordLoc loc, bool* tombstone, Key* key,
 }
 
 Status DiskRowStore::Get(Key key, Row* out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) return Status::NotFound("no such key");
   bool tombstone;
@@ -259,7 +259,7 @@ Status DiskRowStore::Get(Key key, Row* out) {
 }
 
 Status DiskRowStore::Scan(const std::function<bool(Key, const Row&)>& visit) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (const auto& [key, loc] : index_) {
     bool tombstone;
     Key k;
@@ -271,7 +271,7 @@ Status DiskRowStore::Scan(const std::function<bool(Key, const Row&)>& visit) {
 }
 
 Status DiskRowStore::Flush() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (!file_) return Status::OK();
   HTAP_RETURN_NOT_OK(pool_.FlushDirty());
   std::fflush(file_);
@@ -279,7 +279,7 @@ Status DiskRowStore::Flush() {
 }
 
 size_t DiskRowStore::live_keys() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return index_.size();
 }
 

@@ -13,12 +13,13 @@
 #include <cstdio>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "types/row.h"
 #include "types/schema.h"
 
@@ -27,8 +28,16 @@ namespace htap {
 /// Fixed page size of the heap file.
 inline constexpr size_t kDiskPageSize = 8192;
 
-/// LRU page cache. The owner wires `loader` (fill a page from storage) and
-/// `writer` (persist a dirty page) once at setup.
+/// Counter snapshot of a BufferPool, copied out under the owner's lock.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t cached_pages = 0;
+};
+
+/// LRU page cache. Not internally synchronized: the owning DiskRowStore
+/// serializes every call (and every counter read) under its own mutex.
 class BufferPool {
  public:
   using LoadFn = std::function<Status(uint32_t, std::string*)>;
@@ -95,8 +104,17 @@ class DiskRowStore {
   Status Flush();
 
   size_t live_keys() const;
-  uint32_t num_pages() const { return num_pages_; }
-  const BufferPool& pool() const { return pool_; }
+  uint32_t num_pages() const {
+    MutexLock lk(&mu_);
+    return num_pages_;
+  }
+  /// Buffer-pool counters, copied out under the store mutex (the pool itself
+  /// is not internally synchronized, so no reference escapes).
+  BufferPoolStats pool_stats() const {
+    MutexLock lk(&mu_);
+    return BufferPoolStats{pool_.hits(), pool_.misses(), pool_.evictions(),
+                           pool_.cached_pages()};
+  }
   const Schema& schema() const { return schema_; }
 
  private:
@@ -105,22 +123,24 @@ class DiskRowStore {
     uint32_t offset;
   };
 
-  Status AppendRecord(bool tombstone, Key key, const Row& row);
-  Status LoadPageFromFile(uint32_t page_id, std::string* out);
-  Status WritePageToFile(uint32_t page_id, const std::string& data);
-  Status ReadRecordAt(RecordLoc loc, bool* tombstone, Key* key, Row* out);
+  Status AppendRecord(bool tombstone, Key key, const Row& row) REQUIRES(mu_);
+  Status LoadPageFromFile(uint32_t page_id, std::string* out) REQUIRES(mu_);
+  Status WritePageToFile(uint32_t page_id, const std::string& data)
+      REQUIRES(mu_);
+  Status ReadRecordAt(RecordLoc loc, bool* tombstone, Key* key, Row* out)
+      REQUIRES(mu_);
   static bool ParseRecord(const std::string& page, size_t* pos,
                           bool* tombstone, Key* key, Row* row);
 
   const std::string path_;
   const Schema schema_;
-  mutable std::mutex mu_;
-  FILE* file_ = nullptr;
-  BufferPool pool_;
-  std::unordered_map<Key, RecordLoc> index_;
-  uint32_t num_pages_ = 0;   // includes the tail page once non-empty
-  uint32_t tail_page_id_ = 0;
-  size_t tail_used_ = 0;     // bytes used in the tail page
+  mutable Mutex mu_{LockRank::kDiskHeap, "disk-row-store"};
+  FILE* file_ GUARDED_BY(mu_) = nullptr;
+  BufferPool pool_ GUARDED_BY(mu_);
+  std::unordered_map<Key, RecordLoc> index_ GUARDED_BY(mu_);
+  uint32_t num_pages_ GUARDED_BY(mu_) = 0;  // includes tail page once non-empty
+  uint32_t tail_page_id_ GUARDED_BY(mu_) = 0;
+  size_t tail_used_ GUARDED_BY(mu_) = 0;  // bytes used in the tail page
 };
 
 }  // namespace htap

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "common/latch.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "index/btree.h"
 #include "txn/transaction.h"
@@ -42,8 +44,8 @@ struct RowVersion {
 /// Per-key chain of versions, newest first.
 struct VersionChain {
   Key key = 0;
-  RowVersion* latest = nullptr;
-  SpinLatch latch;
+  RowVersion* latest GUARDED_BY(latch) = nullptr;
+  SpinLatch latch{LockRank::kVersionChain, "version-chain"};
 };
 
 /// A single-table MVCC row store with a B+-tree primary-key index.
@@ -139,11 +141,11 @@ class MvccRowStore {
   TransactionManager* const txn_mgr_;
   WalWriter* const wal_;
 
-  BTree index_;  // key -> VersionChain*
+  BTree index_;  // key -> VersionChain* (internal latch, rank kBtree)
   // Chains are owned here and never freed until the store dies (keys are
   // never unindexed; fully-dead chains are invisible to scans).
-  std::deque<std::unique_ptr<VersionChain>> chains_;
-  SpinLatch chains_latch_;
+  std::deque<std::unique_ptr<VersionChain>> chains_ GUARDED_BY(chains_latch_);
+  SpinLatch chains_latch_{LockRank::kStoreChains, "row-store-chains"};
 
   std::atomic<size_t> live_rows_{0};
   std::atomic<size_t> versions_{0};

@@ -15,7 +15,7 @@ const char* SyncStrategyName(SyncStrategy s) {
 
 void FreshnessTracker::OnCommit(const std::vector<ChangeEvent>& events) {
   if (events.empty()) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   samples_.emplace_back(events.back().csn, clock_->NowMicros());
   // Bound memory: keep a generous window; freshness questions are about the
   // recent past.
@@ -23,7 +23,7 @@ void FreshnessTracker::OnCommit(const std::vector<ChangeEvent>& events) {
 }
 
 Micros FreshnessTracker::TimeLagMicros(CSN visible_csn) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   // Oldest commit newer than what is visible.
   for (const auto& [csn, t] : samples_) {
     if (csn > visible_csn) return clock_->NowMicros() - t;
@@ -90,7 +90,7 @@ void ApplyEntriesToColumnTable(ColumnTable* table,
 
 void DataSynchronizer::EnableStatsMaintenance(
     StatsPublishFn publish, size_t compact_delete_threshold) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   stats_builder_ =
       std::make_unique<TableStatsBuilder>(table_->schema().num_columns());
   publish_stats_ = std::move(publish);
@@ -98,7 +98,7 @@ void DataSynchronizer::EnableStatsMaintenance(
 }
 
 Status DataSynchronizer::SyncTo(CSN target_csn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (target_csn <= table_->merged_csn()) return Status::OK();
   const Micros t0 = clock_->NowMicros();
 

@@ -18,11 +18,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "columnar/column_table.h"
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "delta/delta.h"
 #include "opt/stats_builder.h"
 #include "storage/mvcc_row_store.h"
@@ -72,8 +73,8 @@ class FreshnessTracker : public ChangeSink {
 
  private:
   const Clock* clock_;
-  mutable std::mutex mu_;
-  std::deque<std::pair<CSN, Micros>> samples_;  // (csn, commit time)
+  mutable Mutex mu_{LockRank::kFreshness, "freshness-tracker"};
+  std::deque<std::pair<CSN, Micros>> samples_ GUARDED_BY(mu_);  // (csn, time)
 };
 
 /// Statistics from merge activity (bench_table2_ds reads these).
@@ -112,7 +113,12 @@ class DataSynchronizer {
   /// from the primary store at a snapshot.
   Status SyncTo(CSN target_csn);
 
-  const SyncStats& stats() const { return stats_; }
+  /// Snapshot of the merge statistics, copied out under the merge mutex —
+  /// a background merge may be mutating them concurrently.
+  SyncStats stats() const {
+    MutexLock lk(&mu_);
+    return stats_;
+  }
   size_t PendingEntries() const {
     return source_ != nullptr ? source_->PendingEntries() : 0;
   }
@@ -136,12 +142,12 @@ class DataSynchronizer {
   std::unique_ptr<DeltaSource> source_;
   const MvccRowStore* primary_ = nullptr;
   const Clock* clock_;
-  SyncStats stats_;
+  SyncStats stats_ GUARDED_BY(mu_);
   // Stats maintenance state; mutated only under mu_ (SyncTo).
-  std::unique_ptr<TableStatsBuilder> stats_builder_;
-  StatsPublishFn publish_stats_;
-  size_t compact_delete_threshold_ = 0;
-  std::mutex mu_;  // one merge at a time
+  std::unique_ptr<TableStatsBuilder> stats_builder_ GUARDED_BY(mu_);
+  StatsPublishFn publish_stats_ GUARDED_BY(mu_);
+  size_t compact_delete_threshold_ GUARDED_BY(mu_) = 0;
+  mutable Mutex mu_{LockRank::kSyncMerge, "sync-merge"};  // one merge at a time
 };
 
 /// Applies a batch of delta entries (commit order) to a column table and

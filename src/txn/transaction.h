@@ -36,7 +36,7 @@ class Transaction {
 
   uint64_t id() const { return id_; }
   CSN begin_csn() const { return begin_csn_; }
-  CSN commit_csn() const { return commit_csn_; }
+  CSN commit_csn() const { return commit_csn_.load(std::memory_order_acquire); }
 
   TxnState state() const { return state_.load(std::memory_order_acquire); }
   bool active() const { return state() == TxnState::kActive; }
@@ -54,11 +54,16 @@ class Transaction {
   friend class TransactionManager;
 
   void set_state(TxnState s) { state_.store(s, std::memory_order_release); }
-  void set_commit_csn(CSN csn) { commit_csn_ = csn; }
+  // Atomic like state_: the committing thread stamps it under commit_mu_
+  // while concurrent scans resolve it through GetCommitInfo, which holds
+  // only active_mu_.
+  void set_commit_csn(CSN csn) {
+    commit_csn_.store(csn, std::memory_order_release);
+  }
 
   const uint64_t id_;
   const CSN begin_csn_;
-  CSN commit_csn_ = 0;
+  std::atomic<CSN> commit_csn_{0};
   std::atomic<TxnState> state_{TxnState::kActive};
   std::vector<UndoEntry> undo_;
   std::vector<ChangeEvent> changes_;

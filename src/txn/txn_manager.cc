@@ -13,7 +13,7 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
   const CSN begin = clock_.load(std::memory_order_acquire);
   auto txn = std::make_unique<Transaction>(id, begin);
   {
-    std::lock_guard<std::mutex> lk(active_mu_);
+    MutexLock lk(&active_mu_);
     active_.emplace(id, txn.get());
   }
   return txn;
@@ -25,7 +25,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (txn->undo().empty()) {
     // Read-only: nothing to stamp, log, or publish.
     txn->set_state(TxnState::kCommitted);
-    std::lock_guard<std::mutex> lk(active_mu_);
+    MutexLock lk(&active_mu_);
     active_.erase(txn->id());
     commits_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
@@ -40,7 +40,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
 
   {
-    std::lock_guard<std::mutex> commit_lk(commit_mu_);
+    MutexLock commit_lk(&commit_mu_);
     const CSN csn = clock_.load(std::memory_order_relaxed) + 1;
     txn->set_commit_csn(csn);
 
@@ -62,13 +62,13 @@ Status TransactionManager::Commit(Transaction* txn) {
     // Publish in CSN order (still under commit_mu_).
     if (!txn->changes().empty()) {
       for (ChangeEvent& ev : txn->changes()) ev.csn = csn;
-      std::lock_guard<std::mutex> slk(sinks_mu_);
+      MutexLock slk(&sinks_mu_);
       for (ChangeSink* sink : sinks_) sink->OnCommit(txn->changes());
     }
   }
 
   {
-    std::lock_guard<std::mutex> lk(active_mu_);
+    MutexLock lk(&active_mu_);
     active_.erase(txn->id());
   }
   commits_.fetch_add(1, std::memory_order_relaxed);
@@ -86,7 +86,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   }
   txn->set_state(TxnState::kAborted);
   {
-    std::lock_guard<std::mutex> lk(active_mu_);
+    MutexLock lk(&active_mu_);
     active_.erase(txn->id());
   }
   aborts_.fetch_add(1, std::memory_order_relaxed);
@@ -100,7 +100,7 @@ void TransactionManager::RollbackWrites(Transaction* txn) {
 
 bool TransactionManager::GetCommitInfo(uint64_t txn_id, CSN* commit_csn,
                                        TxnState* state) const {
-  std::lock_guard<std::mutex> lk(active_mu_);
+  MutexLock lk(&active_mu_);
   const auto it = active_.find(txn_id);
   if (it == active_.end()) return false;
   *state = it->second->state();
@@ -109,19 +109,19 @@ bool TransactionManager::GetCommitInfo(uint64_t txn_id, CSN* commit_csn,
 }
 
 CSN TransactionManager::Watermark() const {
-  std::lock_guard<std::mutex> lk(active_mu_);
+  MutexLock lk(&active_mu_);
   CSN wm = clock_.load(std::memory_order_acquire);
   for (const auto& [id, txn] : active_) wm = std::min(wm, txn->begin_csn());
   return wm;
 }
 
 void TransactionManager::RegisterSink(ChangeSink* sink) {
-  std::lock_guard<std::mutex> lk(sinks_mu_);
+  MutexLock lk(&sinks_mu_);
   sinks_.push_back(sink);
 }
 
 void TransactionManager::UnregisterSink(ChangeSink* sink) {
-  std::lock_guard<std::mutex> lk(sinks_mu_);
+  MutexLock lk(&sinks_mu_);
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
 }
 

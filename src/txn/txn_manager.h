@@ -12,11 +12,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "txn/transaction.h"
 #include "txn/types.h"
 #include "wal/wal.h"
@@ -82,13 +83,15 @@ class TransactionManager {
   std::atomic<CSN> clock_{1};       // last committed CSN
   std::atomic<uint64_t> next_txn_id_{kTxnIdBit | 1};
 
-  mutable std::mutex active_mu_;
-  std::unordered_map<uint64_t, Transaction*> active_;
+  mutable Mutex active_mu_{LockRank::kTxnActive, "txn-active"};
+  std::unordered_map<uint64_t, Transaction*> active_ GUARDED_BY(active_mu_);
 
-  std::mutex commit_mu_;  // serializes CSN assignment + sink publication
+  // Serializes CSN assignment + sink publication; guards no member directly
+  // (the clock is atomic) — it provides the commit-order critical section.
+  Mutex commit_mu_{LockRank::kTxnCommit, "txn-commit"};
 
-  std::mutex sinks_mu_;
-  std::vector<ChangeSink*> sinks_;
+  Mutex sinks_mu_{LockRank::kTxnSinks, "txn-sinks"};
+  std::vector<ChangeSink*> sinks_ GUARDED_BY(sinks_mu_);
 
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};

@@ -55,7 +55,7 @@ uint64_t WalWriter::Append(const WalRecord& rec) {
   const uint32_t len = static_cast<uint32_t>(payload.size());
   const uint32_t crc = WalChecksum(payload.data(), payload.size());
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const uint64_t lsn = tail_lsn_;
   char hdr[8];
   std::memcpy(hdr, &len, 4);
@@ -67,7 +67,7 @@ uint64_t WalWriter::Append(const WalRecord& rec) {
 }
 
 Status WalWriter::Sync() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (buffer_.empty()) return Status::OK();
   memory_log_.append(buffer_);
   if (file_) {
@@ -82,12 +82,12 @@ Status WalWriter::Sync() {
 }
 
 uint64_t WalWriter::TailLsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return tail_lsn_;
 }
 
 std::string WalWriter::ContentsForTest() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return memory_log_ + buffer_;
 }
 

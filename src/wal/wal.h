@@ -13,11 +13,12 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "txn/types.h"
 
 namespace htap {
@@ -73,20 +74,24 @@ class WalWriter {
   /// Bytes appended so far (buffered + flushed).
   uint64_t TailLsn() const;
   /// Number of Sync() calls that performed real work (diagnostic).
-  uint64_t sync_count() const { return sync_count_; }
+  uint64_t sync_count() const {
+    MutexLock lk(&mu_);
+    return sync_count_;
+  }
 
   /// Copy of the full log contents (in-memory backend or test use).
   std::string ContentsForTest() const;
 
  private:
   Options options_;
-  mutable std::mutex mu_;
-  std::string buffer_;       // unflushed group
-  std::string memory_log_;   // in-memory backend (always kept; cheap + used by replication)
-  uint64_t tail_lsn_ = 0;
-  uint64_t flushed_lsn_ = 0;
-  uint64_t sync_count_ = 0;
-  FILE* file_ = nullptr;
+  mutable Mutex mu_{LockRank::kWal, "wal-writer"};
+  std::string buffer_ GUARDED_BY(mu_);      // unflushed group
+  std::string memory_log_ GUARDED_BY(mu_);  // in-memory backend (always kept;
+                                            // cheap + used by replication)
+  uint64_t tail_lsn_ GUARDED_BY(mu_) = 0;
+  uint64_t flushed_lsn_ GUARDED_BY(mu_) = 0;
+  uint64_t sync_count_ GUARDED_BY(mu_) = 0;
+  FILE* file_ GUARDED_BY(mu_) = nullptr;
 };
 
 /// Reads a WAL file (or in-memory image) back into records. Tolerates a

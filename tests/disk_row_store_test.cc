@@ -112,17 +112,17 @@ TEST_F(DiskRowStoreTest, BufferPoolEvictsUnderPressure) {
   for (Key k = 0; k < 1000; ++k)
     store.Put(MakeRow(k, k, std::string(800, 'y')));
   ASSERT_TRUE(store.Flush().ok());
-  EXPECT_GT(store.pool().evictions(), 0u);
-  EXPECT_LE(store.pool().cached_pages(), 4u);
+  EXPECT_GT(store.pool_stats().evictions, 0u);
+  EXPECT_LE(store.pool_stats().cached_pages, 4u);
 
   // A cold sweep misses; a re-read of one hot key hits.
-  const uint64_t misses_before = store.pool().misses();
+  const uint64_t misses_before = store.pool_stats().misses;
   Row out;
   store.Get(0, &out);
-  EXPECT_GT(store.pool().misses(), misses_before);
-  const uint64_t hits_before = store.pool().hits();
+  EXPECT_GT(store.pool_stats().misses, misses_before);
+  const uint64_t hits_before = store.pool_stats().hits;
   store.Get(0, &out);
-  EXPECT_GT(store.pool().hits(), hits_before);
+  EXPECT_GT(store.pool_stats().hits, hits_before);
 }
 
 TEST_F(DiskRowStoreTest, RejectsOversizedRow) {

@@ -45,6 +45,14 @@ echo "== bench smoke: parallel join + grace spill point (identity-checked) =="
 cmake --build build -j "$JOBS" --target bench_parallel_join
 ./build/bench/bench_parallel_join smoke | tee build/bench_smoke.log
 
+echo "== bench smoke: vectorized scan (compressed-domain vs decode, 3x bar) =="
+cmake --build build -j "$JOBS" --target bench_vectorized_scan
+if ! ./build/bench/bench_vectorized_scan smoke | tee -a build/bench_smoke.log
+then
+  echo "FAIL: vectorized scan smoke (3x acceptance bar)" >&2
+  FAILED_SUITES+=("bench/vectorized-scan")
+fi
+
 echo "== bench regression gate (vs BENCH_baseline.json) =="
 # Accumulated, not fail-fast: a throughput blip on a noisy runner must not
 # mask correctness-suite results below.
@@ -64,7 +72,8 @@ fi
 
 echo "== asan+ubsan: executor/join/spill tests =="
 ASAN_TESTS=(executor_test parallel_scan_test parallel_join_test
-            grace_join_test columnar_test thread_safety_regression_test)
+            grace_join_test columnar_test vectorized_exec_test
+            encoding_property_test thread_safety_regression_test)
 cmake -B build-asan -S . -DHTAP_ASAN=ON > /dev/null
 cmake --build build-asan -j "$JOBS" --target "${ASAN_TESTS[@]}"
 for t in "${ASAN_TESTS[@]}"; do
@@ -74,7 +83,7 @@ done
 echo "== tsan: concurrency tests =="
 TSAN_TESTS=(parallel_scan_test parallel_join_test grace_join_test
             columnar_test executor_test common_test sync_test scheduler_test
-            thread_safety_regression_test)
+            vectorized_exec_test thread_safety_regression_test)
 cmake -B build-tsan -S . -DHTAP_TSAN=ON > /dev/null
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do

@@ -26,7 +26,8 @@ import json
 import sys
 
 # Metric direction; every other numeric field is part of the record key.
-HIGHER_IS_BETTER = {"probe_rows_per_sec", "speedup"}
+HIGHER_IS_BETTER = {"probe_rows_per_sec", "speedup", "rows_per_sec",
+                    "direct_vs_decode"}
 LOWER_IS_BETTER = {"join_ms"}
 METRICS = HIGHER_IS_BETTER | LOWER_IS_BETTER
 

@@ -1,6 +1,13 @@
 #include "columnar/column_table.h"
 
+#include "columnar/compression_advisor.h"
+
 namespace htap {
+
+void ColumnTable::EnableCompressionAdvisor(bool on) {
+  WriteGuard g(latch_);
+  advise_encodings_ = on;
+}
 
 void ColumnTable::AppendBatch(const std::vector<Row>& rows, CSN up_to_csn) {
   if (!rows.empty()) {
@@ -31,7 +38,10 @@ void ColumnTable::AppendBatchLocked(const std::vector<Row>& rows) {
     ColumnVector vec(schema_.column(c).type);
     vec.Reserve(rows.size());
     for (const Row& r : rows) vec.AppendValue(r.Get(c));
-    group->columns.push_back(Segment::Build(vec));
+    group->columns.push_back(
+        advise_encodings_
+            ? Segment::BuildWithEncoding(vec, AdviseEncoding(vec).chosen)
+            : Segment::Build(vec));
   }
 
   const uint32_t gidx = static_cast<uint32_t>(groups_.size());
@@ -121,6 +131,19 @@ size_t ColumnTable::MemoryBytes() const {
   size_t b = sizeof(*this) + key_index_.size() * 24;
   for (const auto& gp : groups_) b += gp->MemoryBytes();
   return b;
+}
+
+EncodingBreakdown ColumnTable::EncodingStats() const {
+  ReadGuard g(latch_);
+  EncodingBreakdown out;
+  for (const auto& gp : groups_) {
+    for (const Segment& seg : gp->columns) {
+      const auto e = static_cast<size_t>(seg.encoded().encoding);
+      ++out.segments[e];
+      out.bytes[e] += seg.MemoryBytes();
+    }
+  }
+  return out;
 }
 
 }  // namespace htap

@@ -65,6 +65,13 @@ class ColumnTable {
   /// bytes reclaimed (approximate).
   size_t Compact();
 
+  /// Opt into the size-estimating compression advisor: segments built after
+  /// this call (appends from the sync pipeline, Compact rebuilds) pick their
+  /// encoding via AdviseEncoding instead of the ChooseEncoding heuristics.
+  /// Default off so raw ColumnTable behavior is unchanged; the engines turn
+  /// it on per DatabaseOptions::compression_advisor.
+  void EnableCompressionAdvisor(bool on);
+
   // ---- Read API -----------------------------------------------------------
 
   size_t num_groups() const;
@@ -91,6 +98,10 @@ class ColumnTable {
   size_t live_rows() const;
   size_t MemoryBytes() const;
 
+  /// Per-encoding segment counts and bytes across all row groups — the
+  /// "where did the memory go" view Database stats surface.
+  EncodingBreakdown EncodingStats() const;
+
   /// Freshness cursor: all committed changes at or below this CSN are
   /// reflected in this column store.
   CSN merged_csn() const { return merged_csn_; }
@@ -103,6 +114,7 @@ class ColumnTable {
   void AppendBatchLocked(const std::vector<Row>& rows) REQUIRES(latch_);
 
   Schema schema_;
+  bool advise_encodings_ GUARDED_BY(latch_) = false;
   std::vector<std::unique_ptr<RowGroup>> groups_ GUARDED_BY(latch_);
   std::unordered_map<Key, std::pair<uint32_t, uint32_t>> key_index_
       GUARDED_BY(latch_);

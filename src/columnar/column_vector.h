@@ -105,7 +105,9 @@ class ColumnVector {
       case Type::kInt64: b += ints().capacity() * 8; break;
       case Type::kDouble: b += doubles().capacity() * 8; break;
       case Type::kString:
-        for (const auto& s : strings()) b += sizeof(std::string) + s.capacity();
+        // Whole vector allocation (slack slots included) + heap payloads.
+        b += strings().capacity() * sizeof(std::string);
+        for (const auto& s : strings()) b += s.capacity();
         break;
     }
     return b;

@@ -7,19 +7,22 @@ namespace htap {
 
 namespace {
 
-/// Bits needed to represent `range` distinct offsets.
+/// Bits needed to represent `range` distinct offsets. A range of 0 (all
+/// values equal, or an empty segment) needs no payload bits at all: the
+/// frame base alone reconstructs every value.
 uint8_t BitWidthFor(uint64_t range) {
   uint8_t w = 0;
   while (range > 0) {
     ++w;
     range >>= 1;
   }
-  return w == 0 ? 1 : w;
+  return w;
 }
 
 void PackBits(const std::vector<uint64_t>& offsets, uint8_t width,
               std::vector<uint64_t>* out) {
   out->assign((offsets.size() * width + 63) / 64, 0);
+  if (width == 0) return;  // all offsets are 0; no payload words
   size_t bitpos = 0;
   for (uint64_t off : offsets) {
     const size_t word = bitpos >> 6;
@@ -32,6 +35,7 @@ void PackBits(const std::vector<uint64_t>& offsets, uint8_t width,
 
 uint64_t UnpackBits(const std::vector<uint64_t>& packed, uint8_t width,
                     size_t i) {
+  if (width == 0) return 0;
   const size_t bitpos = i * width;
   const size_t word = bitpos >> 6;
   const size_t shift = bitpos & 63;
@@ -69,7 +73,10 @@ const char* EncodingName(EncodingType t) {
 size_t EncodedColumn::MemoryBytes() const {
   size_t b = sizeof(*this);
   b += ints.capacity() * 8 + doubles.capacity() * 8;
-  for (const auto& s : strings) b += sizeof(std::string) + s.capacity();
+  // Count the whole strings vector allocation (capacity, not size — slack
+  // slots are real memory) plus each string's heap payload.
+  b += strings.capacity() * sizeof(std::string);
+  for (const auto& s : strings) b += s.capacity();
   b += codes.capacity() * 4 + run_ends.capacity() * 4 + packed.capacity() * 8;
   b += nulls.MemoryBytes();
   return b;
@@ -137,7 +144,7 @@ EncodedColumn Encode(const ColumnVector& in, EncodingType enc) {
       const auto& vals = in.ints();
       if (vals.empty()) {
         out.ints = {0};
-        out.bit_width = 1;
+        out.bit_width = 0;
         break;
       }
       const auto [mn_it, mx_it] = std::minmax_element(vals.begin(), vals.end());
@@ -197,13 +204,14 @@ Value EncodedGet(const EncodedColumn& col, size_t i) {
       }
       break;
     }
-    case EncodingType::kForBitPack: {
-      const uint64_t off = UnpackBits(col.packed, col.bit_width, i);
-      return Value(static_cast<int64_t>(static_cast<uint64_t>(col.ints[0]) +
-                                        off));
-    }
+    case EncodingType::kForBitPack: return Value(ForUnpackAt(col, i));
   }
   return Value::Null();
+}
+
+int64_t ForUnpackAt(const EncodedColumn& col, size_t i) {
+  const uint64_t off = UnpackBits(col.packed, col.bit_width, i);
+  return static_cast<int64_t>(static_cast<uint64_t>(col.ints[0]) + off);
 }
 
 EncodingType ChooseEncoding(const ColumnVector& in) {

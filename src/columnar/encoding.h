@@ -8,6 +8,7 @@
 #ifndef HTAP_COLUMNAR_ENCODING_H_
 #define HTAP_COLUMNAR_ENCODING_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -24,7 +25,24 @@ enum class EncodingType : uint8_t {
   kForBitPack = 3,  // frame-of-reference + bit packing (INT64 only)
 };
 
+inline constexpr size_t kNumEncodings = 4;
+
 const char* EncodingName(EncodingType t);
+
+/// Physical column-store footprint broken down by segment encoding, indexed
+/// by EncodingType. Aggregated per ColumnTable and surfaced through
+/// EngineStats / Database::Stats.
+struct EncodingBreakdown {
+  std::array<size_t, kNumEncodings> segments{};
+  std::array<size_t, kNumEncodings> bytes{};
+
+  void Merge(const EncodingBreakdown& o) {
+    for (size_t e = 0; e < kNumEncodings; ++e) {
+      segments[e] += o.segments[e];
+      bytes[e] += o.bytes[e];
+    }
+  }
+};
 
 /// An encoded, immutable column payload.
 struct EncodedColumn {
@@ -63,6 +81,11 @@ EncodingType ChooseEncoding(const ColumnVector& in);
 
 /// Random access into an encoded column without full materialization.
 Value EncodedGet(const EncodedColumn& col, size_t i);
+
+/// Typed random access into a FOR-bit-packed column (no Value boxing).
+/// `col.encoding` must be kForBitPack; ignores the null bitmap — callers
+/// mask nulls themselves. Handles bit_width == 0 (all values equal base).
+int64_t ForUnpackAt(const EncodedColumn& col, size_t i);
 
 }  // namespace htap
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "columnar/encoding.h"
 #include "common/clock.h"
 #include "common/status.h"
 #include "core/plan.h"
@@ -62,6 +63,10 @@ struct EngineStats {
   size_t row_store_bytes = 0;
   size_t column_store_bytes = 0;
   size_t delta_bytes = 0;
+  /// Column-store footprint by segment encoding (indexed by EncodingType),
+  /// summed across the engine's tables. Shows what the compression advisor
+  /// actually picked and where the column memory lives.
+  EncodingBreakdown column_encodings;
   uint64_t buffer_pool_hits = 0;    // architecture (c)
   uint64_t buffer_pool_misses = 0;  // architecture (c)
   uint64_t sim_messages = 0;        // architecture (b)

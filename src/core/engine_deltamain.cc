@@ -52,6 +52,7 @@ Status DeltaMainHtapEngine::CreateTable(const TableInfo& info) {
   ts->delta =
       std::make_unique<L1L2DeltaStore>(info.schema, options_.l1_spill_threshold);
   ts->main = std::make_unique<ColumnTable>(info.schema);
+  if (options_.compression_advisor) ts->main->EnableCompressionAdvisor(true);
   ts->sync = std::make_unique<DataSynchronizer>(
       SyncStrategy::kInMemoryMerge, ts->main.get(),
       std::make_unique<DeltaSourceAdapter<L1L2DeltaStore>>(ts->delta.get()));
@@ -138,12 +139,39 @@ Result<std::vector<Row>> DeltaMainHtapEngine::Scan(const ScanRequest& req,
                   req.projection, ap_.ctx(), stats);
 }
 
+Result<std::vector<ColumnBatch>> DeltaMainHtapEngine::BatchScan(
+    const ScanRequest& req, ScanStats* stats, std::string* path_desc) {
+  TableState* ts;
+  {
+    MutexLock lk(&tables_mu_);
+    const auto it = tables_.find(req.table->id);
+    if (it == tables_.end()) return Status::NotFound("no such table");
+    ts = it->second.get();
+  }
+  // The column store IS the primary store: only a forced row scan declines.
+  if (req.path == PathHint::kForceRow)
+    return Status::NotSupported("forced row scan");
+  if (path_desc != nullptr) *path_desc = "main+l2+l1-scan";
+  const DeltaReader* delta = req.require_fresh ? ts->delta.get() : nullptr;
+  return ScanHtapBatches(*ts->main, delta,
+                         layer_.txn_mgr()->CurrentSnapshot().begin_csn,
+                         *req.pred, req.projection, ap_.ctx(), stats);
+}
+
 Result<QueryResult> DeltaMainHtapEngine::Execute(const QueryPlan& plan,
                                                  QueryExecInfo* info) {
-  return RunPlan(plan, *catalog_,
-                 [this](const ScanRequest& req, ScanStats* stats,
-                        std::string* desc) { return Scan(req, stats, desc); },
-                 info, ap_.ctx(layer_.txn_mgr()->LastCommittedCsn()));
+  const ScanFn scan = [this](const ScanRequest& req, ScanStats* stats,
+                             std::string* desc) {
+    return Scan(req, stats, desc);
+  };
+  BatchScanFn batch_scan;
+  if (ap_.vectorized)
+    batch_scan = [this](const ScanRequest& req, ScanStats* stats,
+                        std::string* desc) {
+      return BatchScan(req, stats, desc);
+    };
+  return RunPlan(plan, *catalog_, scan, info,
+                 ap_.ctx(layer_.txn_mgr()->LastCommittedCsn()), batch_scan);
 }
 
 Status DeltaMainHtapEngine::ForceSync(const TableInfo& tbl) {
@@ -181,6 +209,7 @@ EngineStats DeltaMainHtapEngine::Stats() {
     s.entries_merged += ss.entries_merged;
     s.column_store_bytes += ts->main->MemoryBytes();
     s.delta_bytes += ts->delta->MemoryBytes();
+    s.column_encodings.Merge(ts->main->EncodingStats());
   }
   return s;
 }

@@ -131,6 +131,7 @@ Status DiskHtapEngine::CreateTable(const TableInfo& info) {
   for (size_t c = 0; c < info.schema.num_columns(); ++c)
     ts->loaded.push_back(static_cast<int>(c));
   ts->imcs = std::make_shared<ColumnTable>(info.schema);
+  if (options_.compression_advisor) ts->imcs->EnableCompressionAdvisor(true);
   MutexLock lk(&tables_mu_);
   tables_[info.id] = std::move(ts);
   return Status::OK();
@@ -263,6 +264,7 @@ Result<ColumnAdvisor::Selection> DiskHtapEngine::RefreshColumnSelection(
   // flight scans keep their pinned shared_ptr alive until they finish.
   MutexLock merge_lk(&ts->merge_mu);
   auto imcs = std::make_shared<ColumnTable>(tbl.schema.Project(sel.columns));
+  if (options_.compression_advisor) imcs->EnableCompressionAdvisor(true);
   ts->delta->DrainUpTo(kMaxCSN);  // heap already reflects these
   std::vector<Row> rows;
   HTAP_RETURN_NOT_OK(ts->heap->Scan([&](Key, const Row& r) {
@@ -284,21 +286,16 @@ std::vector<int> DiskHtapEngine::LoadedColumns(uint32_t table_id) const {
   return it == tables_.end() ? std::vector<int>{} : it->second->loaded;
 }
 
-Result<std::vector<Row>> DiskHtapEngine::Scan(const ScanRequest& req,
-                                              ScanStats* stats,
-                                              std::string* path_desc) {
-  TableState* ts;
+Result<DiskHtapEngine::ImcsAccess> DiskHtapEngine::ResolveAccess(
+    const ScanRequest& req, TableState* ts) {
+  ImcsAccess out;
   std::vector<int> loaded0;
   {
     MutexLock lk(&tables_mu_);
-    const auto it = tables_.find(req.table->id);
-    if (it == tables_.end()) return Status::NotFound("no such table");
-    ts = it->second.get();
     loaded0 = ts->loaded;
   }
   const TableStats table_stats = RefreshedStats(ts);
   const std::vector<int> touched = TouchedColumns(req);
-  advisor_.RecordAccess(req.table->name, touched);
 
   // Pushdown is possible only if every referenced column is loaded — the
   // survey's "columns for a new query may have not been selected" caveat.
@@ -311,19 +308,17 @@ Result<std::vector<Row>> DiskHtapEngine::Scan(const ScanRequest& req,
       loaded0.size() == req.table->schema.num_columns();
   const bool column_capable = all_loaded && full_projection_ok;
 
-  Key pk_key = 0;
-  const bool pk_point =
-      ExtractPkPoint(*req.pred, req.table->schema.pk_index(), &pk_key);
+  out.pk_point =
+      ExtractPkPoint(*req.pred, req.table->schema.pk_index(), &out.pk_key);
 
-  AccessPath path = AccessPath::kRowFullScan;
   switch (req.path) {
     case PathHint::kForceRow:
-      path = AccessPath::kRowFullScan;
+      out.path = AccessPath::kRowFullScan;
       break;
     case PathHint::kForceColumn:
       if (!column_capable)
         return Status::InvalidArgument("columns not loaded in IMCS");
-      path = AccessPath::kColumnScan;
+      out.path = AccessPath::kColumnScan;
       break;
     case PathHint::kAuto: {
       AccessQuery q;
@@ -332,18 +327,65 @@ Result<std::vector<Row>> DiskHtapEngine::Scan(const ScanRequest& req,
       q.columns_needed = touched.size();
       q.total_columns = req.table->schema.num_columns();
       q.delta_entries = ts->delta->EntryCount();
-      q.pk_point_lookup = pk_point;
+      q.pk_point_lookup = out.pk_point;
       q.column_store_available = column_capable;
-      path = ChooseAccessPath(CostModel{}, q).path;
+      out.path = ChooseAccessPath(CostModel{}, q).path;
       break;
     }
   }
+  if (out.path != AccessPath::kColumnScan) return out;
 
-  if (path == AccessPath::kRowIndexLookup && pk_point) {
+  // Keep the IMCS current, then pin the synced generation. SyncImcs pins
+  // the generation it merged into, so a concurrent RefreshColumnSelection
+  // cannot free it under the scan that follows.
+  std::shared_ptr<ColumnTable> imcs;
+  std::vector<int> loaded;
+  HTAP_RETURN_NOT_OK(
+      SyncImcs(ts, layer_.txn_mgr()->LastCommittedCsn(), &imcs, &loaded));
+  // Re-check against the generation actually pinned: a concurrent refresh
+  // may have evicted a touched column since the capability check above.
+  const bool still_capable =
+      (!req.projection.empty() ||
+       loaded.size() == req.table->schema.num_columns()) &&
+      std::all_of(touched.begin(), touched.end(), [&](int c) {
+        return std::find(loaded.begin(), loaded.end(), c) != loaded.end();
+      });
+  if (!still_capable) {
+    if (req.path == PathHint::kForceColumn)
+      return Status::InvalidArgument("columns not loaded in IMCS");
+    return out;  // imcs_ready stays false: serve from the heap instead
+  }
+  out.imcs_ready = true;
+  std::vector<int> base_to_imcs(req.table->schema.num_columns(), -1);
+  for (size_t i = 0; i < loaded.size(); ++i)
+    base_to_imcs[static_cast<size_t>(loaded[i])] = static_cast<int>(i);
+  out.pred = RemapPredicate(*req.pred, base_to_imcs);
+  for (int c : req.projection)
+    out.proj.push_back(base_to_imcs[static_cast<size_t>(c)]);
+  out.imcs = std::move(imcs);
+  out.loaded = std::move(loaded);
+  return out;
+}
+
+Result<std::vector<Row>> DiskHtapEngine::Scan(const ScanRequest& req,
+                                              ScanStats* stats,
+                                              std::string* path_desc) {
+  TableState* ts;
+  {
+    MutexLock lk(&tables_mu_);
+    const auto it = tables_.find(req.table->id);
+    if (it == tables_.end()) return Status::NotFound("no such table");
+    ts = it->second.get();
+  }
+  advisor_.RecordAccess(req.table->name, TouchedColumns(req));
+  HTAP_ASSIGN_OR_RETURN(ImcsAccess acc, ResolveAccess(req, ts));
+
+  if (acc.path == AccessPath::kRowIndexLookup && acc.pk_point) {
     if (path_desc != nullptr) *path_desc = "row-index-lookup";
     std::vector<Row> out;
     Row row;
-    if (layer_.Read(*req.table, pk_key, &row).ok() && req.pred->Eval(row)) {
+    if (layer_.Read(*req.table, acc.pk_key, &row).ok() &&
+        req.pred->Eval(row)) {
       if (req.projection.empty()) {
         out.push_back(std::move(row));
       } else {
@@ -356,39 +398,12 @@ Result<std::vector<Row>> DiskHtapEngine::Scan(const ScanRequest& req,
     return out;
   }
 
-  if (path == AccessPath::kColumnScan) {
-    // Keep the IMCS current, then scan the synced generation in its
-    // projected layout. SyncImcs pins the generation it merged into, so a
-    // concurrent RefreshColumnSelection cannot free it under this scan.
-    std::shared_ptr<ColumnTable> imcs;
-    std::vector<int> loaded;
-    HTAP_RETURN_NOT_OK(SyncImcs(ts, layer_.txn_mgr()->LastCommittedCsn(),
-                                &imcs, &loaded));
-    // Re-check against the generation actually pinned: a concurrent refresh
-    // may have evicted a touched column since the capability check above.
-    const bool still_capable =
-        (!req.projection.empty() ||
-         loaded.size() == req.table->schema.num_columns()) &&
-        std::all_of(touched.begin(), touched.end(), [&](int c) {
-          return std::find(loaded.begin(), loaded.end(), c) != loaded.end();
-        });
-    if (still_capable) {
-      if (path_desc != nullptr) *path_desc = "imcs-pushdown";
-      std::vector<int> base_to_imcs(req.table->schema.num_columns(), -1);
-      for (size_t i = 0; i < loaded.size(); ++i)
-        base_to_imcs[static_cast<size_t>(loaded[i])] = static_cast<int>(i);
-      const Predicate imcs_pred = RemapPredicate(*req.pred, base_to_imcs);
-      std::vector<int> imcs_proj;
-      for (int c : req.projection)
-        imcs_proj.push_back(base_to_imcs[static_cast<size_t>(c)]);
-      ProjectingDeltaReader delta(ts->delta.get(), loaded);
-      return ScanHtap(*imcs, req.require_fresh ? &delta : nullptr,
-                      layer_.txn_mgr()->LastCommittedCsn(), imcs_pred,
-                      imcs_proj, ap_.ctx(), stats);
-    }
-    if (req.path == PathHint::kForceColumn)
-      return Status::InvalidArgument("columns not loaded in IMCS");
-    // else fall through to the disk-heap scan below
+  if (acc.path == AccessPath::kColumnScan && acc.imcs_ready) {
+    if (path_desc != nullptr) *path_desc = "imcs-pushdown";
+    ProjectingDeltaReader delta(ts->delta.get(), acc.loaded);
+    return ScanHtap(*acc.imcs, req.require_fresh ? &delta : nullptr,
+                    layer_.txn_mgr()->LastCommittedCsn(), acc.pred, acc.proj,
+                    ap_.ctx(), stats);
   }
 
   // Row fallback: scan the disk heap through the buffer pool.
@@ -410,12 +425,42 @@ Result<std::vector<Row>> DiskHtapEngine::Scan(const ScanRequest& req,
   return out;
 }
 
+Result<std::vector<ColumnBatch>> DiskHtapEngine::BatchScan(
+    const ScanRequest& req, ScanStats* stats, std::string* path_desc) {
+  TableState* ts;
+  {
+    MutexLock lk(&tables_mu_);
+    const auto it = tables_.find(req.table->id);
+    if (it == tables_.end()) return Status::NotFound("no such table");
+    ts = it->second.get();
+  }
+  HTAP_ASSIGN_OR_RETURN(ImcsAccess acc, ResolveAccess(req, ts));
+  if (acc.path != AccessPath::kColumnScan || !acc.imcs_ready)
+    return Status::NotSupported("IMCS cannot serve this scan");
+  // Record the access only once it is certain this path serves the query;
+  // a decline falls back to Scan, which records unconditionally.
+  advisor_.RecordAccess(req.table->name, TouchedColumns(req));
+  if (path_desc != nullptr) *path_desc = "imcs-pushdown";
+  ProjectingDeltaReader delta(ts->delta.get(), acc.loaded);
+  return ScanHtapBatches(*acc.imcs, req.require_fresh ? &delta : nullptr,
+                         layer_.txn_mgr()->LastCommittedCsn(), acc.pred,
+                         acc.proj, ap_.ctx(), stats);
+}
+
 Result<QueryResult> DiskHtapEngine::Execute(const QueryPlan& plan,
                                             QueryExecInfo* info) {
-  return RunPlan(plan, *catalog_,
-                 [this](const ScanRequest& req, ScanStats* stats,
-                        std::string* desc) { return Scan(req, stats, desc); },
-                 info, ap_.ctx(layer_.txn_mgr()->LastCommittedCsn()));
+  const ScanFn scan = [this](const ScanRequest& req, ScanStats* stats,
+                             std::string* desc) {
+    return Scan(req, stats, desc);
+  };
+  BatchScanFn batch_scan;
+  if (ap_.vectorized)
+    batch_scan = [this](const ScanRequest& req, ScanStats* stats,
+                        std::string* desc) {
+      return BatchScan(req, stats, desc);
+    };
+  return RunPlan(plan, *catalog_, scan, info,
+                 ap_.ctx(layer_.txn_mgr()->LastCommittedCsn()), batch_scan);
 }
 
 Status DiskHtapEngine::ForceSync(const TableInfo& tbl) {
@@ -455,6 +500,7 @@ EngineStats DiskHtapEngine::Stats() {
   MutexLock lk(&tables_mu_);
   for (const auto& [tid, ts] : tables_) {
     s.column_store_bytes += ts->imcs->MemoryBytes();
+    s.column_encodings.Merge(ts->imcs->EncodingStats());
     s.delta_bytes += ts->delta->MemoryBytes();
     const BufferPoolStats bp = ts->heap->pool_stats();
     s.buffer_pool_hits += bp.hits;

@@ -71,6 +71,7 @@ Status InMemoryHtapEngine::CreateTable(const TableInfo& info) {
   ts->info = info;
   ts->delta = std::make_unique<InMemoryDeltaStore>();
   ts->columns = std::make_unique<ColumnTable>(info.schema);
+  if (options_.compression_advisor) ts->columns->EnableCompressionAdvisor(true);
   ts->sync = std::make_unique<DataSynchronizer>(
       SyncStrategy::kInMemoryMerge, ts->columns.get(),
       std::make_unique<DeltaSourceAdapter<InMemoryDeltaStore>>(
@@ -150,6 +151,27 @@ TableStats InMemoryHtapEngine::RefreshedStats(TableState* ts) {
   return ts->stats;
 }
 
+AccessPath InMemoryHtapEngine::ResolvePath(const ScanRequest& req,
+                                           TableState* ts, bool* pk_point,
+                                           Key* pk_key) {
+  const TableStats table_stats = RefreshedStats(ts);
+  *pk_point = ExtractPkPoint(*req.pred, req.table->schema.pk_index(), pk_key);
+  switch (req.path) {
+    case PathHint::kForceRow: return AccessPath::kRowFullScan;
+    case PathHint::kForceColumn: return AccessPath::kColumnScan;
+    case PathHint::kAuto: break;
+  }
+  AccessQuery q;
+  q.stats = &table_stats;
+  q.pred = req.pred;
+  q.columns_needed = TouchedColumns(req).size();
+  q.total_columns = req.table->schema.num_columns();
+  q.delta_entries = ts->delta->EntryCount();
+  q.pk_point_lookup = *pk_point;
+  q.column_store_available = true;
+  return ChooseAccessPath(CostModel{}, q).path;
+}
+
 Result<std::vector<Row>> InMemoryHtapEngine::Scan(const ScanRequest& req,
                                                   ScanStats* stats,
                                                   std::string* path_desc) {
@@ -160,36 +182,11 @@ Result<std::vector<Row>> InMemoryHtapEngine::Scan(const ScanRequest& req,
     if (it == tables_.end()) return Status::NotFound("no such table");
     ts = it->second.get();
   }
-  const TableStats table_stats = RefreshedStats(ts);
+  advisor_.RecordAccess(req.table->name, TouchedColumns(req));
 
-  const std::vector<int> touched = TouchedColumns(req);
-  advisor_.RecordAccess(req.table->name, touched);
-
-  AccessPath path;
+  bool pk_point = false;
   Key pk_key = 0;
-  const bool pk_point =
-      ExtractPkPoint(*req.pred, req.table->schema.pk_index(), &pk_key);
-  switch (req.path) {
-    case PathHint::kForceRow:
-      path = AccessPath::kRowFullScan;
-      break;
-    case PathHint::kForceColumn:
-      path = AccessPath::kColumnScan;
-      break;
-    case PathHint::kAuto: {
-      AccessQuery q;
-      q.stats = &table_stats;
-      q.pred = req.pred;
-      q.columns_needed = touched.size();
-      q.total_columns = req.table->schema.num_columns();
-      q.delta_entries = ts->delta->EntryCount();
-      q.pk_point_lookup = pk_point;
-      q.column_store_available = true;
-      const PathChoice choice = ChooseAccessPath(CostModel{}, q);
-      path = choice.path;
-      break;
-    }
-  }
+  const AccessPath path = ResolvePath(req, ts, &pk_point, &pk_key);
   if (path_desc != nullptr) *path_desc = AccessPathName(path);
 
   const Snapshot snap = layer_.txn_mgr()->CurrentSnapshot();
@@ -218,12 +215,42 @@ Result<std::vector<Row>> InMemoryHtapEngine::Scan(const ScanRequest& req,
   return ScanRowStore(*store, snap, *req.pred, req.projection, ap_.ctx());
 }
 
+Result<std::vector<ColumnBatch>> InMemoryHtapEngine::BatchScan(
+    const ScanRequest& req, ScanStats* stats, std::string* path_desc) {
+  TableState* ts;
+  {
+    MutexLock lk(&tables_mu_);
+    const auto it = tables_.find(req.table->id);
+    if (it == tables_.end()) return Status::NotFound("no such table");
+    ts = it->second.get();
+  }
+  bool pk_point = false;
+  Key pk_key = 0;
+  if (ResolvePath(req, ts, &pk_point, &pk_key) != AccessPath::kColumnScan)
+    return Status::NotSupported("row access path");
+  advisor_.RecordAccess(req.table->name, TouchedColumns(req));
+  if (path_desc != nullptr)
+    *path_desc = AccessPathName(AccessPath::kColumnScan);
+  const Snapshot snap = layer_.txn_mgr()->CurrentSnapshot();
+  const DeltaReader* delta = req.require_fresh ? ts->delta.get() : nullptr;
+  return ScanHtapBatches(*ts->columns, delta, snap.begin_csn, *req.pred,
+                         req.projection, ap_.ctx(), stats);
+}
+
 Result<QueryResult> InMemoryHtapEngine::Execute(const QueryPlan& plan,
                                                 QueryExecInfo* info) {
-  return RunPlan(plan, *catalog_,
-                 [this](const ScanRequest& req, ScanStats* stats,
-                        std::string* desc) { return Scan(req, stats, desc); },
-                 info, ap_.ctx(layer_.txn_mgr()->LastCommittedCsn()));
+  const ScanFn scan = [this](const ScanRequest& req, ScanStats* stats,
+                             std::string* desc) {
+    return Scan(req, stats, desc);
+  };
+  BatchScanFn batch_scan;
+  if (ap_.vectorized)
+    batch_scan = [this](const ScanRequest& req, ScanStats* stats,
+                        std::string* desc) {
+      return BatchScan(req, stats, desc);
+    };
+  return RunPlan(plan, *catalog_, scan, info,
+                 ap_.ctx(layer_.txn_mgr()->LastCommittedCsn()), batch_scan);
 }
 
 Status InMemoryHtapEngine::ForceSync(const TableInfo& tbl) {
@@ -261,6 +288,7 @@ EngineStats InMemoryHtapEngine::Stats() {
     s.entries_merged += ss.entries_merged;
     s.column_store_bytes += ts->columns->MemoryBytes();
     s.delta_bytes += ts->delta->MemoryBytes();
+    s.column_encodings.Merge(ts->columns->EncodingStats());
   }
   return s;
 }

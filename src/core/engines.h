@@ -39,13 +39,17 @@ struct ApScanRuntime {
   size_t spill_budget = 0;
   std::string spill_dir;
   uint64_t stats_staleness = 65536;
+  size_t batch_rows = 4096;  // rows per ColumnBatch (DESIGN.md §12)
+  bool vectorized = true;    // engine offers its batch scan to the runner
 
   explicit ApScanRuntime(const DatabaseOptions& options)
       : threads(EffectiveParallelScanThreads(options)),
         min_join_build(options.parallel_join_min_build_rows),
         spill_budget(options.join_spill_budget_bytes),
         spill_dir(options.join_spill_dir),
-        stats_staleness(options.stats_staleness_csns) {
+        stats_staleness(options.stats_staleness_csns),
+        batch_rows(options.vectorized_batch_rows),
+        vectorized(options.vectorized_exec) {
     if (threads > 1) pool = std::make_unique<ThreadPool>(threads, "ap-scan");
   }
 
@@ -60,6 +64,7 @@ struct ApScanRuntime {
     exec.join_spill_dir = spill_dir;
     exec.committed_csn = committed_csn;
     exec.stats_staleness_csns = stats_staleness;
+    exec.batch_rows = batch_rows;
     return exec;
   }
 };
@@ -110,6 +115,15 @@ class InMemoryHtapEngine : public HtapEngine, public ChangeSink {
 
   Result<std::vector<Row>> Scan(const ScanRequest& req, ScanStats* stats,
                                 std::string* path_desc);
+  /// Vectorized scan: serves only the column access path, as ColumnBatches
+  /// straight off the encoded segments; declines everything else with
+  /// NotSupported (the runner falls back to Scan).
+  Result<std::vector<ColumnBatch>> BatchScan(const ScanRequest& req,
+                                             ScanStats* stats,
+                                             std::string* path_desc);
+  /// The access-path decision shared by Scan and BatchScan.
+  AccessPath ResolvePath(const ScanRequest& req, TableState* ts,
+                         bool* pk_point, Key* pk_key);
   /// Refreshes the sampled row-store stats if stale and returns a copy.
   TableStats RefreshedStats(TableState* ts);
 
@@ -168,6 +182,10 @@ class DeltaMainHtapEngine : public HtapEngine, public ChangeSink {
 
   Result<std::vector<Row>> Scan(const ScanRequest& req, ScanStats* stats,
                                 std::string* path_desc);
+  /// Vectorized scan over Main + delta; declines only a forced row scan.
+  Result<std::vector<ColumnBatch>> BatchScan(const ScanRequest& req,
+                                             ScanStats* stats,
+                                             std::string* path_desc);
 
   DatabaseOptions options_;
   Catalog* catalog_;
@@ -236,8 +254,30 @@ class DiskHtapEngine : public HtapEngine, public ChangeSink {
     uint64_t stats_at_csn GUARDED_BY(stats_mu) = 0;
   };
 
+  /// Column access resolved for one scan request: the access-path decision
+  /// plus — when the IMCS is serving — the pinned generation and the
+  /// predicate/projection remapped onto its loaded-column layout.
+  struct ImcsAccess {
+    AccessPath path = AccessPath::kRowFullScan;
+    bool pk_point = false;
+    Key pk_key = 0;
+    bool imcs_ready = false;  // path == kColumnScan and capability held
+    std::shared_ptr<ColumnTable> imcs;
+    std::vector<int> loaded;
+    Predicate pred;           // remapped onto the IMCS layout
+    std::vector<int> proj;    // remapped projection
+  };
+
   Result<std::vector<Row>> Scan(const ScanRequest& req, ScanStats* stats,
                                 std::string* path_desc);
+  /// Vectorized scan: serves only when the pinned IMCS generation holds
+  /// every referenced column (NotSupported otherwise — the survey's
+  /// "columns may not have been selected" caveat applies to batches too).
+  Result<std::vector<ColumnBatch>> BatchScan(const ScanRequest& req,
+                                             ScanStats* stats,
+                                             std::string* path_desc);
+  /// The path decision + IMCS pinning shared by Scan and BatchScan.
+  Result<ImcsAccess> ResolveAccess(const ScanRequest& req, TableState* ts);
   /// Drains the delta up to `target` into the current IMCS generation and
   /// (optionally) returns the synced generation for the caller to scan.
   Status SyncImcs(TableState* ts, CSN target,

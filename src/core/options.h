@@ -65,6 +65,26 @@ struct DatabaseOptions {
   /// compacts the column table and fully recomputes the table's statistics.
   size_t stats_compact_delete_threshold = 8192;
 
+  /// Vectorized batch execution (DESIGN.md §12): the scan emits fixed-size
+  /// ColumnBatches of typed vectors instead of rows, predicates evaluate
+  /// directly on the encoded segment data, and eligible plans (simple scans
+  /// and single-table aggregates on a column path) run batch-at-a-time end
+  /// to end. Output is byte-identical to the row path. Off = row-at-a-time
+  /// everywhere.
+  bool vectorized_exec = true;
+
+  /// Rows per ColumnBatch the vectorized scan emits (0 = one batch per row
+  /// group). Larger batches amortize dispatch; smaller batches stay cache-
+  /// resident.
+  size_t vectorized_batch_rows = 4096;
+
+  /// Per-segment compression advisor: when segments are (re)built at sync
+  /// or compaction time, re-pick each segment's encoding from observed
+  /// value statistics — the estimated-smallest encoding wins if it beats
+  /// PLAIN by at least 1/8 (see columnar/compression_advisor.h). Off =
+  /// the fixed ChooseEncoding thresholds.
+  bool compression_advisor = true;
+
   /// Intra-query parallelism: size of the engine's AP scan pool. Morsel-
   /// driven scans, aggregations, and hash joins fan out across it; the
   /// resource scheduler throttles analytical CPU through its concurrency

@@ -74,6 +74,10 @@ struct QueryExecInfo {
   std::string access_path;  // per AccessPathName or engine-specific
   ScanStats scan;
 
+  /// True when the base access ran the vectorized batch pipeline
+  /// (DESIGN.md §12) rather than row-at-a-time operators.
+  bool vectorized = false;
+
   /// Aggregate over all executed joins (zero-initialized when the plan has
   /// none). Row/time/spill counters sum across steps; `partitions` is the
   /// maximum; `parallel` / `build_swapped` OR; `output_rows` is the final

@@ -340,7 +340,8 @@ Result<Schema> PlanOutputSchema(const QueryPlan& plan,
 
 Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
                             const ScanFn& scan, QueryExecInfo* info,
-                            const ExecContext& exec) {
+                            const ExecContext& exec,
+                            const BatchScanFn& batch_scan) {
   const TableInfo* base = catalog.Find(plan.table);
   if (base == nullptr) return Status::NotFound("no table: " + plan.table);
   HTAP_ASSIGN_OR_RETURN(const std::vector<BoundJoin> joins,
@@ -388,8 +389,35 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
     req.projection = agg_scan_cols;
   req.path = plan.path;
   req.require_fresh = plan.require_fresh;
-  HTAP_ASSIGN_OR_RETURN(std::vector<Row> rows,
-                        scan(req, &xi->scan, &xi->access_path));
+
+  // Vectorized base access (DESIGN.md §12): for plans the batch pipeline
+  // covers — simple scans and single-table aggregates — the scan emits
+  // column batches and the aggregate consumes them directly. The engine
+  // declines requests its batch path cannot serve (NotSupported), and the
+  // runner falls back to the row scan; any other error is the query's.
+  std::vector<Row> rows;
+  bool agg_done = false;
+  bool scanned = false;
+  if (batch_scan != nullptr && (simple || narrowed_agg)) {
+    Result<std::vector<ColumnBatch>> batches =
+        batch_scan(req, &xi->scan, &xi->access_path);
+    if (batches.ok()) {
+      xi->vectorized = true;
+      scanned = true;
+      if (narrowed_agg) {
+        rows = HashAggregate(batches.value(), remapped_groups, remapped_aggs,
+                             exec);
+        agg_done = true;
+      } else {
+        rows = BatchesToRows(batches.value());
+      }
+    } else if (!batches.status().IsNotSupported()) {
+      return batches.status();
+    }
+  }
+  if (!scanned) {
+    HTAP_ASSIGN_OR_RETURN(rows, scan(req, &xi->scan, &xi->access_path));
+  }
 
   if (!joins.empty()) {
     // The joins fan build/probe morsels onto the same AP pool as scans, so
@@ -399,11 +427,11 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
         ExecuteJoins(joins, *base, catalog, scan, plan, exec, xi, &rows));
   }
 
-  if (!plan.aggs.empty()) {
+  if (!plan.aggs.empty() && !agg_done) {
     rows = narrowed_agg
                ? HashAggregate(rows, remapped_groups, remapped_aggs, exec)
                : HashAggregate(rows, plan.group_by, plan.aggs, exec);
-  } else if (!simple && !plan.projection.empty()) {
+  } else if (plan.aggs.empty() && !simple && !plan.projection.empty()) {
     rows = Project(rows, plan.projection);
   }
 

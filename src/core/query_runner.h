@@ -24,12 +24,25 @@ struct ScanRequest {
 using ScanFn = std::function<Result<std::vector<Row>>(
     const ScanRequest&, ScanStats* stats, std::string* path_desc)>;
 
+/// Engine-supplied vectorized scan (DESIGN.md §12): emits ColumnBatches
+/// instead of rows, with BatchesToRows(result) byte-identical to what the
+/// row ScanFn returns for the same request. An engine declines a request
+/// its batch path cannot serve (row-store access path, columns not loaded)
+/// with Status::NotSupported — the runner then falls back to the row scan.
+using BatchScanFn = std::function<Result<std::vector<ColumnBatch>>(
+    const ScanRequest&, ScanStats* stats, std::string* path_desc)>;
+
 /// Executes `plan` against `catalog` using `scan` for base access. `exec`
 /// supplies the AP pool for the parallel hash join and aggregation
-/// (default: serial).
+/// (default: serial). When `batch_scan` is provided, eligible plans —
+/// simple scans and single-table aggregates — run vectorized: the base
+/// access emits column batches and the aggregate (if any) consumes them
+/// directly; everything else (joins, output shaping) is unchanged. Results
+/// are byte-identical either way.
 Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
                             const ScanFn& scan, QueryExecInfo* info,
-                            const ExecContext& exec = ExecContext{});
+                            const ExecContext& exec = ExecContext{},
+                            const BatchScanFn& batch_scan = nullptr);
 
 /// Output schema the runner will produce for `plan` (for binders/tests).
 Result<Schema> PlanOutputSchema(const QueryPlan& plan, const Catalog& catalog);

@@ -1,0 +1,70 @@
+// ColumnBatch: the unit operators exchange in the vectorized engine — a
+// fixed-size slice of typed ColumnVectors plus a selection vector of active
+// positions (DESIGN.md §12).
+//
+// Selection-vector semantics: `sel` holds ascending positions into the
+// column vectors; before any filter runs (`filtered` false) an empty `sel`
+// means every position is active, afterwards `sel` is exact. Scans emit
+// compacted batches (all positions active); filters above the scan refine
+// `sel` in place without copying column data. Conversion back to rows
+// (BatchesToRows) visits only active positions, in order, so a batch
+// pipeline's row image is exactly the row-at-a-time operator's output.
+
+#ifndef HTAP_EXEC_BATCH_H_
+#define HTAP_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/column_vector.h"
+#include "exec/expression.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace htap {
+
+struct ColumnBatch {
+  std::vector<ColumnVector> columns;  // all the same length
+  std::vector<uint32_t> sel;          // ascending active positions
+  /// False until a filter materializes `sel`: an empty `sel` then means
+  /// "every position active" (the compacted-scan fast path). True once a
+  /// filter has run — `sel` is authoritative, and an empty `sel` means no
+  /// position survived.
+  bool filtered = false;
+
+  size_t rows() const { return columns.empty() ? 0 : columns[0].size(); }
+  size_t active() const { return all_active() ? rows() : sel.size(); }
+  bool all_active() const { return !filtered && sel.empty(); }
+
+  /// Calls fn(position) for every active position, in order.
+  template <typename Fn>
+  void ForEachActive(const Fn& fn) const {
+    if (all_active()) {
+      const size_t n = rows();
+      for (size_t i = 0; i < n; ++i) fn(i);
+    } else {
+      for (uint32_t i : sel) fn(i);
+    }
+  }
+};
+
+/// An empty batch with one typed vector per projected schema column (empty
+/// projection = all columns), each reserving `reserve` slots.
+ColumnBatch MakeBatch(const Schema& schema, const std::vector<int>& projection,
+                      size_t reserve);
+
+/// Refines the batch's selection in place with `columns[col] op lit`, using
+/// typed tight loops over the decoded vectors. NULL cells and NULL literals
+/// never match — the same decisions as Predicate::Eval on the row image.
+void FilterBatch(ColumnBatch* batch, int col, CmpOp op, const Value& lit);
+
+/// Sum of active() across batches.
+size_t TotalActiveRows(const std::vector<ColumnBatch>& batches);
+
+/// Flattens batches to rows in batch order, active positions only — the
+/// bridge back to the row-at-a-time operators.
+std::vector<Row> BatchesToRows(const std::vector<ColumnBatch>& batches);
+
+}  // namespace htap
+
+#endif  // HTAP_EXEC_BATCH_H_

@@ -12,6 +12,7 @@
 #include "common/clock.h"
 #include "common/mutex.h"
 #include "common/status.h"
+#include "exec/segment_filter.h"
 #include "storage/spill_file.h"
 
 namespace htap {
@@ -25,98 +26,6 @@ Row ProjectRow(const Row& row, const std::vector<int>& projection) {
   return out;
 }
 
-/// Per-row-group cache of decoded segments so multi-conjunct predicates
-/// decode each referenced column once per group, not once per conjunct.
-class DecodedCache {
- public:
-  explicit DecodedCache(const std::vector<Segment>& cols)
-      : cols_(cols), slots_(cols.size()) {}
-
-  const ColumnVector& Get(size_t col) {
-    auto& slot = slots_[col];
-    if (slot == nullptr)
-      slot = std::make_unique<ColumnVector>(cols_[col].Decode());
-    return *slot;
-  }
-
- private:
-  const std::vector<Segment>& cols_;
-  std::vector<std::unique_ptr<ColumnVector>> slots_;
-};
-
-/// The "SIMD-friendly" columnar inner loop over a decoded buffer.
-template <typename T>
-void FilterTight(const std::vector<T>& vals, T x, CmpOp op,
-                 std::vector<uint32_t>* sel) {
-  size_t out = 0;
-  switch (op) {
-    case CmpOp::kEq:
-      for (uint32_t i : *sel)
-        if (vals[i] == x) (*sel)[out++] = i;
-      break;
-    case CmpOp::kNe:
-      for (uint32_t i : *sel)
-        if (vals[i] != x) (*sel)[out++] = i;
-      break;
-    case CmpOp::kLt:
-      for (uint32_t i : *sel)
-        if (vals[i] < x) (*sel)[out++] = i;
-      break;
-    case CmpOp::kLe:
-      for (uint32_t i : *sel)
-        if (vals[i] <= x) (*sel)[out++] = i;
-      break;
-    case CmpOp::kGt:
-      for (uint32_t i : *sel)
-        if (vals[i] > x) (*sel)[out++] = i;
-      break;
-    case CmpOp::kGe:
-      for (uint32_t i : *sel)
-        if (vals[i] >= x) (*sel)[out++] = i;
-      break;
-  }
-  sel->resize(out);
-}
-
-/// Filters a selection vector in place with one comparison conjunct,
-/// using a typed tight loop when the segment allows it. `cache` holds the
-/// group's decoded segments; `col` is the segment's column index in it.
-void FilterSelection(const Segment& seg, size_t col, CmpOp op,
-                     const Value& lit, DecodedCache* cache,
-                     std::vector<uint32_t>* sel) {
-  // Fast paths: INT64/DOUBLE comparisons against a numeric literal over a
-  // decoded buffer. Cross-type numeric comparisons go through AsDouble,
-  // matching Value::Compare semantics.
-  if (seg.type() == Type::kInt64 && lit.is_int64() && !seg.has_nulls()) {
-    FilterTight(cache->Get(col).ints(), lit.AsInt64(), op, sel);
-    return;
-  }
-  if (seg.type() == Type::kDouble && (lit.is_double() || lit.is_int64()) &&
-      !seg.has_nulls()) {
-    FilterTight(cache->Get(col).doubles(), lit.AsDouble(), op, sel);
-    return;
-  }
-  // Generic path.
-  size_t out = 0;
-  for (uint32_t i : *sel) {
-    const Value v = seg.Get(i);
-    bool keep = false;
-    if (!v.is_null() && !lit.is_null()) {
-      const int c = v.Compare(lit);
-      switch (op) {
-        case CmpOp::kEq: keep = c == 0; break;
-        case CmpOp::kNe: keep = c != 0; break;
-        case CmpOp::kLt: keep = c < 0; break;
-        case CmpOp::kLe: keep = c <= 0; break;
-        case CmpOp::kGt: keep = c > 0; break;
-        case CmpOp::kGe: keep = c >= 0; break;
-      }
-    }
-    if (keep) (*sel)[out++] = i;
-  }
-  sel->resize(out);
-}
-
 /// Read-only state shared by every morsel of one HTAP scan.
 struct HtapScanShared {
   const Predicate* pred;
@@ -124,43 +33,58 @@ struct HtapScanShared {
   const std::unordered_map<Key, const DeltaEntry*>* overrides;
 };
 
-/// Scans one row group (one morsel) into `out`/`st`. Caller must hold the
-/// table's scan latch shared.
-void ScanGroup(const RowGroup& g, const HtapScanShared& s,
-               std::vector<Row>* out, ScanStats* st) {
+/// Computes one row group's surviving selection: live, non-overridden
+/// positions that pass the predicate. Comparison conjuncts evaluate
+/// directly on the encoded segments (exec/segment_filter.h) — code-space
+/// dictionary compares, per-run RLE, zone-map-pruned FOR — and anything
+/// non-conjunctive falls back to row-at-a-time EvalColumns over the
+/// survivors. Returns false when zone maps skip the whole group. The row
+/// and batch scans share this, so their keep/drop decisions are identical
+/// by construction.
+bool ComputeGroupSelection(const RowGroup& g, const HtapScanShared& s,
+                           std::vector<uint32_t>* sel, ScanStats* st) {
   const Predicate& pred = *s.pred;
   if (pred.CanSkipGroup(g.columns)) {
     ++st->groups_skipped;
-    return;
+    return false;
   }
   // Initial selection: live, non-overridden positions.
-  std::vector<uint32_t> sel;
-  sel.reserve(g.num_rows);
+  sel->clear();
+  sel->reserve(g.num_rows);
   const bool any_deleted = g.deleted.AnySet();
   const auto& overrides = *s.overrides;
   for (uint32_t i = 0; i < g.num_rows; ++i) {
     if (any_deleted && g.deleted.Test(i)) continue;
     if (!overrides.empty() && overrides.count(g.keys[i]) != 0) continue;
-    sel.push_back(i);
+    sel->push_back(i);
   }
+  st->rows_considered += sel->size();
   // Apply conjuncts column-at-a-time; non-conjunctive parts row-at-a-time.
-  DecodedCache cache(g.columns);
   bool generic_needed = false;
   for (const Predicate* conj : pred.Conjuncts()) {
     if (conj->kind() == Predicate::Kind::kCompare) {
       const auto col = static_cast<size_t>(conj->column());
-      FilterSelection(g.columns[col], col, conj->op(), conj->literal(),
-                      &cache, &sel);
+      FilterSegmentSelection(g.columns[col], conj->op(), conj->literal(),
+                             sel);
     } else {
       generic_needed = true;
     }
   }
   if (generic_needed) {
     size_t o = 0;
-    for (uint32_t i : sel)
-      if (pred.EvalColumns(g.columns, i)) sel[o++] = i;
-    sel.resize(o);
+    for (uint32_t i : *sel)
+      if (pred.EvalColumns(g.columns, i)) (*sel)[o++] = i;
+    sel->resize(o);
   }
+  return true;
+}
+
+/// Scans one row group (one morsel) into `out`/`st`. Caller must hold the
+/// table's scan latch shared.
+void ScanGroup(const RowGroup& g, const HtapScanShared& s,
+               std::vector<Row>* out, ScanStats* st) {
+  std::vector<uint32_t> sel;
+  if (!ComputeGroupSelection(g, s, &sel, st)) return;
   // Materialize the projection.
   const std::vector<int>& projection = *s.projection;
   for (uint32_t i : sel) {
@@ -173,6 +97,40 @@ void ScanGroup(const RowGroup& g, const HtapScanShared& s,
     }
     out->push_back(std::move(r));
     ++st->main_rows_emitted;
+  }
+}
+
+/// Batch variant of ScanGroup: gathers the surviving selection into
+/// compacted ColumnBatches of at most `batch_rows` rows (0 = whole group),
+/// typed per-encoding gathers, no Value boxing.
+void ScanGroupBatches(const RowGroup& g, const HtapScanShared& s,
+                      size_t batch_rows, std::vector<ColumnBatch>* out,
+                      ScanStats* st) {
+  std::vector<uint32_t> sel;
+  if (!ComputeGroupSelection(g, s, &sel, st)) return;
+  if (sel.empty()) return;
+  const std::vector<int>& projection = *s.projection;
+  const size_t bsz = batch_rows == 0 ? sel.size() : batch_rows;
+  for (size_t lo = 0; lo < sel.size(); lo += bsz) {
+    const size_t n = std::min(bsz, sel.size() - lo);
+    const std::vector<uint32_t> slice(sel.begin() + static_cast<long>(lo),
+                                      sel.begin() + static_cast<long>(lo + n));
+    ColumnBatch b;
+    const auto gather = [&](size_t c) {
+      ColumnVector cv(g.columns[c].type());
+      cv.Reserve(n);
+      GatherSegment(g.columns[c], slice, &cv);
+      b.columns.push_back(std::move(cv));
+    };
+    if (projection.empty()) {
+      b.columns.reserve(g.columns.size());
+      for (size_t c = 0; c < g.columns.size(); ++c) gather(c);
+    } else {
+      b.columns.reserve(projection.size());
+      for (int c : projection) gather(static_cast<size_t>(c));
+    }
+    st->main_rows_emitted += n;
+    out->push_back(std::move(b));
   }
 }
 
@@ -317,6 +275,7 @@ std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
     for (const ScanStats& ws : wstats) {
       st->groups_skipped += ws.groups_skipped;
       st->main_rows_emitted += ws.main_rows_emitted;
+      st->rows_considered += ws.rows_considered;
     }
     size_t total = 0;
     for (const auto& p : partial) total += p.size();
@@ -338,6 +297,108 @@ std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
                           ScanStats* stats) {
   return ScanHtap(table, delta, snapshot, pred, projection, ExecContext{},
                   stats);
+}
+
+std::vector<ColumnBatch> ScanHtapBatches(const ColumnTable& table,
+                                         const DeltaReader* delta,
+                                         CSN snapshot, const Predicate& pred,
+                                         const std::vector<int>& projection,
+                                         const ExecContext& exec,
+                                         ScanStats* stats) {
+  ScanStats local;
+  ScanStats* st = stats != nullptr ? stats : &local;
+
+  // 1. Delta override set, exactly as the row scan builds it.
+  std::unordered_map<Key, const DeltaEntry*> overrides;
+  std::vector<DeltaEntry> delta_entries;
+  if (delta != nullptr) {
+    delta->ScanVisible(snapshot, [&](const DeltaEntry& e) {
+      delta_entries.push_back(e);
+    });
+    st->delta_entries_read = delta_entries.size();
+    for (const auto& e : delta_entries) overrides[e.key] = &e;
+  }
+
+  const HtapScanShared shared{&pred, &projection, &overrides};
+
+  ReadGuard table_guard(table.latch());
+  const size_t ngroups = table.num_groups_unlocked();
+  st->groups_total = ngroups;
+
+  // 2. The delta-override partition is its own morsel, emitted as typed
+  // batches after every main group (the position the row scan has always
+  // used). Delta rows append through the schema-typed vectors; rows are in
+  // override-map iteration order, identical for serial and parallel.
+  const Schema& schema = table.schema();
+  std::vector<ColumnBatch> delta_batches;
+  ScanStats delta_st;
+  auto delta_morsel = [&] {
+    ColumnBatch cur;
+    for (const auto& [key, e] : overrides) {
+      if (e->op == ChangeOp::kDelete) continue;
+      if (!pred.Eval(e->row)) continue;
+      if (cur.columns.empty())
+        cur = MakeBatch(schema, projection, exec.batch_rows);
+      if (projection.empty()) {
+        for (size_t c = 0; c < cur.columns.size(); ++c)
+          cur.columns[c].AppendValue(e->row.Get(c));
+      } else {
+        for (size_t c = 0; c < projection.size(); ++c)
+          cur.columns[c].AppendValue(
+              e->row.Get(static_cast<size_t>(projection[c])));
+      }
+      ++delta_st.delta_rows_emitted;
+      if (exec.batch_rows != 0 && cur.rows() >= exec.batch_rows) {
+        delta_batches.push_back(std::move(cur));
+        cur = ColumnBatch{};
+      }
+    }
+    if (cur.rows() > 0) delta_batches.push_back(std::move(cur));
+  };
+
+  // 3. Main groups: one morsel per group, merged in group order — the batch
+  // sequence is byte-identical to the serial pass at any thread count.
+  std::vector<ColumnBatch> out;
+  const size_t workers =
+      exec.parallel() && ngroups > 1 ? std::min(exec.max_parallelism, ngroups)
+                                     : 1;
+  if (workers <= 1) {
+    for (size_t gi = 0; gi < ngroups; ++gi)
+      ScanGroupBatches(*table.group_unlocked(gi), shared, exec.batch_rows,
+                       &out, st);
+    delta_morsel();
+  } else {
+    std::vector<std::vector<ColumnBatch>> partial(ngroups);
+    std::vector<ScanStats> wstats(workers);
+    std::atomic<size_t> next{0};
+    {
+      TaskGroup tg(exec.pool);
+      tg.Run(delta_morsel);
+      for (size_t w = 0; w < workers; ++w) {
+        tg.Run([&, w] {
+          for (size_t gi = next.fetch_add(1, std::memory_order_relaxed);
+               gi < ngroups;
+               gi = next.fetch_add(1, std::memory_order_relaxed))
+            ScanGroupBatches(*table.group_unlocked(gi), shared,
+                             exec.batch_rows, &partial[gi], &wstats[w]);
+        });
+      }
+    }
+    for (const ScanStats& ws : wstats) {
+      st->groups_skipped += ws.groups_skipped;
+      st->main_rows_emitted += ws.main_rows_emitted;
+      st->rows_considered += ws.rows_considered;
+    }
+    size_t total = 0;
+    for (const auto& p : partial) total += p.size();
+    out.reserve(total + delta_batches.size());
+    for (auto& p : partial)
+      for (ColumnBatch& b : p) out.push_back(std::move(b));
+  }
+
+  st->delta_rows_emitted += delta_st.delta_rows_emitted;
+  for (ColumnBatch& b : delta_batches) out.push_back(std::move(b));
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -399,35 +460,28 @@ Row ConcatRows(const Row& l, const Row& r) {
   return Row(std::move(vals));
 }
 
-/// Probes probe rows [lo, hi) against the partition tables, emitting
+/// Probes key slots [lo, hi) against the partition tables, emitting
 /// (probe, build) index pairs. Two passes: a hash-match pre-count sizes the
 /// output reservation (overcounting only on hash collisions between unequal
-/// keys), then the emit pass confirms key equality.
-void ProbePairsRange(const std::vector<Row>& probe, size_t lo, size_t hi,
-                     int probe_col, const std::vector<Row>& build,
-                     int build_col,
-                     const std::vector<JoinPartitionTable>& parts,
-                     uint64_t part_mask, uint64_t hash_mask, JoinPairs* out) {
-  const auto pc = static_cast<size_t>(probe_col);
-  const auto bc = static_cast<size_t>(build_col);
-  std::vector<uint64_t> hashes(hi - lo);
-  std::vector<uint8_t> has_key(hi - lo, 0);
+/// keys), then the emit pass confirms key equality — typed, through
+/// JoinKeyEquals, no Value boxing.
+void ProbePairsRangeKeys(const JoinKeyColumn& probe, size_t lo, size_t hi,
+                         const JoinKeyColumn& build,
+                         const std::vector<JoinPartitionTable>& parts,
+                         uint64_t part_mask, uint64_t hash_mask,
+                         JoinPairs* out) {
   size_t estimate = 0;
   for (size_t i = lo; i < hi; ++i) {
-    const Value& k = probe[i].Get(pc);
-    if (k.is_null()) continue;
-    const uint64_t h = k.Hash() & hash_mask;
-    hashes[i - lo] = h;
-    has_key[i - lo] = 1;
+    if (!probe.valid[i]) continue;
+    const uint64_t h = probe.hashes[i] & hash_mask;
     parts[h & part_mask].ForEachHashMatch(h, [&](uint32_t) { ++estimate; });
   }
   out->reserve(out->size() + estimate);
   for (size_t i = lo; i < hi; ++i) {
-    if (!has_key[i - lo]) continue;
-    const uint64_t h = hashes[i - lo];
-    const Value& k = probe[i].Get(pc);
+    if (!probe.valid[i]) continue;
+    const uint64_t h = probe.hashes[i] & hash_mask;
     parts[h & part_mask].ForEachHashMatch(h, [&](uint32_t r) {
-      if (build[r].Get(bc) != k) return;  // hash collision
+      if (!JoinKeyEquals(probe, i, build, r)) return;  // hash collision
       out->emplace_back(static_cast<uint32_t>(i), r);
     });
   }
@@ -903,39 +957,178 @@ size_t EstimateRowsBytes(const std::vector<Row>& rows) {
   return bytes;
 }
 
-JoinPairs HashJoinPairs(const std::vector<Row>& probe,
-                        const std::vector<Row>& build, int probe_col,
-                        int build_col, const ExecContext& exec,
-                        JoinStats* stats) {
+Value JoinKeyColumn::GetValue(size_t i) const {
+  if (!valid[i]) return Value::Null();
+  if (mixed) return boxed[i];
+  switch (type) {
+    case Type::kInt64: return Value(ints[i]);
+    case Type::kDouble: return Value(doubles[i]);
+    case Type::kString: return Value(strs[i]);
+  }
+  return Value::Null();
+}
+
+bool JoinKeyEquals(const JoinKeyColumn& a, size_t i, const JoinKeyColumn& b,
+                   size_t j) {
+  if (a.mixed || b.mixed) return a.GetValue(i) == b.GetValue(j);
+  if (a.type == b.type) {
+    switch (a.type) {
+      case Type::kInt64: return a.ints[i] == b.ints[j];
+      case Type::kDouble: return a.doubles[i] == b.doubles[j];
+      case Type::kString: return a.strs[i] == b.strs[j];
+    }
+    return false;
+  }
+  // Cross-type: numeric pairs compare as doubles; numeric never equals a
+  // string (Value::Compare semantics).
+  if (a.type == Type::kString || b.type == Type::kString) return false;
+  const double av =
+      a.type == Type::kInt64 ? static_cast<double>(a.ints[i]) : a.doubles[i];
+  const double bv =
+      b.type == Type::kInt64 ? static_cast<double>(b.ints[j]) : b.doubles[j];
+  return av == bv;
+}
+
+JoinKeyColumn ExtractJoinKeys(const std::vector<Row>& rows, int col) {
+  JoinKeyColumn k;
+  const auto c = static_cast<size_t>(col);
+  const size_t n = rows.size();
+  k.valid.assign(n, 0);
+  k.hashes.assign(n, 0);
+
+  // Pass 1: are the non-NULL keys homogeneously typed?
+  bool seen = false;
+  for (const Row& r : rows) {
+    const Value& v = r.Get(c);
+    if (v.is_null()) continue;
+    if (!seen) {
+      k.type = v.type();
+      seen = true;
+    } else if (v.type() != k.type) {
+      k.mixed = true;
+      break;
+    }
+  }
+
+  if (k.mixed) {
+    k.boxed.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = rows[i].Get(c);
+      k.boxed.push_back(v);
+      if (v.is_null()) continue;
+      k.valid[i] = 1;
+      k.hashes[i] = v.Hash();
+    }
+    return k;
+  }
+
+  switch (k.type) {
+    case Type::kInt64:
+      k.ints.assign(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = rows[i].Get(c);
+        if (v.is_null()) continue;
+        const int64_t x = v.AsInt64();
+        k.ints[i] = x;
+        k.hashes[i] = HashInt64(x);
+        k.valid[i] = 1;
+      }
+      break;
+    case Type::kDouble:
+      k.doubles.assign(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = rows[i].Get(c);
+        if (v.is_null()) continue;
+        const double x = v.AsDouble();
+        k.doubles[i] = x;
+        k.hashes[i] = HashDouble(x);
+        k.valid[i] = 1;
+      }
+      break;
+    case Type::kString:
+      k.strs.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        const Value& v = rows[i].Get(c);
+        if (v.is_null()) continue;
+        k.strs[i] = v.AsString();
+        k.hashes[i] = HashString(k.strs[i]);
+        k.valid[i] = 1;
+      }
+      break;
+  }
+  return k;
+}
+
+JoinKeyColumn ExtractJoinKeys(const std::vector<ColumnBatch>& batches,
+                              int col) {
+  JoinKeyColumn k;
+  const auto c = static_cast<size_t>(col);
+  const size_t n = TotalActiveRows(batches);
+  k.valid.assign(n, 0);
+  k.hashes.assign(n, 0);
+  for (const ColumnBatch& b : batches) {
+    if (b.rows() > 0) {
+      k.type = b.columns[c].type();
+      break;
+    }
+  }
+  switch (k.type) {
+    case Type::kInt64: k.ints.assign(n, 0); break;
+    case Type::kDouble: k.doubles.assign(n, 0); break;
+    case Type::kString: k.strs.resize(n); break;
+  }
+  size_t o = 0;
+  for (const ColumnBatch& b : batches) {
+    const ColumnVector& cv = b.columns[c];
+    b.ForEachActive([&](size_t i) {
+      if (!cv.IsNull(i)) {
+        switch (k.type) {
+          case Type::kInt64: {
+            const int64_t x = cv.GetInt64(i);
+            k.ints[o] = x;
+            k.hashes[o] = HashInt64(x);
+            break;
+          }
+          case Type::kDouble: {
+            const double x = cv.GetDouble(i);
+            k.doubles[o] = x;
+            k.hashes[o] = HashDouble(x);
+            break;
+          }
+          case Type::kString:
+            k.strs[o] = cv.GetString(i);
+            k.hashes[o] = HashString(k.strs[o]);
+            break;
+        }
+        k.valid[o] = 1;
+      }
+      ++o;
+    });
+  }
+  return k;
+}
+
+JoinPairs HashJoinPairsKeys(const JoinKeyColumn& probe,
+                            const JoinKeyColumn& build,
+                            const ExecContext& exec, JoinStats* stats) {
   const Stopwatch sw;
   JoinStats local;
   JoinStats* js = stats != nullptr ? stats : &local;
   js->build_rows = build.size();
   js->probe_rows = probe.size();
-
-  const auto bc = static_cast<size_t>(build_col);
   const uint64_t hash_mask = exec.join_hash_mask;
-  const size_t budget = exec.join_spill_budget_bytes;
-  const size_t est = budget > 0 ? EstimateRowsBytes(build) : 0;
   JoinPairs pairs;
 
-  if (budget > 0 && est > budget) {
-    // Grace regime: the build side does not fit the configured budget.
-    // Checked before the serial fallback — spilling must trigger at any
-    // thread count.
-    pairs = GraceJoinPairs(probe, build, probe_col, build_col, exec, est, js);
-  } else if (!exec.parallel() ||
-             build.size() < exec.min_parallel_join_build) {
+  if (!exec.parallel() || build.size() < exec.min_parallel_join_build) {
     // Serial regime: one partition, built and probed inline.
     std::vector<JoinPartitionTable> parts(1);
     parts[0].Reserve(build.size());
     for (size_t i = 0; i < build.size(); ++i) {
-      const Value& k = build[i].Get(bc);
-      if (k.is_null()) continue;
-      parts[0].Insert(k.Hash() & hash_mask, static_cast<uint32_t>(i));
+      if (!build.valid[i]) continue;
+      parts[0].Insert(build.hashes[i] & hash_mask, static_cast<uint32_t>(i));
     }
-    ProbePairsRange(probe, 0, probe.size(), probe_col, build, build_col,
-                    parts, /*part_mask=*/0, hash_mask, &pairs);
+    ProbePairsRangeKeys(probe, 0, probe.size(), build, parts,
+                        /*part_mask=*/0, hash_mask, &pairs);
     js->partitions = 1;
     js->parallel = false;
   } else {
@@ -944,7 +1137,7 @@ JoinPairs HashJoinPairs(const std::vector<Row>& probe,
     const size_t nparts = JoinPartitionCount(workers);
     const uint64_t part_mask = nparts - 1;
 
-    // 1. Partition pass: contiguous build chunks scatter (hash, row) pairs
+    // 1. Partition pass: contiguous key chunks scatter (hash, slot) pairs
     // into per-chunk partition buffers. Workers never share a buffer.
     const size_t nchunks = std::clamp<size_t>(
         build.size() / kMinScatterRowsPerChunk, 1, workers);
@@ -959,9 +1152,8 @@ JoinPairs HashJoinPairs(const std::vector<Row>& probe,
           buckets.resize(nparts);
           const size_t hi = std::min(build.size(), (c + 1) * chunk_rows);
           for (size_t i = c * chunk_rows; i < hi; ++i) {
-            const Value& k = build[i].Get(bc);
-            if (k.is_null()) continue;
-            const uint64_t h = k.Hash() & hash_mask;
+            if (!build.valid[i]) continue;
+            const uint64_t h = build.hashes[i] & hash_mask;
             buckets[h & part_mask].emplace_back(h, static_cast<uint32_t>(i));
           }
         });
@@ -989,10 +1181,10 @@ JoinPairs HashJoinPairs(const std::vector<Row>& probe,
     // cursor; per-morsel pair outputs concatenate in morsel order,
     // preserving probe input order — byte-identical to the serial join.
     const size_t nprobe =
-        probe.empty() ? 0
-                      : std::clamp<size_t>(
-                            probe.size() / kMinProbeRowsPerMorsel, 1,
-                            workers * 4);
+        probe.size() == 0
+            ? 0
+            : std::clamp<size_t>(probe.size() / kMinProbeRowsPerMorsel, 1,
+                                 workers * 4);
     std::vector<JoinPairs> partial(nprobe);
     if (nprobe > 0) {
       const size_t probe_rows = (probe.size() + nprobe - 1) / nprobe;
@@ -1004,8 +1196,8 @@ JoinPairs HashJoinPairs(const std::vector<Row>& probe,
                m < nprobe; m = next.fetch_add(1, std::memory_order_relaxed)) {
             const size_t lo = m * probe_rows;
             const size_t hi = std::min(probe.size(), lo + probe_rows);
-            ProbePairsRange(probe, lo, hi, probe_col, build, build_col,
-                            parts, part_mask, hash_mask, &partial[m]);
+            ProbePairsRangeKeys(probe, lo, hi, build, parts, part_mask,
+                                hash_mask, &partial[m]);
           }
         });
       }
@@ -1020,6 +1212,41 @@ JoinPairs HashJoinPairs(const std::vector<Row>& probe,
     js->parallel = true;
   }
 
+  js->output_rows = pairs.size();
+  js->seconds = sw.ElapsedSeconds();
+  return pairs;
+}
+
+JoinPairs HashJoinPairs(const std::vector<Row>& probe,
+                        const std::vector<Row>& build, int probe_col,
+                        int build_col, const ExecContext& exec,
+                        JoinStats* stats) {
+  const Stopwatch sw;
+  JoinStats local;
+  JoinStats* js = stats != nullptr ? stats : &local;
+  js->build_rows = build.size();
+  js->probe_rows = probe.size();
+
+  const size_t budget = exec.join_spill_budget_bytes;
+  const size_t est = budget > 0 ? EstimateRowsBytes(build) : 0;
+  JoinPairs pairs;
+
+  if (budget > 0 && est > budget) {
+    // Grace regime: the build side does not fit the configured budget.
+    // Checked before the serial fallback — spilling must trigger at any
+    // thread count. Stays row-based: partitions spill whole rows.
+    pairs = GraceJoinPairs(probe, build, probe_col, build_col, exec, est, js);
+  } else {
+    // In-memory regimes run on extracted key columns: typed values plus
+    // precomputed hashes, so the serial and radix loops never box a Value.
+    // The typed hashes equal Value::Hash, keeping pair order byte-identical
+    // to the historical row-at-a-time join.
+    pairs = HashJoinPairsKeys(ExtractJoinKeys(probe, probe_col),
+                              ExtractJoinKeys(build, build_col), exec, js);
+  }
+
+  js->build_rows = build.size();
+  js->probe_rows = probe.size();
   js->output_rows = pairs.size();
   js->seconds = sw.ElapsedSeconds();
   return pairs;
@@ -1100,6 +1327,37 @@ struct AggState {
   }
 };
 
+/// Hash of one batch cell, equal to cv.GetValue(i).Hash() without boxing —
+/// Value::Hash delegates to the same typed primitives.
+uint64_t HashCell(const ColumnVector& cv, size_t i) {
+  if (cv.IsNull(i)) return HashNullValue();
+  switch (cv.type()) {
+    case Type::kInt64: return HashInt64(cv.GetInt64(i));
+    case Type::kDouble: return HashDouble(cv.GetDouble(i));
+    case Type::kString: return HashString(cv.GetString(i));
+  }
+  return HashNullValue();
+}
+
+/// Equal to (cv.GetValue(i) == key) — Value::Compare equality, where NULL
+/// equals NULL (group keys bucket NULLs together) — without boxing the cell.
+bool CellEqualsValue(const ColumnVector& cv, size_t i, const Value& key) {
+  if (cv.IsNull(i)) return key.is_null();
+  if (key.is_null()) return false;
+  switch (cv.type()) {
+    case Type::kInt64:
+      if (key.is_string()) return false;
+      if (key.is_int64()) return cv.GetInt64(i) == key.AsInt64();
+      return static_cast<double>(cv.GetInt64(i)) == key.AsDouble();
+    case Type::kDouble:
+      if (key.is_string()) return false;
+      return cv.GetDouble(i) == key.AsDouble();
+    case Type::kString:
+      return key.is_string() && cv.GetString(i) == key.AsString();
+  }
+  return false;
+}
+
 /// A (possibly partial) group-by hash table. Serial aggregation absorbs
 /// every row into one table; parallel aggregation gives each worker its own
 /// table over a disjoint row range and merges them single-threaded.
@@ -1130,6 +1388,40 @@ class GroupTable {
       else
         gd->states[a].Update(row.Get(static_cast<size_t>(aggs_[a].column)));
     }
+  }
+
+  /// Absorbs every active position of a batch. Group keys hash and compare
+  /// through the typed cell helpers (no Value boxing on the hot path); a
+  /// key row is boxed only when a new group materializes. State updates are
+  /// bit-exact mirrors of Absorb on the row image, so a batch table and a
+  /// row table over the same input finalize identically.
+  void AbsorbBatch(const ColumnBatch& batch) {
+    batch.ForEachActive([&](size_t i) {
+      uint64_t h = 1469598103934665603ULL;
+      for (int c : group_cols_)
+        h = h * 1099511628211ULL ^
+            HashCell(batch.columns[static_cast<size_t>(c)], i);
+      GroupData* gd = FindOrCreate(h, [&](const Row& key_row) {
+        for (size_t k = 0; k < group_cols_.size(); ++k)
+          if (!CellEqualsValue(
+                  batch.columns[static_cast<size_t>(group_cols_[k])], i,
+                  key_row.Get(k)))
+            return false;
+        return true;
+      }, [&] {
+        Row key_row;
+        for (int c : group_cols_)
+          key_row.Append(batch.columns[static_cast<size_t>(c)].GetValue(i));
+        return key_row;
+      });
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        if (aggs_[a].column < 0)
+          gd->states[a].Update(Value(static_cast<int64_t>(1)));
+        else
+          gd->states[a].Update(
+              batch.columns[static_cast<size_t>(aggs_[a].column)].GetValue(i));
+      }
+    });
   }
 
   /// Merges another partial table into this one. Key rows hash identically
@@ -1252,6 +1544,44 @@ std::vector<Row> HashAggregate(const std::vector<Row>& rows,
     }
   }
   // Single-threaded combine in worker order (deterministic).
+  for (size_t w = 1; w < workers; ++w)
+    tables[0].MergeFrom(std::move(tables[w]));
+  return tables[0].Finalize();
+}
+
+std::vector<Row> HashAggregate(const std::vector<ColumnBatch>& batches,
+                               const std::vector<int>& group_cols,
+                               const std::vector<AggSpec>& aggs,
+                               const ExecContext& exec) {
+  const size_t total = TotalActiveRows(batches);
+  const size_t workers =
+      exec.parallel()
+          ? std::min({exec.max_parallelism,
+                      std::max<size_t>(total / kMinRowsPerAggWorker, 1),
+                      std::max<size_t>(batches.size(), 1)})
+          : 1;
+  if (workers <= 1) {
+    GroupTable table(group_cols, aggs);
+    for (const ColumnBatch& b : batches) table.AbsorbBatch(b);
+    return table.Finalize();
+  }
+  // Parallel: each worker absorbs a contiguous range of whole batches into
+  // its own partial table; tables combine single-threaded in worker order,
+  // mirroring the row variant's determinism contract.
+  std::vector<GroupTable> tables;
+  tables.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) tables.emplace_back(group_cols, aggs);
+  const size_t chunk = (batches.size() + workers - 1) / workers;
+  {
+    TaskGroup tg(exec.pool);
+    for (size_t w = 0; w < workers; ++w) {
+      tg.Run([&, w] {
+        const size_t lo = w * chunk;
+        const size_t hi = std::min(batches.size(), lo + chunk);
+        for (size_t b = lo; b < hi; ++b) tables[w].AbsorbBatch(batches[b]);
+      });
+    }
+  }
   for (size_t w = 1; w < workers; ++w)
     tables[0].MergeFrom(std::move(tables[w]));
   return tables[0].Finalize();

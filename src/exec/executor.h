@@ -42,6 +42,7 @@
 #include "columnar/column_table.h"
 #include "common/thread_pool.h"
 #include "delta/delta.h"
+#include "exec/batch.h"
 #include "exec/expression.h"
 #include "storage/mvcc_row_store.h"
 #include "types/row.h"
@@ -89,6 +90,11 @@ struct ExecContext {
   CSN committed_csn = 0;
   uint64_t stats_staleness_csns = 65536;
 
+  /// Rows per ColumnBatch emitted by the vectorized scan (DESIGN.md §12).
+  /// Mirrors DatabaseOptions::vectorized_batch_rows; 0 = one batch per row
+  /// group.
+  size_t batch_rows = 4096;
+
   bool parallel() const { return pool != nullptr && max_parallelism > 1; }
 };
 
@@ -100,6 +106,11 @@ struct ScanStats {
   size_t main_rows_emitted = 0;
   size_t delta_rows_emitted = 0;
   size_t delta_entries_read = 0;
+  /// Main-store positions that entered predicate evaluation (live and not
+  /// delta-overridden, in groups the zone maps could not skip). The ratio
+  /// main_rows_emitted / rows_considered is the scan's observed
+  /// selectivity — the optimizer's feedback signal.
+  size_t rows_considered = 0;
 };
 
 /// A materialized query result.
@@ -145,6 +156,22 @@ std::vector<Row> ScanHtap(const ColumnTable& table, const DeltaReader* delta,
                           const std::vector<int>& projection,
                           const ExecContext& exec, ScanStats* stats);
 
+/// The vectorized HTAP scan (DESIGN.md §12): identical visibility and
+/// predicate semantics to ScanHtap, but predicates evaluate directly on the
+/// encoded segments (src/exec/segment_filter.h) and survivors gather into
+/// compacted ColumnBatches of at most exec.batch_rows rows instead of
+/// materializing Row objects. Batches arrive in row-group order with the
+/// delta-override partition last, so BatchesToRows(result) is byte-identical
+/// to ScanHtap's output — serial or morsel-parallel, at any thread count.
+/// Delta rows must match the table schema's column types (the same
+/// invariant the merge path relies on).
+std::vector<ColumnBatch> ScanHtapBatches(const ColumnTable& table,
+                                         const DeltaReader* delta,
+                                         CSN snapshot, const Predicate& pred,
+                                         const std::vector<int>& projection,
+                                         const ExecContext& exec,
+                                         ScanStats* stats = nullptr);
+
 /// Counters the hash join fills in; benchmarks, tests, and EXPLAIN read
 /// these. The spill_* group is nonzero only when the grace path ran
 /// (ExecContext::join_spill_budget_bytes exceeded).
@@ -177,6 +204,45 @@ JoinPairs HashJoinPairs(const std::vector<Row>& probe,
                         const std::vector<Row>& build, int probe_col,
                         int build_col, const ExecContext& exec,
                         JoinStats* stats = nullptr);
+
+/// One join input's key column, extracted in a single vectorized pass:
+/// typed values plus precomputed Value::Hash-consistent hashes. Invalid
+/// slots (NULL keys, or positions past a short row) never match. When a
+/// row-extracted column holds a mix of value types, it falls back to boxed
+/// Values — equality then runs through Value::Compare, exactly as the
+/// row-at-a-time join did.
+struct JoinKeyColumn {
+  Type type = Type::kInt64;
+  bool mixed = false;             // boxed fallback active
+  std::vector<int64_t> ints;      // type == kInt64, !mixed
+  std::vector<double> doubles;    // type == kDouble, !mixed
+  std::vector<std::string> strs;  // type == kString, !mixed
+  std::vector<Value> boxed;       // mixed only
+  std::vector<uint64_t> hashes;   // unmasked; meaningless at invalid slots
+  std::vector<uint8_t> valid;
+
+  size_t size() const { return valid.size(); }
+  Value GetValue(size_t i) const;
+};
+
+/// Key equality between two extracted columns, matching Value::operator==
+/// (cross-type numeric equality included). Both slots must be valid.
+bool JoinKeyEquals(const JoinKeyColumn& a, size_t i, const JoinKeyColumn& b,
+                   size_t j);
+
+/// Extracts the join key column from rows / from scan batches.
+JoinKeyColumn ExtractJoinKeys(const std::vector<Row>& rows, int col);
+JoinKeyColumn ExtractJoinKeys(const std::vector<ColumnBatch>& batches,
+                              int col);
+
+/// The in-memory join core over pre-extracted keys: serial or
+/// radix-partitioned parallel regime (never spills — callers needing the
+/// grace path use the row overload, which spills whole rows). Pair order is
+/// the same nested-loop order as every other regime.
+JoinPairs HashJoinPairsKeys(const JoinKeyColumn& probe,
+                            const JoinKeyColumn& build,
+                            const ExecContext& exec,
+                            JoinStats* stats = nullptr);
 
 /// Materializes join pairs as concatenated rows, one per pair, in pair
 /// order: probe ++ build columns, or build ++ probe when
@@ -218,6 +284,17 @@ std::vector<Row> HashAggregate(const std::vector<Row>& rows,
 /// ranges; a final single-threaded combine merges them (group output order
 /// is unspecified, as with the serial variant).
 std::vector<Row> HashAggregate(const std::vector<Row>& rows,
+                               const std::vector<int>& group_cols,
+                               const std::vector<AggSpec>& aggs,
+                               const ExecContext& exec);
+
+/// Batch aggregation: groups and aggregates directly over column batches
+/// under their selection vectors — no row materialization. Group hashing
+/// and aggregate-state updates use the typed hash/compare primitives, which
+/// match the Value-based ones bit for bit, so the output rows equal
+/// HashAggregate(BatchesToRows(batches), ...) exactly (same unspecified
+/// group order semantics). Parallel over whole batches when exec has a pool.
+std::vector<Row> HashAggregate(const std::vector<ColumnBatch>& batches,
                                const std::vector<int>& group_cols,
                                const std::vector<AggSpec>& aggs,
                                const ExecContext& exec);

@@ -1,0 +1,266 @@
+#include "exec/segment_filter.h"
+
+namespace htap {
+
+namespace {
+
+/// The tight refine loop: keeps selected positions where cmp(get(i), x).
+/// `nulls` is null when the segment has no NULLs (the common case — the
+/// inner condition folds away).
+template <typename T, typename GetFn>
+void FilterTypedLoop(CmpOp op, const T& x, const GetFn& get,
+                     const Bitmap* nulls, std::vector<uint32_t>* sel) {
+  const auto run = [&](auto cmp) {
+    size_t out = 0;
+    for (uint32_t i : *sel) {
+      if (nulls != nullptr && nulls->Test(i)) continue;
+      if (cmp(get(i), x)) (*sel)[out++] = i;
+    }
+    sel->resize(out);
+  };
+  switch (op) {
+    case CmpOp::kEq: run([](const T& a, const T& b) { return a == b; }); break;
+    case CmpOp::kNe: run([](const T& a, const T& b) { return a != b; }); break;
+    case CmpOp::kLt: run([](const T& a, const T& b) { return a < b; }); break;
+    case CmpOp::kLe: run([](const T& a, const T& b) { return a <= b; }); break;
+    case CmpOp::kGt: run([](const T& a, const T& b) { return a > b; }); break;
+    case CmpOp::kGe: run([](const T& a, const T& b) { return a >= b; }); break;
+  }
+}
+
+/// Keeps selected positions where match[code(i)] — the dictionary and RLE
+/// inner loop once the per-entry/per-run table is computed.
+template <typename CodeFn>
+void FilterByMatchTable(const std::vector<uint8_t>& match, const CodeFn& code,
+                        const Bitmap* nulls, std::vector<uint32_t>* sel) {
+  size_t out = 0;
+  for (uint32_t i : *sel) {
+    if (nulls != nullptr && nulls->Test(i)) continue;
+    if (match[code(i)]) (*sel)[out++] = i;
+  }
+  sel->resize(out);
+}
+
+void DropNulls(const Bitmap& nulls, std::vector<uint32_t>* sel) {
+  size_t out = 0;
+  for (uint32_t i : *sel)
+    if (!nulls.Test(i)) (*sel)[out++] = i;
+  sel->resize(out);
+}
+
+/// Numeric-typed dispatch shared by PLAIN-int64 and FOR (both expose the
+/// value through `geti`). An int64 literal compares in the integer domain,
+/// a double literal through AsDouble — exactly Value::Compare.
+template <typename GetIntFn>
+void FilterInt64Domain(CmpOp op, const Value& lit, const GetIntFn& geti,
+                       const Bitmap* nulls, std::vector<uint32_t>* sel) {
+  if (lit.is_int64()) {
+    FilterTypedLoop<int64_t>(op, lit.AsInt64(), geti, nulls, sel);
+  } else {
+    FilterTypedLoop<double>(
+        op, lit.AsDouble(),
+        [&](uint32_t i) { return static_cast<double>(geti(i)); }, nulls, sel);
+  }
+}
+
+void FilterPlain(const EncodedColumn& col, CmpOp op, const Value& lit,
+                 const Bitmap* nulls, std::vector<uint32_t>* sel) {
+  switch (col.type) {
+    case Type::kInt64:
+      FilterInt64Domain(op, lit, [&](uint32_t i) { return col.ints[i]; },
+                        nulls, sel);
+      return;
+    case Type::kDouble:
+      FilterTypedLoop<double>(op, lit.AsDouble(),
+                              [&](uint32_t i) { return col.doubles[i]; },
+                              nulls, sel);
+      return;
+    case Type::kString:
+      FilterTypedLoop<std::string>(
+          op, lit.AsString(),
+          [&](uint32_t i) -> const std::string& { return col.strings[i]; },
+          nulls, sel);
+      return;
+  }
+}
+
+void FilterDictionary(const EncodedColumn& col, CmpOp op, const Value& lit,
+                      const Bitmap* nulls, std::vector<uint32_t>* sel) {
+  // Translate the literal into code space: one comparison per dictionary
+  // entry, then the per-row loop is a byte-table lookup.
+  const bool str = col.type == Type::kString;
+  const size_t dict_size = str ? col.strings.size() : col.ints.size();
+  std::vector<uint8_t> match(dict_size, 0);
+  bool any = false;
+  for (size_t d = 0; d < dict_size; ++d) {
+    const Value v = str ? Value(col.strings[d]) : Value(col.ints[d]);
+    if (CmpKeep(v.Compare(lit), op)) {
+      match[d] = 1;
+      any = true;
+    }
+  }
+  if (!any) {
+    sel->clear();
+    return;
+  }
+  FilterByMatchTable(match, [&](uint32_t i) { return col.codes[i]; }, nulls,
+                     sel);
+}
+
+void FilterRle(const EncodedColumn& col, CmpOp op, const Value& lit,
+               const Bitmap* nulls, std::vector<uint32_t>* sel) {
+  // One comparison per run, then a run-granular walk of the ascending
+  // selection (no binary search per position).
+  const size_t nruns = col.run_ends.size();
+  std::vector<uint8_t> rmatch(nruns, 0);
+  bool any = false;
+  for (size_t r = 0; r < nruns; ++r) {
+    Value v;
+    switch (col.type) {
+      case Type::kInt64: v = Value(col.ints[r]); break;
+      case Type::kDouble: v = Value(col.doubles[r]); break;
+      case Type::kString: v = Value(col.strings[r]); break;
+    }
+    if (CmpKeep(v.Compare(lit), op)) {
+      rmatch[r] = 1;
+      any = true;
+    }
+  }
+  if (!any) {
+    sel->clear();
+    return;
+  }
+  size_t run = 0;
+  size_t out = 0;
+  for (uint32_t i : *sel) {
+    while (col.run_ends[run] <= i) ++run;
+    if (nulls != nullptr && nulls->Test(i)) continue;
+    if (rmatch[run]) (*sel)[out++] = i;
+  }
+  sel->resize(out);
+}
+
+}  // namespace
+
+bool SegmentCanSkip(const Segment& seg, CmpOp op, const Value& lit) {
+  if (seg.min().is_null()) return true;  // empty or all-NULL segment
+  switch (op) {
+    case CmpOp::kEq: return lit < seg.min() || seg.max() < lit;
+    case CmpOp::kLt: return !(seg.min() < lit);
+    case CmpOp::kLe: return lit < seg.min();
+    case CmpOp::kGt: return !(lit < seg.max());
+    case CmpOp::kGe: return seg.max() < lit;
+    case CmpOp::kNe: return false;
+  }
+  return false;
+}
+
+void FilterSegmentSelection(const Segment& seg, CmpOp op, const Value& lit,
+                            std::vector<uint32_t>* sel) {
+  if (sel->empty()) return;
+  if (lit.is_null()) {  // comparisons against NULL are false
+    sel->clear();
+    return;
+  }
+  const EncodedColumn& col = seg.encoded();
+  const Bitmap* nulls = seg.has_nulls() ? &col.nulls : nullptr;
+
+  // Cross-class comparison (numeric column vs string literal or the
+  // reverse) has one outcome for every non-NULL value: numbers sort before
+  // strings. Resolve it without touching the payload.
+  const bool col_numeric = col.type != Type::kString;
+  const bool lit_numeric = !lit.is_string();
+  if (col_numeric != lit_numeric) {
+    if (!CmpKeep(col_numeric ? -1 : 1, op)) {
+      sel->clear();
+    } else if (nulls != nullptr) {
+      DropNulls(*nulls, sel);
+    }
+    return;
+  }
+
+  switch (col.encoding) {
+    case EncodingType::kPlain: FilterPlain(col, op, lit, nulls, sel); return;
+    case EncodingType::kDictionary:
+      FilterDictionary(col, op, lit, nulls, sel);
+      return;
+    case EncodingType::kRle: FilterRle(col, op, lit, nulls, sel); return;
+    case EncodingType::kForBitPack:
+      if (SegmentCanSkip(seg, op, lit)) {
+        sel->clear();
+        return;
+      }
+      FilterInt64Domain(op, lit, [&](uint32_t i) { return ForUnpackAt(col, i); },
+                        nulls, sel);
+      return;
+  }
+  // Backstop for encodings this kernel does not know (none today): the
+  // scalar Value path, byte-identical by construction.
+  size_t out = 0;
+  for (uint32_t i : *sel) {
+    const Value v = seg.Get(i);
+    if (!v.is_null() && CmpKeep(v.Compare(lit), op)) (*sel)[out++] = i;
+  }
+  sel->resize(out);
+}
+
+void GatherSegment(const Segment& seg, const std::vector<uint32_t>& sel,
+                   ColumnVector* out) {
+  const EncodedColumn& col = seg.encoded();
+  const Bitmap* nulls = seg.has_nulls() ? &col.nulls : nullptr;
+  const auto is_null = [&](uint32_t i) {
+    return nulls != nullptr && nulls->Test(i);
+  };
+  switch (col.encoding) {
+    case EncodingType::kPlain:
+      switch (col.type) {
+        case Type::kInt64:
+          for (uint32_t i : sel)
+            is_null(i) ? out->AppendNull() : out->AppendInt64(col.ints[i]);
+          return;
+        case Type::kDouble:
+          for (uint32_t i : sel)
+            is_null(i) ? out->AppendNull() : out->AppendDouble(col.doubles[i]);
+          return;
+        case Type::kString:
+          for (uint32_t i : sel)
+            is_null(i) ? out->AppendNull() : out->AppendString(col.strings[i]);
+          return;
+      }
+      return;
+    case EncodingType::kDictionary:
+      if (col.type == Type::kString) {
+        for (uint32_t i : sel)
+          is_null(i) ? out->AppendNull()
+                     : out->AppendString(col.strings[col.codes[i]]);
+      } else {
+        for (uint32_t i : sel)
+          is_null(i) ? out->AppendNull()
+                     : out->AppendInt64(col.ints[col.codes[i]]);
+      }
+      return;
+    case EncodingType::kRle: {
+      size_t run = 0;
+      for (uint32_t i : sel) {
+        while (col.run_ends[run] <= i) ++run;
+        if (is_null(i)) {
+          out->AppendNull();
+          continue;
+        }
+        switch (col.type) {
+          case Type::kInt64: out->AppendInt64(col.ints[run]); break;
+          case Type::kDouble: out->AppendDouble(col.doubles[run]); break;
+          case Type::kString: out->AppendString(col.strings[run]); break;
+        }
+      }
+      return;
+    }
+    case EncodingType::kForBitPack:
+      for (uint32_t i : sel)
+        is_null(i) ? out->AppendNull() : out->AppendInt64(ForUnpackAt(col, i));
+      return;
+  }
+  for (uint32_t i : sel) out->AppendValue(seg.Get(i));  // backstop
+}
+
+}  // namespace htap

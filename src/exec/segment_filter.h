@@ -1,0 +1,65 @@
+// Predicate evaluation directly on encoded segment payloads, plus the
+// typed gather that materializes a selection into a ColumnVector — the
+// vectorized scan kernel (DESIGN.md §12).
+//
+// Instead of decoding a segment to values and comparing one Value at a
+// time, FilterSegmentSelection works in the encoding's own domain:
+//
+//   PLAIN        typed tight loops over the raw int64/double/string buffer
+//   DICTIONARY   the comparison runs once per dictionary entry into a
+//                match table; the per-row loop is `match[codes[i]]`
+//   RLE          the comparison runs once per run; the selection walk is
+//                run-granular (one table lookup per selected position)
+//   FOR_BITPACK  the segment zone map prunes before anything unpacks;
+//                survivors compare in a tight unpack loop, no boxing
+//
+// Every path makes exactly the keep/drop decisions of the scalar
+// `Value::Compare` fallback (NULL values and NULL literals never match),
+// so swapping it into a scan cannot change results.
+
+#ifndef HTAP_EXEC_SEGMENT_FILTER_H_
+#define HTAP_EXEC_SEGMENT_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/segment.h"
+#include "exec/expression.h"
+
+namespace htap {
+
+/// True when a three-way compare result `c` (= value.Compare(literal))
+/// satisfies `op`.
+inline bool CmpKeep(int c, CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+/// Zone-map skip test in CmpOp terms: true if no value in the segment's
+/// [min, max] can satisfy `value op lit`. Same decisions as the string-op
+/// Segment::CanSkip overload; all-NULL/empty segments always skip.
+bool SegmentCanSkip(const Segment& seg, CmpOp op, const Value& lit);
+
+/// Refines `sel` in place, keeping only positions whose value satisfies
+/// `value op lit`, evaluating directly on the encoded payload as described
+/// above. `sel` must be ascending (scan selections always are — the RLE
+/// walk and relative order of the output depend on it) and stays ascending.
+void FilterSegmentSelection(const Segment& seg, CmpOp op, const Value& lit,
+                            std::vector<uint32_t>* sel);
+
+/// Appends seg[pos] for every pos of `sel` (ascending) onto `out`, which
+/// must have the segment's type. Typed per-encoding fast paths; NULLs are
+/// preserved through the bitmap.
+void GatherSegment(const Segment& seg, const std::vector<uint32_t>& sel,
+                   ColumnVector* out);
+
+}  // namespace htap
+
+#endif  // HTAP_EXEC_SEGMENT_FILTER_H_

@@ -59,32 +59,46 @@ int Value::Compare(const Value& other) const {
   return c < 0 ? -1 : (c > 0 ? 1 : 0);
 }
 
+namespace {
+
+// FNV-1a over the canonical bytes.
+uint64_t FnvBytes(const void* data, size_t n, uint64_t h) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvSeed = 14695981039346656037ULL;
+
+}  // namespace
+
+uint64_t HashInt64(int64_t v) { return FnvBytes(&v, 8, kFnvSeed ^ 0x11); }
+
+uint64_t HashDouble(double v) {
+  // Hash doubles that equal integers identically to the integer to keep
+  // join keys consistent across numeric types. The range guard keeps the
+  // int64 cast defined; out-of-range doubles cannot equal any int64.
+  if (v >= -9223372036854775808.0 && v < 9223372036854775808.0) {
+    const auto as_int = static_cast<int64_t>(v);
+    if (static_cast<double>(as_int) == v) return HashInt64(as_int);
+  }
+  return FnvBytes(&v, 8, kFnvSeed ^ 0x22);
+}
+
+uint64_t HashString(const std::string& s) {
+  return FnvBytes(s.data(), s.size(), kFnvSeed ^ 0x33);
+}
+
+uint64_t HashNullValue() { return kFnvSeed; }
+
 uint64_t Value::Hash() const {
-  // FNV-1a over the canonical bytes.
-  auto fnv = [](const void* data, size_t n, uint64_t h) {
-    const auto* p = static_cast<const uint8_t*>(data);
-    for (size_t i = 0; i < n; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ULL;
-    }
-    return h;
-  };
-  uint64_t h = 14695981039346656037ULL;
-  if (is_null()) return h;
-  if (is_int64()) {
-    const int64_t v = AsInt64();
-    return fnv(&v, 8, h ^ 0x11);
-  }
-  if (is_double()) {
-    // Hash doubles that equal integers identically to the integer to keep
-    // join keys consistent across numeric types.
-    const double d = AsDouble();
-    const auto as_int = static_cast<int64_t>(d);
-    if (static_cast<double>(as_int) == d) return fnv(&as_int, 8, h ^ 0x11);
-    return fnv(&d, 8, h ^ 0x22);
-  }
-  const std::string& s = AsString();
-  return fnv(s.data(), s.size(), h ^ 0x33);
+  if (is_null()) return HashNullValue();
+  if (is_int64()) return HashInt64(AsInt64());
+  if (is_double()) return HashDouble(AsDouble());
+  return HashString(AsString());
 }
 
 std::string Value::ToString() const {

@@ -86,6 +86,15 @@ class Value {
   std::variant<std::monostate, int64_t, double, std::string> v_;
 };
 
+/// Typed hash primitives. Each returns exactly what Value::Hash() returns
+/// for the same scalar, so vectorized key extraction and batch aggregation
+/// can hash without boxing a Value. A double equal to an integer hashes as
+/// that integer (join keys stay consistent across numeric types).
+uint64_t HashInt64(int64_t v);
+uint64_t HashDouble(double v);
+uint64_t HashString(const std::string& s);
+uint64_t HashNullValue();
+
 }  // namespace htap
 
 #endif  // HTAP_TYPES_VALUE_H_

@@ -213,9 +213,70 @@ TEST_F(ParallelScanTest, ParallelAggregateMatchesSerial) {
     EXPECT_EQ(serial, par);
   }
   // Empty input: global aggregate still yields its one row in parallel mode.
-  const auto empty = HashAggregate({}, {}, {AggSpec::Count("n")}, Par());
+  const auto empty =
+      HashAggregate(std::vector<Row>{}, {}, {AggSpec::Count("n")}, Par());
   ASSERT_EQ(empty.size(), 1u);
   EXPECT_EQ(empty[0].Get(0).AsInt64(), 0);
+}
+
+TEST_F(ParallelScanTest, BatchScanMatchesSerialAtAnyThreadCount) {
+  // The vectorized scan joins the serial≡parallel suite: batches flattened
+  // back to rows must equal the serial row scan bit for bit.
+  const Predicate pred = Predicate::And(
+      {Predicate::Ge(1, Value(int64_t{3})), Predicate::Eq(2, Value("odd"))});
+  const auto serial = ScanHtap(table_, &delta_, kMaxCSN - 1, pred, {});
+  ExecContext exec = Par();
+  exec.batch_rows = 48;  // force several batches per row group
+  const auto batches =
+      ScanHtapBatches(table_, &delta_, kMaxCSN - 1, pred, {}, exec, nullptr);
+  EXPECT_EQ(BatchesToRows(batches), serial);
+}
+
+// Batch-scan variant of the reader/writer race: parallel vectorized readers
+// must observe atomic column-store states while a writer appends, deletes,
+// and compacts (the TSan job runs this under the race detector).
+TEST_F(ParallelScanTest, ConcurrentBatchReadersWithChurningWriter) {
+  ColumnTable t(TestSchema());
+  std::vector<Row> seed;
+  for (Key id = 0; id < 256; ++id)
+    seed.push_back(TRow(id, id, "seed", id * 1.0));
+  t.AppendBatch(seed, 1);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    CSN csn = 100;
+    for (int iter = 0; iter < 80; ++iter) {
+      std::vector<Row> batch;
+      for (Key id = 1000 + (iter % 8) * 50; id < 1000 + (iter % 8) * 50 + 30;
+           ++id)
+        batch.push_back(TRow(id, iter, "hot", iter * 1.0));
+      t.AppendBatch(batch, ++csn);
+      for (Key id = 1000 + (iter % 8) * 50; id < 1000 + (iter % 8) * 50 + 10;
+           ++id)
+        t.DeleteKey(id, csn);
+      if (iter % 16 == 15) t.Compact();
+    }
+    done.store(true);
+  });
+
+  auto reader = [&] {
+    ExecContext exec{&pool_, 4};
+    exec.batch_rows = 64;
+    do {
+      const auto batches = ScanHtapBatches(t, nullptr, kMaxCSN - 1,
+                                           Predicate::True(), {}, exec);
+      std::set<Key> keys;
+      for (const Row& r : BatchesToRows(batches)) {
+        const Key k = r.Get(0).AsInt64();
+        EXPECT_TRUE(keys.insert(k).second) << "duplicate key " << k;
+      }
+      EXPECT_GE(keys.size(), 256u);  // the seed rows never disappear
+    } while (!done.load());
+  };
+  std::thread r1(reader), r2(reader);
+  writer.join();
+  r1.join();
+  r2.join();
 }
 
 TEST(TaskGroupTest, NullPoolRunsInline) {

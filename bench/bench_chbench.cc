@@ -39,14 +39,20 @@ int main() {
 
   // Per-query latency table over the final state. For join queries the
   // "join ms" column reports the time spent inside the (radix-partitioned)
-  // hash join operator itself, from QueryExecInfo.
+  // hash join operator itself, and the batch-pipeline counters (DESIGN.md
+  // §13) show whether the query ran batch-native: input batches consumed,
+  // rows whose payloads were late-materialized, and columnar spill pages
+  // written/read (0 unless a spill budget forced the grace path). Counters
+  // come from the last run; latencies are medians of 5.
   db->ForceSyncAll();
-  std::printf("%-6s | %10s | %9s | %8s | %s\n", "query", "median ms",
-              "join ms", "rows", "description");
-  PrintRule(96);
+  std::printf("%-6s | %10s | %9s | %8s | %7s | %9s | %8s | %s\n", "query",
+              "median ms", "join ms", "rows", "batches", "late rows",
+              "spill pg", "description");
+  PrintRule(118);
   for (const ChQuery& q : ChQueries()) {
     std::vector<double> ms, join_ms;
     size_t rows = 0;
+    QueryExecInfo last;
     for (int i = 0; i < 5; ++i) {
       Stopwatch sw;
       QueryExecInfo info;
@@ -54,18 +60,23 @@ int main() {
       ms.push_back(sw.ElapsedSeconds() * 1000);
       join_ms.push_back(info.join.seconds * 1000);
       if (res.ok()) rows = res->rows.size();
+      last = info;
     }
     std::sort(ms.begin(), ms.end());
     std::sort(join_ms.begin(), join_ms.end());
     if (q.plan.has_join)
-      std::printf("%-6s | %10.2f | %9.2f | %8zu | %s\n", q.name.c_str(),
-                  ms[ms.size() / 2], join_ms[join_ms.size() / 2], rows,
+      std::printf("%-6s | %10.2f | %9.2f | %8zu | %7zu | %9zu | %8zu | %s\n",
+                  q.name.c_str(), ms[ms.size() / 2],
+                  join_ms[join_ms.size() / 2], rows, last.join.join_batches,
+                  last.join.rows_late_materialized,
+                  last.join.spill_pages_written + last.join.spill_pages_read,
                   q.description.c_str());
     else
-      std::printf("%-6s | %10.2f | %9s | %8zu | %s\n", q.name.c_str(),
-                  ms[ms.size() / 2], "-", rows, q.description.c_str());
+      std::printf("%-6s | %10.2f | %9s | %8zu | %7s | %9s | %8s | %s\n",
+                  q.name.c_str(), ms[ms.size() / 2], "-", rows, "-", "-", "-",
+                  q.description.c_str());
   }
-  PrintRule(96);
+  PrintRule(118);
 
   // Multi-join SQL variants: the queries whose CH originals touch three or
   // more tables run their full chain through the SQL front end. The exec
@@ -92,6 +103,11 @@ int main() {
     if (info.join_used_catalog_stats)
       std::printf("       stats age: %llu commits\n",
                   static_cast<unsigned long long>(info.join_stats_age_csns));
+    if (info.vectorized)
+      std::printf("       batch pipeline: %zu batches, %zu rows "
+                  "late-materialized, %zu spill pages\n",
+                  info.join.join_batches, info.join.rows_late_materialized,
+                  info.join.spill_pages_written + info.join.spill_pages_read);
     for (size_t s = 0; s < info.join_order.size(); ++s) {
       const double est =
           s < info.join_est_rows.size() ? info.join_est_rows[s] : 0;

@@ -18,15 +18,33 @@
 //    "partitions_spilled":...,"spill_bytes_written":...,
 //    "spill_bytes_read":...,"max_recursion":...}
 //
+// A third section compares the row and batch join probes (DESIGN.md §13)
+// over the same ColumnTables, whose low-cardinality string join keys
+// dictionary-encode: the row side scans to Rows and extracts keys from
+// boxed Values, the batch side scans to ColumnBatches and extracts keys
+// straight off the typed vectors; both probe the identical
+// HashJoinPairsKeys kernel and are pair-for-pair identity-checked. One JSON
+// line:
+//
+//   {"bench":"batch_join","threads":1,"build_rows":...,"probe_rows":...,
+//    "output_pairs":...,"row_probe_rows_per_sec":...,
+//    "batch_probe_rows_per_sec":...,"batch_vs_row":...}
+//
 // `bench_parallel_join smoke` runs one iteration over a 4x smaller dataset
 // (still above the serial-fallback threshold) and a single spill point —
 // the CI configuration. Speedup expectations depend on the host: with >= 4
 // cores the 4-thread point should clear 1.5x; on a single-core host the
-// curve is flat and only the identity checks are meaningful.
+// curve is flat and only the identity checks are meaningful. The batch-join
+// section additionally ENFORCES this PR's acceptance bar in smoke mode: the
+// batch probe must beat the row probe by >= 1.5x on the dictionary-encoded
+// keys (re-measured once before failing, to ride out scheduler blips).
 
+#include <algorithm>
 #include <cstring>
+#include <string>
 
 #include "bench_util.h"
+#include "columnar/column_table.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
 
@@ -34,14 +52,93 @@ namespace htap {
 namespace bench {
 namespace {
 
-Schema FactSchema() {
-  return Schema({{"id", Type::kInt64}, {"fk", Type::kInt64},
-                 {"qty", Type::kInt64}, {"amount", Type::kDouble}});
+// Batch-vs-row section: a fact -> dim join on a low-cardinality STRING key
+// so the key segments dictionary-encode (ChooseEncoding picks kDictionary
+// below the NDV <= n/4 threshold). Column 0 is the unique PK AppendBatch
+// keys row groups on.
+Schema BatchFactSchema() {
+  return Schema({{"id", Type::kInt64}, {"sku", Type::kString},
+                 {"qty", Type::kInt64}, {"note", Type::kString}});
 }
 
-Schema DimSchema() {
-  return Schema({{"id", Type::kInt64}, {"category", Type::kInt64},
-                 {"price", Type::kDouble}});
+Schema BatchDimSchema() {
+  return Schema({{"id", Type::kInt64}, {"sku", Type::kString},
+                 {"weight", Type::kDouble}});
+}
+
+std::string SkuName(size_t k) { return "sku-" + std::to_string(k); }
+
+/// Fills a ColumnTable in 64K-row groups (the sync pipeline's granularity)
+/// and verifies every `key_col` segment dictionary-encoded — the property
+/// the batch-vs-row bar is measured on. (ColumnTable holds a latch, so it
+/// is filled in place rather than returned.)
+void FillColumnTable(ColumnTable* table, std::vector<Row> rows, int key_col) {
+  constexpr size_t kGroupRows = 64 * 1024;
+  for (size_t lo = 0; lo < rows.size(); lo += kGroupRows) {
+    const size_t hi = std::min(rows.size(), lo + kGroupRows);
+    table->AppendBatch(
+        std::vector<Row>(rows.begin() + lo, rows.begin() + hi), /*csn=*/1);
+  }
+  for (size_t g = 0; g < table->num_groups(); ++g) {
+    if (table->group(g)->columns[key_col].encoding() !=
+        EncodingType::kDictionary) {
+      std::fprintf(stderr,
+                   "FATAL: batch-join key column not dictionary-encoded\n");
+      std::abort();
+    }
+  }
+}
+
+struct ProbeTiming {
+  double sec = 0;          // scan + key extraction + probe, averaged
+  JoinPairs pairs;         // identity-checked across routes
+  JoinStats stats;
+};
+
+/// Row route: materialize full Rows (the pre-§13 pipeline always carried
+/// every column to the join), extract keys from boxed Values, probe.
+ProbeTiming RowProbe(const ColumnTable& probe, const ColumnTable& build,
+                     int key_col, int reps) {
+  ExecContext exec;
+  ProbeTiming t;
+  const Predicate all;
+  for (int rep = -1; rep < reps; ++rep) {  // rep -1 = warmup
+    Stopwatch sw;
+    const auto build_rows = ScanHtap(build, nullptr, kMaxCSN, all, {});
+    const auto probe_rows = ScanHtap(probe, nullptr, kMaxCSN, all, {});
+    const auto build_keys = ExtractJoinKeys(build_rows, key_col);
+    const auto probe_keys = ExtractJoinKeys(probe_rows, key_col);
+    t.stats = JoinStats{};
+    t.pairs = HashJoinPairsKeys(probe_keys, build_keys, exec, &t.stats);
+    if (rep >= 0) t.sec += sw.ElapsedSeconds();
+  }
+  t.sec /= reps;
+  return t;
+}
+
+/// Batch route (DESIGN.md §13): scan only the key column into
+/// ColumnBatches — late materialization means the probe needs nothing
+/// else — extract keys off the typed vectors, probe the identical kernel.
+ProbeTiming BatchProbe(const ColumnTable& probe, const ColumnTable& build,
+                       int key_col, int reps) {
+  ExecContext exec;
+  ProbeTiming t;
+  const Predicate all;
+  const std::vector<int> keys_only{key_col};
+  for (int rep = -1; rep < reps; ++rep) {
+    Stopwatch sw;
+    const auto build_batches =
+        ScanHtapBatches(build, nullptr, kMaxCSN, all, keys_only, exec);
+    const auto probe_batches =
+        ScanHtapBatches(probe, nullptr, kMaxCSN, all, keys_only, exec);
+    const auto build_keys = ExtractJoinKeys(build_batches, 0);
+    const auto probe_keys = ExtractJoinKeys(probe_batches, 0);
+    t.stats = JoinStats{};
+    t.pairs = HashJoinPairsKeys(probe_keys, build_keys, exec, &t.stats);
+    if (rep >= 0) t.sec += sw.ElapsedSeconds();
+  }
+  t.sec /= reps;
+  return t;
 }
 
 struct Point {
@@ -164,7 +261,79 @@ int main(int argc, char** argv) {
                 p.stats.spill_bytes_read, p.stats.spill_max_recursion);
   }
   PrintRule(76);
-  std::printf("\nAll parallel and grace join results verified "
+
+  // Batch-vs-row probe on dictionary-encoded string keys (DESIGN.md §13).
+  // Both routes run scan + key extraction + probe end-to-end; pair vectors
+  // must be identical. Smoke mode enforces the acceptance bar
+  // (batch >= 1.5x row), re-measuring once before failing so a scheduler
+  // blip does not flake CI.
+  {
+    const size_t bj_build = smoke ? 64 * 1024 : 256 * 1024;
+    const size_t bj_probe = 2 * bj_build;
+    const size_t bj_keys = bj_build / 8;  // NDV well under the dict threshold
+    const int key_col = 1;
+    std::vector<Row> dim_rows;
+    dim_rows.reserve(bj_build);
+    for (size_t i = 0; i < bj_build; ++i)
+      dim_rows.push_back(Row{Value(static_cast<int64_t>(i)),
+                             Value(SkuName(i % bj_keys)),
+                             Value(0.25 * static_cast<double>(i % 53))});
+    std::vector<Row> fact_rows;
+    fact_rows.reserve(bj_probe);
+    for (size_t i = 0; i < bj_probe; ++i)
+      fact_rows.push_back(Row{Value(static_cast<int64_t>(i)),
+                              Value(SkuName((i * 7) % bj_keys)),
+                              Value(static_cast<int64_t>(1 + i % 9)),
+                              Value("order note " + std::to_string(i % 17))});
+    ColumnTable dim(BatchDimSchema());
+    FillColumnTable(&dim, std::move(dim_rows), key_col);
+    ColumnTable fact(BatchFactSchema());
+    FillColumnTable(&fact, std::move(fact_rows), key_col);
+
+    std::printf("\nBatch vs row join probe "
+                "(dictionary STRING key, %zu distinct, serial)\n", bj_keys);
+    std::printf("%8s | %12s | %13s | %12s\n", "route", "probe ms",
+                "probe Mrows/s", "batch/row");
+    PrintRule(56);
+    ProbeTiming row = RowProbe(fact, dim, key_col, reps);
+    ProbeTiming batch = BatchProbe(fact, dim, key_col, reps);
+    if (batch.pairs != row.pairs) {
+      std::fprintf(stderr,
+                   "FATAL: batch join pairs differ from row join pairs\n");
+      std::abort();
+    }
+    double ratio = row.sec / batch.sec;
+    if (smoke && ratio < 1.5) {
+      std::printf("(batch/row %.2fx below the 1.5x bar — re-measuring)\n",
+                  ratio);
+      row = RowProbe(fact, dim, key_col, reps);
+      batch = BatchProbe(fact, dim, key_col, reps);
+      ratio = row.sec / batch.sec;
+    }
+    const double row_rps = static_cast<double>(bj_probe) / row.sec;
+    const double batch_rps = static_cast<double>(bj_probe) / batch.sec;
+    std::printf("%8s | %12.2f | %13.2f | %12s\n", "row", row.sec * 1e3,
+                row_rps / 1e6, "1.00");
+    std::printf("%8s | %12.2f | %13.2f | %12.2f\n", "batch", batch.sec * 1e3,
+                batch_rps / 1e6, ratio);
+    std::printf("{\"bench\":\"batch_join\",\"threads\":1,"
+                "\"build_rows\":%zu,\"probe_rows\":%zu,\"output_pairs\":%zu,"
+                "\"row_probe_rows_per_sec\":%.0f,"
+                "\"batch_probe_rows_per_sec\":%.0f,"
+                "\"batch_vs_row\":%.3f}\n",
+                bj_build, bj_probe, batch.pairs.size(), row_rps, batch_rps,
+                ratio);
+    PrintRule(56);
+    if (smoke && ratio < 1.5) {
+      std::fprintf(stderr,
+                   "FAIL: batch probe %.2fx of row probe after re-measure "
+                   "(acceptance bar is 1.5x on dictionary-encoded keys)\n",
+                   ratio);
+      return 1;
+    }
+  }
+
+  std::printf("\nAll parallel, grace, and batch join results verified "
               "byte-identical to serial.\n");
   return 0;
 }

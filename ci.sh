@@ -41,9 +41,12 @@ cmake -B build -S . > /dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== bench smoke: parallel join + grace spill point (identity-checked) =="
+echo "== bench smoke: parallel join + grace spill + batch-vs-row (1.5x bar) =="
 cmake --build build -j "$JOBS" --target bench_parallel_join
-./build/bench/bench_parallel_join smoke | tee build/bench_smoke.log
+if ! ./build/bench/bench_parallel_join smoke | tee build/bench_smoke.log; then
+  echo "FAIL: parallel join smoke (batch-vs-row 1.5x acceptance bar)" >&2
+  FAILED_SUITES+=("bench/parallel-join")
+fi
 
 echo "== bench smoke: vectorized scan (compressed-domain vs decode, 3x bar) =="
 cmake --build build -j "$JOBS" --target bench_vectorized_scan
@@ -73,7 +76,8 @@ fi
 echo "== asan+ubsan: executor/join/spill tests =="
 ASAN_TESTS=(executor_test parallel_scan_test parallel_join_test
             grace_join_test columnar_test vectorized_exec_test
-            encoding_property_test thread_safety_regression_test)
+            vectorized_join_test encoding_property_test
+            thread_safety_regression_test)
 cmake -B build-asan -S . -DHTAP_ASAN=ON > /dev/null
 cmake --build build-asan -j "$JOBS" --target "${ASAN_TESTS[@]}"
 for t in "${ASAN_TESTS[@]}"; do
@@ -83,7 +87,8 @@ done
 echo "== tsan: concurrency tests =="
 TSAN_TESTS=(parallel_scan_test parallel_join_test grace_join_test
             columnar_test executor_test common_test sync_test scheduler_test
-            vectorized_exec_test thread_safety_regression_test)
+            vectorized_exec_test vectorized_join_test
+            thread_safety_regression_test)
 cmake -B build-tsan -S . -DHTAP_TSAN=ON > /dev/null
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do

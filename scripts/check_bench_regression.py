@@ -27,7 +27,8 @@ import sys
 
 # Metric direction; every other numeric field is part of the record key.
 HIGHER_IS_BETTER = {"probe_rows_per_sec", "speedup", "rows_per_sec",
-                    "direct_vs_decode"}
+                    "direct_vs_decode", "row_probe_rows_per_sec",
+                    "batch_probe_rows_per_sec", "batch_vs_row"}
 LOWER_IS_BETTER = {"join_ms"}
 METRICS = HIGHER_IS_BETTER | LOWER_IS_BETTER
 

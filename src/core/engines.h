@@ -41,6 +41,7 @@ struct ApScanRuntime {
   uint64_t stats_staleness = 65536;
   size_t batch_rows = 4096;  // rows per ColumnBatch (DESIGN.md §12)
   bool vectorized = true;    // engine offers its batch scan to the runner
+  bool vectorized_join = true;  // batch-native joins (DESIGN.md §13)
 
   explicit ApScanRuntime(const DatabaseOptions& options)
       : threads(EffectiveParallelScanThreads(options)),
@@ -49,7 +50,8 @@ struct ApScanRuntime {
         spill_dir(options.join_spill_dir),
         stats_staleness(options.stats_staleness_csns),
         batch_rows(options.vectorized_batch_rows),
-        vectorized(options.vectorized_exec) {
+        vectorized(options.vectorized_exec),
+        vectorized_join(options.vectorized_join) {
     if (threads > 1) pool = std::make_unique<ThreadPool>(threads, "ap-scan");
   }
 
@@ -65,6 +67,7 @@ struct ApScanRuntime {
     exec.committed_csn = committed_csn;
     exec.stats_staleness_csns = stats_staleness;
     exec.batch_rows = batch_rows;
+    exec.vectorized_join = vectorized_join;
     return exec;
   }
 };
@@ -330,6 +333,11 @@ class DistributedHtapEngine : public HtapEngine {
  private:
   Result<std::vector<Row>> Scan(const ScanRequest& req, ScanStats* stats,
                                 std::string* path_desc);
+  /// Vectorized learner scan: ColumnBatches straight off the shard
+  /// learners' column tables; declines only a forced row scan.
+  Result<std::vector<ColumnBatch>> BatchScan(const ScanRequest& req,
+                                             ScanStats* stats,
+                                             std::string* path_desc);
 
   DatabaseOptions options_;
   Catalog* catalog_;

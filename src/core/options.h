@@ -78,6 +78,15 @@ struct DatabaseOptions {
   /// resident.
   size_t vectorized_batch_rows = 4096;
 
+  /// Batch-native hash joins with late materialization (DESIGN.md §13):
+  /// when every input of a join plan can scan as batches, join keys are
+  /// extracted straight from the typed columns, only (input, index) lineage
+  /// flows between join steps, and payload columns are gathered once after
+  /// the last join. Requires vectorized_exec; the planner still falls back
+  /// to the row pipeline when its cost model prefers early materialization.
+  /// Output stays byte-identical to the row join path.
+  bool vectorized_join = true;
+
   /// Per-segment compression advisor: when segments are (re)built at sync
   /// or compaction time, re-pick each segment's encoding from observed
   /// value statistics — the estimated-smallest encoding wins if it beats

@@ -86,9 +86,50 @@ void FoldJoinStats(const JoinStats& step, JoinStats* total) {
   total->spill_rows_written += step.spill_rows_written;
   total->spill_bytes_written += step.spill_bytes_written;
   total->spill_bytes_read += step.spill_bytes_read;
+  total->spill_pages_written += step.spill_pages_written;
+  total->spill_pages_read += step.spill_pages_read;
+  total->join_batches += step.join_batches;
+  total->rows_late_materialized += step.rows_late_materialized;
   total->spill_max_recursion =
       std::max(total->spill_max_recursion, step.spill_max_recursion);
   total->seconds += step.seconds;
+}
+
+/// Plan-order combined layout plus join-ordering dependencies, from the
+/// schemas alone — no data access. A clause whose left_col lands inside an
+/// earlier clause's column span must run after that clause.
+struct JoinLayout {
+  std::vector<size_t> width;              // schema width per clause
+  std::vector<size_t> offset;             // combined-layout offset per clause
+  std::vector<std::vector<size_t>> deps;  // clauses that must run earlier
+  size_t total_cols = 0;
+};
+
+Status ComputeJoinLayout(const std::vector<BoundJoin>& joins,
+                         size_t base_width, JoinLayout* lo) {
+  const size_t njoins = joins.size();
+  lo->width.resize(njoins);
+  lo->offset.resize(njoins);
+  lo->deps.assign(njoins, {});
+  lo->total_cols = base_width;
+  for (size_t j = 0; j < njoins; ++j) {
+    lo->width[j] = joins[j].table->schema.columns().size();
+    lo->offset[j] = lo->total_cols;
+    lo->total_cols += lo->width[j];
+  }
+  for (size_t j = 0; j < njoins; ++j) {
+    const int lc = joins[j].left_col;
+    const int rc = joins[j].right_col;
+    if (lc < 0 || static_cast<size_t>(lc) >= lo->offset[j] || rc < 0 ||
+        static_cast<size_t>(rc) >= lo->width[j])
+      return Status::InvalidArgument("join " + std::to_string(j) +
+                                     ": key columns out of range");
+    for (size_t k = 0; k < j; ++k)
+      if (static_cast<size_t>(lc) >= lo->offset[k] &&
+          static_cast<size_t>(lc) < lo->offset[k] + lo->width[k])
+        lo->deps[j].push_back(k);
+  }
+  return Status::OK();
 }
 
 /// One hash join with build-side selection (DESIGN.md §9). `build_left` is
@@ -190,30 +231,12 @@ Status ExecuteJoins(const std::vector<BoundJoin>& joins, const TableInfo& base,
   const size_t njoins = joins.size();
   const size_t base_width = base.schema.columns().size();
 
-  // Combined layout, key validation, and ordering dependencies come from
-  // the schemas alone — no data access. A clause whose left_col lands
-  // inside an earlier clause's column span must run after that clause.
-  std::vector<size_t> width(njoins);    // schema width per clause
-  std::vector<size_t> offset(njoins);   // plan-order combined-layout offset
-  size_t total_cols = base_width;
-  for (size_t j = 0; j < njoins; ++j) {
-    width[j] = joins[j].table->schema.columns().size();
-    offset[j] = total_cols;
-    total_cols += width[j];
-  }
-  std::vector<std::vector<size_t>> deps(njoins);
-  for (size_t j = 0; j < njoins; ++j) {
-    const int lc = joins[j].left_col;
-    const int rc = joins[j].right_col;
-    if (lc < 0 || static_cast<size_t>(lc) >= offset[j] || rc < 0 ||
-        static_cast<size_t>(rc) >= width[j])
-      return Status::InvalidArgument("join " + std::to_string(j) +
-                                     ": key columns out of range");
-    for (size_t k = 0; k < j; ++k)
-      if (static_cast<size_t>(lc) >= offset[k] &&
-          static_cast<size_t>(lc) < offset[k] + width[k])
-        deps[j].push_back(k);
-  }
+  JoinLayout layout;
+  HTAP_RETURN_NOT_OK(ComputeJoinLayout(joins, base_width, &layout));
+  const std::vector<size_t>& width = layout.width;
+  const std::vector<size_t>& offset = layout.offset;
+  const std::vector<std::vector<size_t>>& deps = layout.deps;
+  const size_t total_cols = layout.total_cols;
 
   std::vector<std::vector<Row>> jrows(njoins);
   std::vector<uint8_t> scanned(njoins, 0);
@@ -327,6 +350,404 @@ Status ExecuteJoins(const std::vector<BoundJoin>& joins, const TableInfo& base,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Batch-native join pipeline with late materialization (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// One join input's batch image plus derived per-row metadata. The dense
+/// active index space (active positions in batch order) is the pipeline's
+/// row identity — it equals the input's row index in the row pipeline, so
+/// lineage tuples double as the row path's hidden-index columns.
+struct BatchInput {
+  std::vector<ColumnBatch> batches;
+  bool batched_scan = false;  // served by the engine's batch scan
+  /// dense active index -> (batch, position): the late-materialization
+  /// gather map.
+  std::vector<std::pair<uint32_t, uint32_t>> dense;
+  /// Per-row payload footprint (grace-budget weights); filled only when a
+  /// spill budget is set.
+  std::vector<size_t> row_bytes;
+  /// Extracted key columns, cached per column (NDV sampling and the join
+  /// itself share one extraction).
+  std::vector<std::pair<int, JoinKeyColumn>> key_cache;
+
+  size_t rows() const { return dense.size(); }
+};
+
+void FinishBatchInput(BatchInput* in, bool want_weights) {
+  in->dense.reserve(TotalActiveRows(in->batches));
+  for (size_t b = 0; b < in->batches.size(); ++b)
+    in->batches[b].ForEachActive([&](size_t i) {
+      in->dense.emplace_back(static_cast<uint32_t>(b),
+                             static_cast<uint32_t>(i));
+    });
+  if (want_weights) in->row_bytes = EstimateBatchRowBytes(in->batches);
+}
+
+const JoinKeyColumn& InputKeys(BatchInput* in, int col) {
+  for (const auto& kv : in->key_cache)
+    if (kv.first == col) return kv.second;
+  in->key_cache.emplace_back(col, ExtractJoinKeys(in->batches, col));
+  return in->key_cache.back().second;
+}
+
+/// Gathers `src` at positions `idx` into a new key column (the probe side's
+/// keys viewed through the intermediate's lineage).
+JoinKeyColumn GatherKeys(const JoinKeyColumn& src,
+                         const std::vector<uint32_t>& idx) {
+  JoinKeyColumn out;
+  out.type = src.type;
+  out.mixed = src.mixed;
+  const size_t n = idx.size();
+  out.valid.reserve(n);
+  out.hashes.reserve(n);
+  for (uint32_t i : idx) {
+    out.valid.push_back(src.valid[i]);
+    out.hashes.push_back(src.hashes[i]);
+  }
+  if (src.mixed) {
+    out.boxed.reserve(n);
+    for (uint32_t i : idx) out.boxed.push_back(src.boxed[i]);
+    return out;
+  }
+  switch (src.type) {
+    case Type::kInt64:
+      out.ints.reserve(n);
+      for (uint32_t i : idx) out.ints.push_back(src.ints[i]);
+      break;
+    case Type::kDouble:
+      out.doubles.reserve(n);
+      for (uint32_t i : idx) out.doubles.push_back(src.doubles[i]);
+      break;
+    case Type::kString:
+      out.strs.reserve(n);
+      for (uint32_t i : idx) out.strs.push_back(src.strs[i]);
+      break;
+  }
+  return out;
+}
+
+/// Late materialization of one output column: appends rows [lo, hi) of the
+/// final lineage, gathered from the input's batches, onto `dst`. The type
+/// switch is hoisted out of the row loop — this is the only point where
+/// payload values are touched.
+void GatherColumn(const BatchInput& in, size_t col,
+                  const std::vector<uint32_t>& lineage, size_t lo, size_t hi,
+                  ColumnVector* dst) {
+  for (size_t r = lo; r < hi; ++r) {
+    const auto [b, p] = in.dense[lineage[r]];
+    const ColumnVector& src = in.batches[b].columns[col];
+    if (src.IsNull(p)) {
+      dst->AppendNull();
+      continue;
+    }
+    switch (dst->type()) {
+      case Type::kInt64: dst->AppendInt64(src.GetInt64(p)); break;
+      case Type::kDouble: dst->AppendDouble(src.GetDouble(p)); break;
+      case Type::kString: dst->AppendString(src.GetString(p)); break;
+    }
+  }
+}
+
+/// Outcome of the batch join pipeline attempt.
+struct BatchJoinOutcome {
+  /// False when the planner's materialization cost model chose the row
+  /// pipeline's early regime: the base table has still been scanned (its
+  /// scan stats are recorded), and `rows` holds its row image for the
+  /// caller to run ExecuteJoins over.
+  bool executed = false;
+  bool agg_done = false;    // `rows` is already the aggregated output
+  bool projected = false;   // `rows` already carries plan.projection
+  bool base_batched = false;  // base scan was served as batches
+  std::vector<Row> rows;
+};
+
+/// Executes the plan's joins batch-at-a-time (DESIGN.md §13). Join keys are
+/// extracted straight from the typed scan batches; between join steps only
+/// lineage flows — one dense input index per joined input per intermediate
+/// row — and payload columns are gathered exactly once, after the last
+/// join and the reorder fixup, restricted to the columns the plan consumes
+/// (aggregate inputs, the projection, or the full combined layout). Inputs
+/// whose engine declines the batch scan are bridged in with RowsToBatches,
+/// so a single row-only input no longer forces the whole plan back to
+/// row-at-a-time execution. Ordering, build-side selection, swap fixups,
+/// and the reorder sort mirror ExecuteJoins decision-for-decision, so the
+/// output is byte-identical to the row pipeline in every regime.
+Result<BatchJoinOutcome> ExecuteJoinsBatches(
+    const std::vector<BoundJoin>& joins, const TableInfo& base,
+    const Catalog& catalog, const ScanFn& scan, const BatchScanFn& batch_scan,
+    const QueryPlan& plan, const ExecContext& exec, QueryExecInfo* xi) {
+  BatchJoinOutcome out;
+  const size_t njoins = joins.size();
+  const size_t base_width = base.schema.columns().size();
+  JoinLayout layout;
+  HTAP_RETURN_NOT_OK(ComputeJoinLayout(joins, base_width, &layout));
+
+  const bool want_weights = exec.join_spill_budget_bytes > 0;
+  const size_t ninputs = njoins + 1;  // input 0 = base, input j+1 = join j
+  std::vector<BatchInput> inputs(ninputs);
+  std::vector<uint8_t> ready(ninputs, 0);
+  const auto scan_input = [&](size_t t) -> Status {
+    if (ready[t]) return Status::OK();
+    ScanRequest req;
+    req.table = t == 0 ? &base : joins[t - 1].table;
+    req.pred = t == 0 ? &plan.where : joins[t - 1].where;
+    req.path = plan.path;
+    req.require_fresh = plan.require_fresh;
+    ScanStats* ss = t == 0 ? &xi->scan : nullptr;
+    std::string* ap = t == 0 ? &xi->access_path : nullptr;
+    Result<std::vector<ColumnBatch>> b = batch_scan(req, ss, ap);
+    if (b.ok()) {
+      inputs[t].batches = std::move(b.value());
+      inputs[t].batched_scan = true;
+    } else if (b.status().IsNotSupported()) {
+      HTAP_ASSIGN_OR_RETURN(const std::vector<Row> rows, scan(req, ss, ap));
+      inputs[t].batches =
+          RowsToBatches(rows, req.table->schema, {}, exec.batch_rows);
+    } else {
+      return b.status();
+    }
+    FinishBatchInput(&inputs[t], want_weights);
+    ready[t] = 1;
+    return Status::OK();
+  };
+  HTAP_RETURN_NOT_OK(scan_input(0));
+  out.base_batched = inputs[0].batched_scan;
+
+  // Join ordering: the same decision procedure as ExecuteJoins (catalog
+  // estimates when fresh, exact sampling otherwise), with NDV counted off
+  // the extracted key columns instead of materialized rows.
+  std::vector<size_t> order(njoins);
+  for (size_t j = 0; j < njoins; ++j) order[j] = j;
+  std::vector<JoinRelEstimate> rels(njoins);
+  std::vector<double> est_steps;
+  bool stats_planned = false;
+  size_t base_est = 0;
+  uint64_t stats_age = 0;
+  if (njoins > 1) {
+    stats_planned = CatalogJoinEstimates(plan, catalog, base, joins, exec,
+                                         &base_est, &rels, &stats_age);
+    if (stats_planned) {
+      order = ChooseJoinOrder(base_est, rels, layout.deps, &est_steps);
+    } else {
+      for (size_t j = 0; j < njoins; ++j) HTAP_RETURN_NOT_OK(scan_input(j + 1));
+      for (size_t j = 0; j < njoins; ++j) {
+        rels[j].rows = inputs[j + 1].rows();
+        rels[j].key_ndv = static_cast<double>(CountDistinctKeys(
+            InputKeys(&inputs[j + 1], joins[j].right_col)));
+      }
+      order = ChooseJoinOrder(inputs[0].rows(), rels, layout.deps, &est_steps);
+    }
+  }
+
+  // Materialization-regime gate: when usable step estimates exist, the
+  // planner may prefer early materialization — which IS the row pipeline —
+  // so the batch attempt backs out before any join runs. 0–1 joins carry no
+  // estimates and always run late.
+  std::vector<size_t> step_widths;
+  size_t cum_width = base_width;
+  for (size_t s = 0; s < njoins; ++s) {
+    cum_width += layout.width[order[s]];
+    step_widths.push_back(cum_width);
+  }
+  std::vector<int> out_cols;
+  std::vector<int> groups = plan.group_by;
+  std::vector<AggSpec> aggs = plan.aggs;
+  if (!plan.aggs.empty()) {
+    const auto add_col = [&](int c) {
+      if (c < 0) return;
+      if (std::find(out_cols.begin(), out_cols.end(), c) == out_cols.end())
+        out_cols.push_back(c);
+    };
+    for (int g : plan.group_by) add_col(g);
+    for (const AggSpec& a : plan.aggs) add_col(a.column);
+    std::sort(out_cols.begin(), out_cols.end());
+    const auto pos_of = [&](int c) {
+      return static_cast<int>(
+          std::find(out_cols.begin(), out_cols.end(), c) - out_cols.begin());
+    };
+    for (int& g : groups) g = pos_of(g);
+    for (AggSpec& a : aggs)
+      if (a.column >= 0) a.column = pos_of(a.column);
+    // COUNT(*) with no groups consumes no payload; gather one column so the
+    // output batches still carry the row count.
+    if (out_cols.empty()) out_cols.push_back(0);
+  } else if (!plan.projection.empty()) {
+    out_cols = plan.projection;
+  } else {
+    out_cols.resize(layout.total_cols);
+    for (size_t c = 0; c < layout.total_cols; ++c)
+      out_cols[c] = static_cast<int>(c);
+  }
+  if (!ChooseLateMaterialization(est_steps, step_widths, out_cols.size())) {
+    out.rows = BatchesToRows(inputs[0].batches);
+    return out;  // executed == false: run the row pipeline
+  }
+
+  if (njoins > 1) {
+    if (stats_planned) {
+      xi->join_used_catalog_stats = true;
+      xi->join_stats_age_csns = stats_age;
+    }
+    xi->join_order = order;
+    xi->join_est_rows = est_steps;
+  }
+  bool reorder = false;
+  for (size_t s = 0; s < njoins; ++s) reorder = reorder || order[s] != s;
+
+  // Lineage: lineage[t][r] is intermediate row r's dense index into input
+  // t (meaningful once `joined[t]`). This is the only per-row state the
+  // join steps carry.
+  std::vector<std::vector<uint32_t>> lineage(ninputs);
+  std::vector<uint8_t> joined(ninputs, 0);
+  lineage[0].resize(inputs[0].rows());
+  for (size_t i = 0; i < lineage[0].size(); ++i)
+    lineage[0][i] = static_cast<uint32_t>(i);
+  joined[0] = 1;
+  size_t total_batches = inputs[0].batches.size();
+
+  for (size_t s = 0; s < njoins; ++s) {
+    const size_t j = order[s];
+    const size_t t = j + 1;
+    HTAP_RETURN_NOT_OK(scan_input(t));
+    total_batches += inputs[t].batches.size();
+
+    // The probe key lives in some already-joined input: map the combined-
+    // layout left_col to (input, own-layout column) and gather its key
+    // column through the lineage.
+    const auto lc = static_cast<size_t>(joins[j].left_col);
+    size_t kt = 0;
+    int kc = joins[j].left_col;
+    if (lc >= base_width) {
+      for (size_t k = 0; k < njoins; ++k)
+        if (lc >= layout.offset[k] && lc < layout.offset[k] + layout.width[k]) {
+          kt = k + 1;
+          kc = static_cast<int>(lc - layout.offset[k]);
+          break;
+        }
+    }
+    if (!joined[kt])
+      return Status::Internal("join order violated a key dependency");
+    const size_t cur_n = lineage[0].size();
+    const JoinKeyColumn cur_keys = GatherKeys(InputKeys(&inputs[kt], kc),
+                                              lineage[kt]);
+    const JoinKeyColumn& in_keys = InputKeys(&inputs[t], joins[j].right_col);
+
+    const bool build_left =
+        stats_planned
+            ? ChooseBuildSideLeft(
+                  s == 0 ? base_est : RoundRows(est_steps[s - 1]),
+                  rels[j].rows)
+            : ChooseBuildSideLeft(cur_n, inputs[t].rows());
+    JoinStats step;
+    JoinPairs pairs;
+    if (!build_left) {
+      const std::vector<size_t>* wts =
+          want_weights ? &inputs[t].row_bytes : nullptr;
+      pairs = HashJoinPairsKeys(cur_keys, in_keys, exec, &step, wts);
+    } else {
+      // Build on the intermediate: its grace weight is the footprint of the
+      // row it would materialize — the sum of its inputs' row footprints.
+      std::vector<size_t> cur_weights;
+      if (want_weights) {
+        cur_weights.assign(cur_n, 0);
+        for (size_t t2 = 0; t2 < ninputs; ++t2) {
+          if (!joined[t2]) continue;
+          for (size_t r = 0; r < cur_n; ++r)
+            cur_weights[r] += inputs[t2].row_bytes[lineage[t2][r]];
+        }
+      }
+      pairs = HashJoinPairsKeys(in_keys, cur_keys, exec, &step,
+                                want_weights ? &cur_weights : nullptr);
+      step.build_swapped = true;
+      std::sort(pairs.begin(), pairs.end(),
+                [](const std::pair<uint32_t, uint32_t>& a,
+                   const std::pair<uint32_t, uint32_t>& b) {
+                  return a.second != b.second ? a.second < b.second
+                                              : a.first < b.first;
+                });
+    }
+
+    // Advance the lineage — the batch pipeline's whole join step output.
+    const size_t n = pairs.size();
+    std::vector<std::vector<uint32_t>> next(ninputs);
+    for (size_t t2 = 0; t2 < ninputs; ++t2)
+      if (joined[t2] || t2 == t) next[t2].resize(n);
+    for (size_t k = 0; k < n; ++k) {
+      const uint32_t p = build_left ? pairs[k].second : pairs[k].first;
+      const uint32_t b = build_left ? pairs[k].first : pairs[k].second;
+      for (size_t t2 = 0; t2 < ninputs; ++t2)
+        if (joined[t2]) next[t2][k] = lineage[t2][p];
+      next[t][k] = b;
+    }
+    lineage = std::move(next);
+    joined[t] = 1;
+
+    FoldJoinStats(step, &xi->join);
+    xi->join_steps.push_back(step);
+    if (njoins > 1) xi->join_actual_rows.push_back(n);
+  }
+
+  if (reorder) {
+    // Restore plan-order nested-loop order: the lineage tuple in plan order
+    // is unique and is exactly the row pipeline's hidden-column sort key.
+    const size_t n = lineage[0].size();
+    std::vector<uint32_t> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+    std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+      for (size_t t = 0; t < ninputs; ++t)
+        if (lineage[t][a] != lineage[t][b]) return lineage[t][a] < lineage[t][b];
+      return false;
+    });
+    for (size_t t = 0; t < ninputs; ++t) {
+      std::vector<uint32_t> sorted(n);
+      for (size_t i = 0; i < n; ++i) sorted[i] = lineage[t][perm[i]];
+      lineage[t] = std::move(sorted);
+    }
+  }
+
+  // Late materialization: gather only the plan-consumed columns, chunked
+  // into output batches. Payload values are touched here for the first
+  // time — everything upstream moved indices.
+  const Schema combined = CombinedSchema(base, joins);
+  const size_t n = lineage[0].size();
+  const size_t chunk =
+      exec.batch_rows == 0 ? std::max<size_t>(n, 1) : exec.batch_rows;
+  std::vector<ColumnBatch> obatches;
+  for (size_t lo = 0; lo < n; lo += chunk) {
+    const size_t hi = std::min(n, lo + chunk);
+    ColumnBatch ob = MakeBatch(combined, out_cols, hi - lo);
+    for (size_t oc = 0; oc < out_cols.size(); ++oc) {
+      const auto c = static_cast<size_t>(out_cols[oc]);
+      size_t t = 0;
+      size_t in_col = c;
+      if (c >= base_width) {
+        for (size_t k = 0; k < njoins; ++k)
+          if (c >= layout.offset[k] &&
+              c < layout.offset[k] + layout.width[k]) {
+            t = k + 1;
+            in_col = c - layout.offset[k];
+            break;
+          }
+      }
+      GatherColumn(inputs[t], in_col, lineage[t], lo, hi, &ob.columns[oc]);
+    }
+    obatches.push_back(std::move(ob));
+  }
+  xi->join.join_batches += total_batches;
+  xi->join.rows_late_materialized += n;
+
+  if (!plan.aggs.empty()) {
+    out.rows = HashAggregate(obatches, groups, aggs, exec);
+    out.agg_done = true;
+  } else {
+    out.rows = BatchesToRows(obatches);
+    out.projected = !plan.projection.empty();
+  }
+  out.executed = true;
+  return out;
+}
+
 }  // namespace
 
 Result<Schema> PlanOutputSchema(const QueryPlan& plan,
@@ -398,6 +819,28 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
   std::vector<Row> rows;
   bool agg_done = false;
   bool scanned = false;
+  bool joins_done = false;
+  bool projected = false;
+
+  // Batch-native joins (DESIGN.md §13): when the engine offers a batch scan
+  // and the knob is on, join plans run the late-materialization pipeline —
+  // unless its cost model prefers the row pipeline's early regime, in which
+  // case the already-scanned base rows feed ExecuteJoins below.
+  if (batch_scan != nullptr && !joins.empty() && exec.vectorized_join) {
+    HTAP_ASSIGN_OR_RETURN(
+        BatchJoinOutcome bj,
+        ExecuteJoinsBatches(joins, *base, catalog, scan, batch_scan, plan,
+                            exec, xi));
+    rows = std::move(bj.rows);
+    scanned = true;
+    if (bj.executed) {
+      xi->vectorized = true;
+      joins_done = true;
+      agg_done = bj.agg_done;
+      projected = bj.projected;
+    }
+  }
+
   if (batch_scan != nullptr && (simple || narrowed_agg)) {
     Result<std::vector<ColumnBatch>> batches =
         batch_scan(req, &xi->scan, &xi->access_path);
@@ -419,7 +862,7 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
     HTAP_ASSIGN_OR_RETURN(rows, scan(req, &xi->scan, &xi->access_path));
   }
 
-  if (!joins.empty()) {
+  if (!joins.empty() && !joins_done) {
     // The joins fan build/probe morsels onto the same AP pool as scans, so
     // the scheduler's OLAP concurrency quota bounds their in-flight morsels
     // exactly as it bounds scan morsels.
@@ -431,7 +874,8 @@ Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
     rows = narrowed_agg
                ? HashAggregate(rows, remapped_groups, remapped_aggs, exec)
                : HashAggregate(rows, plan.group_by, plan.aggs, exec);
-  } else if (plan.aggs.empty() && !simple && !plan.projection.empty()) {
+  } else if (plan.aggs.empty() && !simple && !projected &&
+             !plan.projection.empty()) {
     rows = Project(rows, plan.projection);
   }
 

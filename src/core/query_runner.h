@@ -34,11 +34,16 @@ using BatchScanFn = std::function<Result<std::vector<ColumnBatch>>(
 
 /// Executes `plan` against `catalog` using `scan` for base access. `exec`
 /// supplies the AP pool for the parallel hash join and aggregation
-/// (default: serial). When `batch_scan` is provided, eligible plans —
-/// simple scans and single-table aggregates — run vectorized: the base
-/// access emits column batches and the aggregate (if any) consumes them
-/// directly; everything else (joins, output shaping) is unchanged. Results
-/// are byte-identical either way.
+/// (default: serial). When `batch_scan` is provided, eligible plans run
+/// vectorized: simple scans and single-table aggregates consume column
+/// batches directly (DESIGN.md §12), and join plans — when
+/// exec.vectorized_join is on and the planner's materialization cost model
+/// agrees — run the batch-native late-materialization join pipeline
+/// (DESIGN.md §13), carrying only lineage indices between join steps and
+/// gathering payload columns once, after the last join. Inputs the engine
+/// declines to batch-scan are bridged in as batches; the planner's early-
+/// materialization choice falls back to the row join path. Results are
+/// byte-identical in every regime.
 Result<QueryResult> RunPlan(const QueryPlan& plan, const Catalog& catalog,
                             const ScanFn& scan, QueryExecInfo* info,
                             const ExecContext& exec = ExecContext{},

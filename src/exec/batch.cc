@@ -122,6 +122,23 @@ size_t TotalActiveRows(const std::vector<ColumnBatch>& batches) {
   return total;
 }
 
+std::vector<ColumnBatch> RowsToBatches(const std::vector<Row>& rows,
+                                       const Schema& schema,
+                                       const std::vector<int>& projection,
+                                       size_t batch_rows) {
+  std::vector<ColumnBatch> out;
+  const size_t cap = batch_rows == 0 ? rows.size() : batch_rows;
+  for (size_t lo = 0; lo < rows.size(); lo += std::max<size_t>(cap, 1)) {
+    const size_t hi = std::min(rows.size(), lo + std::max<size_t>(cap, 1));
+    ColumnBatch b = MakeBatch(schema, projection, hi - lo);
+    for (size_t i = lo; i < hi; ++i)
+      for (size_t c = 0; c < b.columns.size(); ++c)
+        b.columns[c].AppendValue(rows[i].Get(c));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
 std::vector<Row> BatchesToRows(const std::vector<ColumnBatch>& batches) {
   std::vector<Row> out;
   out.reserve(TotalActiveRows(batches));

@@ -65,6 +65,18 @@ size_t TotalActiveRows(const std::vector<ColumnBatch>& batches);
 /// bridge back to the row-at-a-time operators.
 std::vector<Row> BatchesToRows(const std::vector<ColumnBatch>& batches);
 
+/// The inverse bridge: packs rows into compacted batches of at most
+/// `batch_rows` rows each (0 = one batch for everything), typed by
+/// `schema` narrowed to `projection` (empty = all columns). Rows must match
+/// the projected layout. BatchesToRows(RowsToBatches(rows, ...)) == rows.
+/// Used when a join input's engine declines the batch scan: the rows it
+/// returned join the batch pipeline instead of forcing the whole plan back
+/// to row-at-a-time execution (DESIGN.md §13).
+std::vector<ColumnBatch> RowsToBatches(const std::vector<Row>& rows,
+                                       const Schema& schema,
+                                       const std::vector<int>& projection,
+                                       size_t batch_rows);
+
 }  // namespace htap
 
 #endif  // HTAP_EXEC_BATCH_H_

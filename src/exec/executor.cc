@@ -533,92 +533,180 @@ size_t GracePartitionCount(size_t est_bytes, size_t budget, size_t workers) {
 struct SpillCounters {
   std::atomic<size_t> rows_written{0};
   std::atomic<size_t> bytes_written{0};
+  std::atomic<size_t> pages_written{0};
   size_t bytes_read = 0;  // serial only
+  size_t pages_read = 0;  // serial only
   size_t max_depth = 0;   // serial only
 };
 
-/// One spill record: the row's index in its original join input, then the
-/// row itself (both via the types/ binary encoding).
-void EncodeSpillRecord(uint32_t idx, const Row& row, std::string* out) {
-  Value(static_cast<int64_t>(idx)).EncodeTo(out);
-  row.EncodeTo(out);
-}
+/// Accumulates (input index, key) slots from one key column into a
+/// SpillPage, encoding into the bound buffer whenever the page's
+/// approximate footprint reaches kSpillFlushBytes. The caller reads the
+/// rows()/pages() tallies when a buffer goes to disk, then ResetCounters().
+class SpillPageWriter {
+ public:
+  SpillPageWriter(const JoinKeyColumn* keys, std::string* buf)
+      : keys_(keys), buf_(buf) {
+    ResetPage();
+  }
 
-/// A spill record decoded back into memory.
-struct SpillRecord {
-  uint32_t idx = 0;
-  Row row;
+  void Add(uint32_t idx, size_t slot) {
+    page_.idx.push_back(idx);
+    approx_ += sizeof(uint32_t);
+    if (keys_->mixed) {
+      const Value& v = keys_->boxed[slot];
+      approx_ += v.MemoryBytes();
+      page_.vals.push_back(v);
+    } else {
+      switch (keys_->type) {
+        case Type::kInt64:
+          page_.ints.push_back(keys_->ints[slot]);
+          approx_ += sizeof(int64_t);
+          break;
+        case Type::kDouble:
+          page_.doubles.push_back(keys_->doubles[slot]);
+          approx_ += sizeof(double);
+          break;
+        case Type::kString:
+          page_.strs.push_back(keys_->strs[slot]);
+          approx_ += sizeof(uint32_t) + page_.strs.back().size();
+          break;
+      }
+    }
+    ++rows_;
+    if (approx_ >= kSpillFlushBytes) Flush();
+  }
+
+  /// Encodes any buffered slots into the bound buffer as one page.
+  void Flush() {
+    if (page_.idx.empty()) return;
+    EncodeSpillPage(page_, buf_);
+    ++pages_;
+    ResetPage();
+  }
+
+  size_t rows() const { return rows_; }
+  size_t pages() const { return pages_; }
+  void ResetCounters() {
+    rows_ = 0;
+    pages_ = 0;
+  }
+
+ private:
+  void ResetPage() {
+    page_ = SpillPage{};
+    page_.type = keys_->type;
+    page_.boxed = keys_->mixed;
+    approx_ = 0;
+  }
+
+  const JoinKeyColumn* keys_;
+  std::string* buf_;
+  SpillPage page_;
+  size_t approx_ = 0;
+  size_t rows_ = 0;
+  size_t pages_ = 0;
 };
 
-/// Reads a whole run back. A never-opened run (no rows reached it) reads as
-/// empty.
-Result<std::vector<SpillRecord>> ReadSpillRecords(SpillRun* run,
-                                                  SpillCounters* sc) {
-  std::vector<SpillRecord> out;
+/// A spilled partition rehydrated into batch form: a dense all-valid key
+/// column (hashes recomputed through the Value::Hash-consistent typed
+/// primitives) plus each slot's index in the original join input.
+struct SpilledKeys {
+  JoinKeyColumn keys;
+  std::vector<uint32_t> idx;
+};
+
+/// Reads a whole run of key pages back. A never-opened run (no rows reached
+/// it) reads as empty.
+Result<SpilledKeys> ReadSpillPages(SpillRun* run, SpillCounters* sc) {
+  SpilledKeys out;
   if (!run->is_open()) return out;
   HTAP_ASSIGN_OR_RETURN(const std::string data, run->ReadAll());
   sc->bytes_read += data.size();
   size_t pos = 0;
+  bool typed = false;
   while (pos < data.size()) {
-    Value idx;
-    SpillRecord rec;
-    if (!Value::DecodeFrom(data, &pos, &idx) || !idx.is_int64() ||
-        !Row::DecodeFrom(data, &pos, &rec.row))
-      return Status::Corruption("malformed spill record in " + run->path());
-    rec.idx = static_cast<uint32_t>(idx.AsInt64());
-    out.push_back(std::move(rec));
+    SpillPage page;
+    if (!DecodeSpillPage(data, &pos, &page))
+      return Status::Corruption("malformed spill page in " + run->path());
+    ++sc->pages_read;
+    if (!typed) {
+      out.keys.type = page.type;
+      out.keys.mixed = page.boxed;
+      typed = true;
+    }
+    for (size_t r = 0; r < page.rows(); ++r) {
+      out.idx.push_back(page.idx[r]);
+      out.keys.valid.push_back(1);  // NULL keys never spill
+      if (page.boxed) {
+        out.keys.hashes.push_back(page.vals[r].Hash());
+        out.keys.boxed.push_back(std::move(page.vals[r]));
+      } else {
+        switch (page.type) {
+          case Type::kInt64:
+            out.keys.hashes.push_back(HashInt64(page.ints[r]));
+            out.keys.ints.push_back(page.ints[r]);
+            break;
+          case Type::kDouble:
+            out.keys.hashes.push_back(HashDouble(page.doubles[r]));
+            out.keys.doubles.push_back(page.doubles[r]);
+            break;
+          case Type::kString:
+            out.keys.hashes.push_back(HashString(page.strs[r]));
+            out.keys.strs.push_back(std::move(page.strs[r]));
+            break;
+        }
+      }
+    }
   }
   return out;
 }
 
 /// Correctness backstop: recomputes one radix partition's pairs straight
-/// from the in-memory inputs (which outlive the whole join). Used when the
-/// disk fails mid-partition; O(probe + build) per call but always right.
-void JoinPartitionInMemory(const std::vector<Row>& probe,
-                           const std::vector<Row>& build, int probe_col,
-                           int build_col, uint64_t hash_mask,
-                           uint64_t part_mask, size_t part, JoinPairs* out) {
-  const auto pc = static_cast<size_t>(probe_col);
-  const auto bc = static_cast<size_t>(build_col);
+/// from the in-memory key columns (which outlive the whole join). Used when
+/// the disk fails mid-partition; O(probe + build) per call but always right.
+void JoinPartitionInMemoryKeys(const JoinKeyColumn& probe,
+                               const JoinKeyColumn& build, uint64_t hash_mask,
+                               uint64_t part_mask, size_t part,
+                               JoinPairs* out) {
   JoinPartitionTable table;
   for (size_t j = 0; j < build.size(); ++j) {
-    const Value& k = build[j].Get(bc);
-    if (k.is_null()) continue;
-    const uint64_t h = k.Hash() & hash_mask;
+    if (!build.valid[j]) continue;
+    const uint64_t h = build.hashes[j] & hash_mask;
     if ((h & part_mask) != part) continue;
     table.Insert(h, static_cast<uint32_t>(j));
   }
   for (size_t i = 0; i < probe.size(); ++i) {
-    const Value& k = probe[i].Get(pc);
-    if (k.is_null()) continue;
-    const uint64_t h = k.Hash() & hash_mask;
+    if (!probe.valid[i]) continue;
+    const uint64_t h = probe.hashes[i] & hash_mask;
     if ((h & part_mask) != part) continue;
     table.ForEachHashMatch(h, [&](uint32_t j) {
-      if (build[j].Get(bc) != k) return;
+      if (!JoinKeyEquals(probe, i, build, j)) return;
       out->emplace_back(static_cast<uint32_t>(i), j);
     });
   }
 }
 
-/// Joins one spilled partition, partition-at-a-time. If the build side still
-/// exceeds the budget, both runs re-partition on the next kSpillSubBits hash
-/// bits (`bit_shift` counts bits already consumed) and recurse; at
-/// kMaxSpillRecursion the partition is built regardless. Emits pairs in
-/// arbitrary order — the grace driver sorts the full pair set at the end.
+/// Joins one spilled partition, partition-at-a-time. Partition weight is
+/// measured through `build_weights` — the per-slot payload footprints of
+/// the ORIGINAL build input (spilled records carry their input index, so a
+/// partition weighs what its rows would occupy materialized, not the few
+/// key bytes on disk). If that weight still exceeds the budget, both runs
+/// re-partition on the next kSpillSubBits hash bits (`bit_shift` counts
+/// bits already consumed) and recurse; at kMaxSpillRecursion the partition
+/// is built regardless. Emits pairs in arbitrary order — the grace driver
+/// sorts the full pair set at the end.
 Status JoinSpilledPartition(SpillRun build_run, SpillRun probe_run,
-                            int probe_col, int build_col,
+                            const std::vector<size_t>& build_weights,
                             const ExecContext& exec, const std::string& dir,
                             size_t bit_shift, size_t depth, SpillCounters* sc,
                             JoinPairs* out) {
   const uint64_t hash_mask = exec.join_hash_mask;
-  const auto pc = static_cast<size_t>(probe_col);
-  const auto bc = static_cast<size_t>(build_col);
 
-  HTAP_ASSIGN_OR_RETURN(std::vector<SpillRecord> build,
-                        ReadSpillRecords(&build_run, sc));
+  HTAP_ASSIGN_OR_RETURN(SpilledKeys build, ReadSpillPages(&build_run, sc));
   build_run.Discard();
   size_t build_bytes = 0;
-  for (const SpillRecord& r : build) build_bytes += r.row.MemoryBytes();
+  for (uint32_t idx : build.idx) build_bytes += build_weights[idx];
 
   if (build_bytes > exec.join_spill_budget_bytes &&
       depth < kMaxSpillRecursion) {
@@ -627,44 +715,56 @@ Status JoinSpilledPartition(SpillRun build_run, SpillRun probe_run,
     std::array<uint8_t, kSpillSubParts> has_build{};
     {
       std::array<std::string, kSpillSubParts> bufs;
-      std::array<size_t, kSpillSubParts> rows{};
-      for (const SpillRecord& r : build) {
-        const uint64_t h = r.row.Get(bc).Hash() & hash_mask;
+      std::vector<SpillPageWriter> writers;
+      writers.reserve(kSpillSubParts);
+      for (size_t s = 0; s < kSpillSubParts; ++s)
+        writers.emplace_back(&build.keys, &bufs[s]);
+      for (size_t slot = 0; slot < build.keys.size(); ++slot) {
+        const uint64_t h = build.keys.hashes[slot] & hash_mask;
         const size_t s = (h >> bit_shift) & (kSpillSubParts - 1);
-        EncodeSpillRecord(r.idx, r.row, &bufs[s]);
+        writers[s].Add(build.idx[slot], slot);
         has_build[s] = 1;
-        ++rows[s];
       }
-      std::vector<SpillRecord>().swap(build);
       for (size_t s = 0; s < kSpillSubParts; ++s) {
         if (!has_build[s]) continue;
+        writers[s].Flush();
         HTAP_RETURN_NOT_OK(
             bsub[s].Open(dir, "b" + std::to_string(depth + 1)));
         HTAP_RETURN_NOT_OK(bsub[s].Append(bufs[s]));
-        sc->rows_written.fetch_add(rows[s], std::memory_order_relaxed);
+        sc->rows_written.fetch_add(writers[s].rows(),
+                                   std::memory_order_relaxed);
+        sc->pages_written.fetch_add(writers[s].pages(),
+                                    std::memory_order_relaxed);
         sc->bytes_written.fetch_add(bufs[s].size(),
                                     std::memory_order_relaxed);
       }
+      build = SpilledKeys{};
     }
     {
-      HTAP_ASSIGN_OR_RETURN(std::vector<SpillRecord> probe,
-                            ReadSpillRecords(&probe_run, sc));
+      HTAP_ASSIGN_OR_RETURN(SpilledKeys probe, ReadSpillPages(&probe_run, sc));
       probe_run.Discard();
       std::array<std::string, kSpillSubParts> bufs;
-      std::array<size_t, kSpillSubParts> rows{};
-      for (const SpillRecord& r : probe) {
-        const uint64_t h = r.row.Get(pc).Hash() & hash_mask;
+      std::vector<SpillPageWriter> writers;
+      writers.reserve(kSpillSubParts);
+      for (size_t s = 0; s < kSpillSubParts; ++s)
+        writers.emplace_back(&probe.keys, &bufs[s]);
+      for (size_t slot = 0; slot < probe.keys.size(); ++slot) {
+        const uint64_t h = probe.keys.hashes[slot] & hash_mask;
         const size_t s = (h >> bit_shift) & (kSpillSubParts - 1);
         if (!has_build[s]) continue;  // no build rows -> cannot match
-        EncodeSpillRecord(r.idx, r.row, &bufs[s]);
-        ++rows[s];
+        writers[s].Add(probe.idx[slot], slot);
       }
       for (size_t s = 0; s < kSpillSubParts; ++s) {
-        if (!has_build[s] || bufs[s].empty()) continue;
+        if (!has_build[s]) continue;
+        writers[s].Flush();
+        if (bufs[s].empty()) continue;
         HTAP_RETURN_NOT_OK(
             psub[s].Open(dir, "p" + std::to_string(depth + 1)));
         HTAP_RETURN_NOT_OK(psub[s].Append(bufs[s]));
-        sc->rows_written.fetch_add(rows[s], std::memory_order_relaxed);
+        sc->rows_written.fetch_add(writers[s].rows(),
+                                   std::memory_order_relaxed);
+        sc->pages_written.fetch_add(writers[s].pages(),
+                                    std::memory_order_relaxed);
         sc->bytes_written.fetch_add(bufs[s].size(),
                                     std::memory_order_relaxed);
       }
@@ -672,56 +772,55 @@ Status JoinSpilledPartition(SpillRun build_run, SpillRun probe_run,
     for (size_t s = 0; s < kSpillSubParts; ++s) {
       if (!has_build[s]) continue;
       HTAP_RETURN_NOT_OK(JoinSpilledPartition(
-          std::move(bsub[s]), std::move(psub[s]), probe_col, build_col, exec,
-          dir, bit_shift + kSpillSubBits, depth + 1, sc, out));
+          std::move(bsub[s]), std::move(psub[s]), build_weights, exec, dir,
+          bit_shift + kSpillSubBits, depth + 1, sc, out));
     }
     return Status::OK();
   }
 
   sc->max_depth = std::max(sc->max_depth, depth);
   JoinPartitionTable table;
-  table.Reserve(build.size());
-  for (size_t j = 0; j < build.size(); ++j)
-    table.Insert(build[j].row.Get(bc).Hash() & hash_mask,
-                 static_cast<uint32_t>(j));
-  HTAP_ASSIGN_OR_RETURN(const std::vector<SpillRecord> probe,
-                        ReadSpillRecords(&probe_run, sc));
+  table.Reserve(build.keys.size());
+  for (size_t j = 0; j < build.keys.size(); ++j)
+    table.Insert(build.keys.hashes[j] & hash_mask, static_cast<uint32_t>(j));
+  HTAP_ASSIGN_OR_RETURN(const SpilledKeys probe,
+                        ReadSpillPages(&probe_run, sc));
   probe_run.Discard();
-  for (const SpillRecord& p : probe) {
-    const Value& k = p.row.Get(pc);  // spilled keys are never NULL
-    const uint64_t h = k.Hash() & hash_mask;
+  for (size_t i = 0; i < probe.keys.size(); ++i) {
+    const uint64_t h = probe.keys.hashes[i] & hash_mask;
     table.ForEachHashMatch(h, [&](uint32_t j) {
-      if (build[j].row.Get(bc) != k) return;
-      out->emplace_back(p.idx, build[j].idx);
+      if (!JoinKeyEquals(probe.keys, i, build.keys, j)) return;
+      out->emplace_back(probe.idx[i], build.idx[j]);
     });
   }
   return Status::OK();
 }
 
-/// The grace driver (DESIGN.md §9): radix-scatter the build side, keep a
-/// budget's worth of partitions resident, spill the rest (both sides) to
-/// runs, then join spilled partitions one at a time. Output order is
+/// The grace driver (DESIGN.md §§9, 13): radix-scatter the build side, keep
+/// a budget's worth of partitions resident, spill the rest (both sides, as
+/// columnar key pages — payloads stay in memory and materialize after the
+/// join), then join spilled partitions one at a time. Output order is
 /// restored by a final sort of the pair set — valid because (probe, build)
 /// pairs are unique and nested-loop order is exactly ascending (probe,
 /// build). Runs even without a pool: TaskGroup degrades to inline calls.
-JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
-                         const std::vector<Row>& build, int probe_col,
-                         int build_col, const ExecContext& exec,
-                         size_t est_build_bytes, JoinStats* js) {
+JoinPairs GraceJoinPairsKeys(const JoinKeyColumn& probe,
+                             const JoinKeyColumn& build,
+                             const std::vector<size_t>& weights,
+                             const ExecContext& exec, size_t est_build_bytes,
+                             JoinStats* js) {
   const size_t budget = exec.join_spill_budget_bytes;
   const std::string& dir = exec.join_spill_dir;  // "" -> DefaultSpillDir()
   const size_t workers = exec.parallel() ? exec.max_parallelism : 1;
   const size_t nparts = GracePartitionCount(est_build_bytes, budget, workers);
   const uint64_t part_mask = nparts - 1;
   const uint64_t hash_mask = exec.join_hash_mask;
-  const auto pc = static_cast<size_t>(probe_col);
-  const auto bc = static_cast<size_t>(build_col);
   size_t base_bits = 0;
   while ((size_t{1} << base_bits) < nparts) ++base_bits;
   SpillCounters sc;
 
   // 1. Scatter, as in the radix join, but also tallying per-partition
-  // build footprint so the classifier below can pick residents.
+  // build footprint (payload weights, not key bytes) so the classifier
+  // below can pick residents.
   const size_t nchunks =
       std::clamp<size_t>(build.size() / kMinScatterRowsPerChunk, 1, workers);
   const size_t chunk_rows = (build.size() + nchunks - 1) / nchunks;
@@ -738,12 +837,11 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
         bytes.assign(nparts, 0);
         const size_t hi = std::min(build.size(), (c + 1) * chunk_rows);
         for (size_t i = c * chunk_rows; i < hi; ++i) {
-          const Value& k = build[i].Get(bc);
-          if (k.is_null()) continue;
-          const uint64_t h = k.Hash() & hash_mask;
+          if (!build.valid[i]) continue;
+          const uint64_t h = build.hashes[i] & hash_mask;
           const size_t p = h & part_mask;
           buckets[p].emplace_back(h, static_cast<uint32_t>(i));
-          bytes[p] += build[i].MemoryBytes();
+          bytes[p] += weights[i];
         }
       });
     }
@@ -765,10 +863,10 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
   }
 
   // 3. Write spilled partitions' build runs — one task per partition, in
-  // chunk order so each run holds its rows in build-input order. A write
-  // failure (unwritable dir, disk full) reclassifies the partition as
-  // resident: the scatter buffers are only released on success, so
-  // correctness never depends on the disk.
+  // chunk order so each run holds its rows in build-input order. Only the
+  // (index, key) column pages go to disk. A write failure (unwritable dir,
+  // disk full) reclassifies the partition as resident: the scatter buffers
+  // are only released on success, so correctness never depends on the disk.
   std::vector<SpillRun> build_runs(nparts);
   std::vector<SpillRun> probe_runs(nparts);
   std::vector<uint8_t> spill_ok(nparts, 0);
@@ -779,14 +877,13 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
       tg.Run([&, p] {
         Status st = build_runs[p].Open(dir, "b" + std::to_string(p));
         std::string buf;
-        size_t rows = 0;
+        SpillPageWriter writer(&build, &buf);
         size_t wbytes = 0;
         for (const auto& buckets : scatter) {
           if (!st.ok()) break;
           for (const auto& [h, idx] : buckets[p]) {
             (void)h;
-            EncodeSpillRecord(idx, build[idx], &buf);
-            ++rows;
+            writer.Add(idx, idx);
             if (buf.size() >= kSpillFlushBytes) {
               wbytes += buf.size();
               st = build_runs[p].Append(buf);
@@ -796,12 +893,15 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
           }
         }
         if (st.ok()) {
+          writer.Flush();
           wbytes += buf.size();
           st = build_runs[p].Append(buf);
         }
         if (st.ok()) {
           spill_ok[p] = 1;
-          sc.rows_written.fetch_add(rows, std::memory_order_relaxed);
+          sc.rows_written.fetch_add(writer.rows(), std::memory_order_relaxed);
+          sc.pages_written.fetch_add(writer.pages(),
+                                     std::memory_order_relaxed);
           sc.bytes_written.fetch_add(wbytes, std::memory_order_relaxed);
         } else {
           build_runs[p].Discard();
@@ -836,14 +936,15 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
   }
 
   // 5. Probe, streaming: rows hitting a resident partition emit pairs into
-  // per-morsel buffers; rows hitting a spilled partition encode into
-  // per-morsel spill buffers, flushed to the partition's probe run under a
-  // per-partition mutex. Run write order is irrelevant — records carry
+  // per-morsel buffers; rows hitting a spilled partition accumulate into
+  // per-morsel key pages, flushed to the partition's probe run under a
+  // per-partition mutex. Run write order is irrelevant — page slots carry
   // their probe index and the final sort restores order.
   const size_t nprobe =
-      probe.empty() ? 0
-                    : std::clamp<size_t>(probe.size() / kMinProbeRowsPerMorsel,
-                                         1, workers * 4);
+      probe.size() == 0
+          ? 0
+          : std::clamp<size_t>(probe.size() / kMinProbeRowsPerMorsel, 1,
+                               workers * 4);
   std::vector<JoinPairs> partial(nprobe);
   std::vector<uint8_t> probe_spill_ok(nparts, 1);
   // Leaf locks: workers hold nothing else while flushing a spill buffer.
@@ -855,28 +956,30 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
     for (size_t w = 0; w < std::min(workers, nprobe); ++w) {
       tg.Run([&] {
         std::vector<std::string> bufs(nparts);
-        std::vector<size_t> buf_rows(nparts, 0);
+        std::vector<SpillPageWriter> writers;
+        writers.reserve(nparts);
+        for (size_t p = 0; p < nparts; ++p)
+          writers.emplace_back(&probe, &bufs[p]);
         for (size_t m = next.fetch_add(1, std::memory_order_relaxed);
              m < nprobe; m = next.fetch_add(1, std::memory_order_relaxed)) {
           const size_t lo = m * probe_rows;
           const size_t hi = std::min(probe.size(), lo + probe_rows);
           JoinPairs& pout = partial[m];
           for (size_t i = lo; i < hi; ++i) {
-            const Value& k = probe[i].Get(pc);
-            if (k.is_null()) continue;
-            const uint64_t h = k.Hash() & hash_mask;
+            if (!probe.valid[i]) continue;
+            const uint64_t h = probe.hashes[i] & hash_mask;
             const size_t p = h & part_mask;
             if (resident[p]) {
               parts[p].ForEachHashMatch(h, [&](uint32_t r) {
-                if (build[r].Get(bc) != k) return;
+                if (!JoinKeyEquals(probe, i, build, r)) return;
                 pout.emplace_back(static_cast<uint32_t>(i), r);
               });
             } else {
-              EncodeSpillRecord(static_cast<uint32_t>(i), probe[i], &bufs[p]);
-              ++buf_rows[p];
+              writers[p].Add(static_cast<uint32_t>(i), i);
             }
           }
           for (size_t p = 0; p < nparts; ++p) {
+            writers[p].Flush();
             if (bufs[p].empty()) continue;
             MutexLock lock(&part_mu[p]);
             Status st;
@@ -884,15 +987,17 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
               st = probe_runs[p].Open(dir, "p" + std::to_string(p));
             if (st.ok()) st = probe_runs[p].Append(bufs[p]);
             if (st.ok()) {
-              sc.rows_written.fetch_add(buf_rows[p],
+              sc.rows_written.fetch_add(writers[p].rows(),
                                         std::memory_order_relaxed);
+              sc.pages_written.fetch_add(writers[p].pages(),
+                                         std::memory_order_relaxed);
               sc.bytes_written.fetch_add(bufs[p].size(),
                                          std::memory_order_relaxed);
             } else {
               probe_spill_ok[p] = 0;  // guarded by part_mu[p]
             }
             bufs[p].clear();
-            buf_rows[p] = 0;
+            writers[p].ResetCounters();
           }
         }
       });
@@ -915,9 +1020,8 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
     Status st;
     if (probe_spill_ok[p]) {
       st = JoinSpilledPartition(std::move(build_runs[p]),
-                                std::move(probe_runs[p]), probe_col,
-                                build_col, exec, dir, base_bits, 0, &sc,
-                                &part_pairs);
+                                std::move(probe_runs[p]), weights, exec, dir,
+                                base_bits, 0, &sc, &part_pairs);
     } else {
       st = Status::IOError("probe-side spill failed");
       build_runs[p].Discard();
@@ -930,8 +1034,8 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
                    "htapdb: grace join partition %zu recomputed in memory "
                    "(%s)\n",
                    p, st.ToString().c_str());
-      JoinPartitionInMemory(probe, build, probe_col, build_col, hash_mask,
-                            part_mask, p, &pairs);
+      JoinPartitionInMemoryKeys(probe, build, hash_mask, part_mask, p,
+                                &pairs);
     }
   }
 
@@ -945,6 +1049,8 @@ JoinPairs GraceJoinPairs(const std::vector<Row>& probe,
   js->spill_rows_written = sc.rows_written.load(std::memory_order_relaxed);
   js->spill_bytes_written = sc.bytes_written.load(std::memory_order_relaxed);
   js->spill_bytes_read = sc.bytes_read;
+  js->spill_pages_written = sc.pages_written.load(std::memory_order_relaxed);
+  js->spill_pages_read = sc.pages_read;
   js->spill_max_recursion = sc.max_depth;
   return pairs;
 }
@@ -955,6 +1061,24 @@ size_t EstimateRowsBytes(const std::vector<Row>& rows) {
   size_t bytes = 0;
   for (const Row& r : rows) bytes += r.MemoryBytes();
   return bytes;
+}
+
+std::vector<size_t> EstimateBatchRowBytes(
+    const std::vector<ColumnBatch>& batches) {
+  std::vector<size_t> out;
+  out.reserve(TotalActiveRows(batches));
+  for (const ColumnBatch& b : batches) {
+    b.ForEachActive([&](size_t i) {
+      // Mirrors Row::MemoryBytes for the materialized image of this row:
+      // the Row shell, one Value per column, and string heap payloads.
+      size_t bytes = sizeof(Row) + b.columns.size() * sizeof(Value);
+      for (const ColumnVector& cv : b.columns)
+        if (cv.type() == Type::kString && !cv.IsNull(i))
+          bytes += cv.GetString(i).capacity();
+      out.push_back(bytes);
+    });
+  }
+  return out;
 }
 
 Value JoinKeyColumn::GetValue(size_t i) const {
@@ -1108,9 +1232,26 @@ JoinKeyColumn ExtractJoinKeys(const std::vector<ColumnBatch>& batches,
   return k;
 }
 
+namespace {
+
+/// Grace-budget weights when the caller supplies none: the key column's own
+/// per-slot footprint (all that would spill anyway).
+std::vector<size_t> KeySlotBytes(const JoinKeyColumn& k) {
+  std::vector<size_t> w(k.size(), sizeof(uint32_t) + sizeof(int64_t));
+  if (k.mixed) {
+    for (size_t i = 0; i < k.size(); ++i) w[i] = k.boxed[i].MemoryBytes();
+  } else if (k.type == Type::kString) {
+    for (size_t i = 0; i < k.size(); ++i) w[i] += k.strs[i].capacity();
+  }
+  return w;
+}
+
+}  // namespace
+
 JoinPairs HashJoinPairsKeys(const JoinKeyColumn& probe,
                             const JoinKeyColumn& build,
-                            const ExecContext& exec, JoinStats* stats) {
+                            const ExecContext& exec, JoinStats* stats,
+                            const std::vector<size_t>* build_weights) {
   const Stopwatch sw;
   JoinStats local;
   JoinStats* js = stats != nullptr ? stats : &local;
@@ -1118,6 +1259,26 @@ JoinPairs HashJoinPairsKeys(const JoinKeyColumn& probe,
   js->probe_rows = probe.size();
   const uint64_t hash_mask = exec.join_hash_mask;
   JoinPairs pairs;
+
+  const size_t budget = exec.join_spill_budget_bytes;
+  if (budget > 0) {
+    std::vector<size_t> key_weights;
+    if (build_weights == nullptr) {
+      key_weights = KeySlotBytes(build);
+      build_weights = &key_weights;
+    }
+    size_t est = 0;
+    for (size_t w : *build_weights) est += w;
+    if (est > budget) {
+      // Grace regime: the build side does not fit the configured budget.
+      // Checked before the serial fallback — spilling must trigger at any
+      // thread count.
+      pairs = GraceJoinPairsKeys(probe, build, *build_weights, exec, est, js);
+      js->output_rows = pairs.size();
+      js->seconds = sw.ElapsedSeconds();
+      return pairs;
+    }
+  }
 
   if (!exec.parallel() || build.size() < exec.min_parallel_join_build) {
     // Serial regime: one partition, built and probed inline.
@@ -1227,23 +1388,22 @@ JoinPairs HashJoinPairs(const std::vector<Row>& probe,
   js->build_rows = build.size();
   js->probe_rows = probe.size();
 
-  const size_t budget = exec.join_spill_budget_bytes;
-  const size_t est = budget > 0 ? EstimateRowsBytes(build) : 0;
-  JoinPairs pairs;
-
-  if (budget > 0 && est > budget) {
-    // Grace regime: the build side does not fit the configured budget.
-    // Checked before the serial fallback — spilling must trigger at any
-    // thread count. Stays row-based: partitions spill whole rows.
-    pairs = GraceJoinPairs(probe, build, probe_col, build_col, exec, est, js);
-  } else {
-    // In-memory regimes run on extracted key columns: typed values plus
-    // precomputed hashes, so the serial and radix loops never box a Value.
-    // The typed hashes equal Value::Hash, keeping pair order byte-identical
-    // to the historical row-at-a-time join.
-    pairs = HashJoinPairsKeys(ExtractJoinKeys(probe, probe_col),
-                              ExtractJoinKeys(build, build_col), exec, js);
+  // All regimes run on extracted key columns: typed values plus precomputed
+  // hashes, so the serial and radix loops never box a Value, and the grace
+  // path spills only (index, key) pages. The typed hashes equal Value::Hash,
+  // keeping pair order byte-identical to the historical row-at-a-time join.
+  // Grace-budget weights are the rows' materialized footprints, so a given
+  // budget spills exactly when the historical row spill did.
+  std::vector<size_t> weights;
+  const std::vector<size_t>* wp = nullptr;
+  if (exec.join_spill_budget_bytes > 0) {
+    weights.reserve(build.size());
+    for (const Row& r : build) weights.push_back(r.MemoryBytes());
+    wp = &weights;
   }
+  JoinPairs pairs =
+      HashJoinPairsKeys(ExtractJoinKeys(probe, probe_col),
+                        ExtractJoinKeys(build, build_col), exec, js, wp);
 
   js->build_rows = build.size();
   js->probe_rows = probe.size();

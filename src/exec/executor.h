@@ -13,10 +13,12 @@
 //   HashJoinPairs / HashJoin   hash equi-join; three regimes ...... DESIGN §§8–9
 //     - serial: one chained table (small builds)
 //     - radix-partitioned parallel: scatter/build/probe morsels
-//     - grace (out-of-core): oversized partitions spill both sides to
-//       temporary on-disk runs (src/storage/spill_file.h) and join
-//       partition-at-a-time, recursively re-partitioning skewed
-//       partitions; triggered by ExecContext::join_spill_budget_bytes
+//     - grace (out-of-core): oversized partitions spill both sides' join
+//       keys as columnar (index, key) pages to temporary on-disk runs
+//       (src/storage/spill_file.h) and join partition-at-a-time,
+//       recursively re-partitioning skewed partitions; triggered by
+//       ExecContext::join_spill_budget_bytes. Payload columns never spill
+//       — materialization happens after the pair set is final (§13).
 //   MaterializeJoinPairs       (probe,build) index pairs -> rows
 //   SortLimit / Project        output shaping
 //
@@ -94,6 +96,12 @@ struct ExecContext {
   /// Mirrors DatabaseOptions::vectorized_batch_rows; 0 = one batch per row
   /// group.
   size_t batch_rows = 4096;
+
+  /// Batch-native joins with late materialization (DESIGN.md §13). Mirrors
+  /// DatabaseOptions::vectorized_join; the query runner additionally
+  /// requires every join input to scan as batches and the planner's
+  /// materialization cost model to prefer the late regime.
+  bool vectorized_join = true;
 
   bool parallel() const { return pool != nullptr && max_parallelism > 1; }
 };
@@ -183,10 +191,18 @@ struct JoinStats {
   bool parallel = false;   // fanned morsels onto an AP pool
   bool build_swapped = false;  // planner built on the left side (query_runner)
   size_t partitions_spilled = 0;  // top-level partitions that went to disk
-  size_t spill_rows_written = 0;  // records written across both sides
+  size_t spill_rows_written = 0;  // key records written across both sides
   size_t spill_bytes_written = 0;
   size_t spill_bytes_read = 0;
+  size_t spill_pages_written = 0;  // columnar key pages (DESIGN.md §13)
+  size_t spill_pages_read = 0;
   size_t spill_max_recursion = 0;  // deepest re-partition level (0 = none)
+  /// Batch-pipeline counters, filled by the query runner's batch join
+  /// (DESIGN.md §13), zero on the row path: input ColumnBatches consumed
+  /// across all join inputs, and output rows whose payload columns were
+  /// gathered only after every join filter ran (late materialization).
+  size_t join_batches = 0;
+  size_t rows_late_materialized = 0;
   double seconds = 0;      // wall time inside the operator
 };
 
@@ -235,14 +251,22 @@ JoinKeyColumn ExtractJoinKeys(const std::vector<Row>& rows, int col);
 JoinKeyColumn ExtractJoinKeys(const std::vector<ColumnBatch>& batches,
                               int col);
 
-/// The in-memory join core over pre-extracted keys: serial or
-/// radix-partitioned parallel regime (never spills — callers needing the
-/// grace path use the row overload, which spills whole rows). Pair order is
-/// the same nested-loop order as every other regime.
+/// The join core over pre-extracted keys: serial, radix-partitioned
+/// parallel, or grace (spilling) regime. The grace path triggers when
+/// exec.join_spill_budget_bytes is set and the build side's estimated
+/// footprint exceeds it; `build_weights` (parallel to `build`, optional)
+/// supplies per-slot footprints — callers joining rows pass Row::MemoryBytes
+/// so budget semantics match the historical row spill, batch callers pass
+/// payload estimates (EstimateBatchRowBytes), and without weights the key
+/// column's own footprint is used. Spilled partitions hold only (input
+/// index, key) column-slice pages (src/storage/spill_file.h) — payloads are
+/// late-materialized after the join, so they never touch disk. Pair order
+/// is the same nested-loop order in every regime.
 JoinPairs HashJoinPairsKeys(const JoinKeyColumn& probe,
                             const JoinKeyColumn& build,
                             const ExecContext& exec,
-                            JoinStats* stats = nullptr);
+                            JoinStats* stats = nullptr,
+                            const std::vector<size_t>* build_weights = nullptr);
 
 /// Materializes join pairs as concatenated rows, one per pair, in pair
 /// order: probe ++ build columns, or build ++ probe when
@@ -273,6 +297,13 @@ std::vector<Row> HashJoin(const std::vector<Row>& left,
 /// Estimated in-memory footprint of `rows` (sum of Row::MemoryBytes) — the
 /// quantity compared against join_spill_budget_bytes.
 size_t EstimateRowsBytes(const std::vector<Row>& rows);
+
+/// Per-active-row footprint estimates for batch join inputs, one entry per
+/// dense active position in batch order — the batch pipeline's equivalent
+/// of Row::MemoryBytes for grace-budget accounting (same formula, so a
+/// given budget spills the batch and row regimes alike).
+std::vector<size_t> EstimateBatchRowBytes(
+    const std::vector<ColumnBatch>& batches);
 
 /// Hash aggregation. With empty `group_cols`, emits one global row. Output
 /// row layout: group values then one value per AggSpec.

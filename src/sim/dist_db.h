@@ -138,6 +138,16 @@ class DistributedDb {
                                   bool include_delta = true,
                                   ScanStats* stats = nullptr);
 
+  /// Vectorized learner scan (DESIGN.md §12/§13): the same shard walk,
+  /// visibility, and stats as AnalyticalScan, but each shard's learner
+  /// emits ColumnBatches of at most `batch_rows` rows (0 = one batch per
+  /// row group), concatenated in shard order —
+  /// BatchesToRows(result) is byte-identical to AnalyticalScan's output.
+  std::vector<ColumnBatch> AnalyticalScanBatches(
+      uint32_t table_id, const Predicate& pred,
+      const std::vector<int>& projection, size_t batch_rows,
+      bool include_delta = true, ScanStats* stats = nullptr);
+
   /// Forces all learner deltas to merge into their column tables.
   void SyncLearners();
 

@@ -1,6 +1,6 @@
-// SpillRun: a temporary on-disk run of encoded records for out-of-core
-// operators — currently the grace hash join (DESIGN.md §9), which spills
-// oversized build/probe partitions here and reads them back
+// SpillRun: a temporary on-disk run of encoded bytes for out-of-core
+// operators — currently the grace hash join (DESIGN.md §§9, 13), which
+// spills oversized build/probe partitions here and reads them back
 // partition-at-a-time.
 //
 // A run is append-then-read: the producer appends encoded bytes, the
@@ -9,14 +9,23 @@
 // the chosen directory (DefaultSpillDir() = the system temp directory), so
 // tooling can find leaks by prefix — ci.sh fails the build if any
 // `htap-spill-*` file survives a bench or test run.
+//
+// SpillPage is the unit the grace join writes: a column slice of join keys
+// plus the rows' original input indices. Payload columns never spill — the
+// join is late-materializing (DESIGN.md §13), so only (index, key) pairs go
+// to disk and a partition rehydrates straight into a key column, not rows.
+// A page is self-delimiting; a run is a concatenation of pages.
 
 #ifndef HTAP_STORAGE_SPILL_FILE_H_
 #define HTAP_STORAGE_SPILL_FILE_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "types/value.h"
 
 namespace htap {
 
@@ -58,6 +67,33 @@ class SpillRun {
   std::string path_;
   size_t bytes_ = 0;
 };
+
+/// One column slice of spilled join keys: the rows' original dense input
+/// indices plus the key values, stored as a typed vector (or boxed Values
+/// when the extracted key column mixed value types). NULL keys never join,
+/// so pages carry no null bitmap; hashes are recomputed on rehydration via
+/// the Value::Hash-consistent typed primitives.
+struct SpillPage {
+  std::vector<uint32_t> idx;      // original input indices, page-local order
+  Type type = Type::kInt64;       // payload type when !boxed
+  bool boxed = false;             // mixed-type key column: Value payload
+  std::vector<int64_t> ints;      // type == kInt64, !boxed
+  std::vector<double> doubles;    // type == kDouble, !boxed
+  std::vector<std::string> strs;  // type == kString, !boxed
+  std::vector<Value> vals;        // boxed only
+
+  size_t rows() const { return idx.size(); }
+};
+
+/// Appends the page's binary image: row count, kind byte, raw little-endian
+/// fixed-width slots for idx/ints/doubles, length-prefixed strings, and
+/// Value::EncodeTo for boxed payloads. Pages are self-delimiting, so a run
+/// holds any number back to back.
+void EncodeSpillPage(const SpillPage& page, std::string* out);
+
+/// Decodes one page starting at *pos, advancing *pos past it. Returns false
+/// on malformed input (truncated page, unknown kind byte).
+bool DecodeSpillPage(const std::string& in, size_t* pos, SpillPage* out);
 
 }  // namespace htap
 

@@ -56,6 +56,21 @@ then
   FAILED_SUITES+=("bench/vectorized-scan")
 fi
 
+echo "== bench smoke: scale-out cluster (determinism + Table 1 curves) =="
+cmake --build build -j "$JOBS" --target bench_scaleout
+# Run twice and byte-compare: the sim is virtual-time-deterministic, so any
+# diff means nondeterminism crept into the cluster model. The run itself
+# fails if a config loses committed work or fails to converge.
+if ./build/bench/bench_scaleout smoke > build/bench_scaleout_1.log &&
+   ./build/bench/bench_scaleout smoke > build/bench_scaleout_2.log &&
+   cmp -s build/bench_scaleout_1.log build/bench_scaleout_2.log; then
+  cat build/bench_scaleout_1.log | tee -a build/bench_smoke.log
+else
+  echo "FAIL: scaleout smoke (nondeterministic output or lost work)" >&2
+  diff build/bench_scaleout_1.log build/bench_scaleout_2.log >&2 || true
+  FAILED_SUITES+=("bench/scaleout")
+fi
+
 echo "== bench regression gate (vs BENCH_baseline.json) =="
 # Accumulated, not fail-fast: a throughput blip on a noisy runner must not
 # mask correctness-suite results below.
@@ -77,7 +92,8 @@ echo "== asan+ubsan: executor/join/spill tests =="
 ASAN_TESTS=(executor_test parallel_scan_test parallel_join_test
             grace_join_test columnar_test vectorized_exec_test
             vectorized_join_test encoding_property_test
-            thread_safety_regression_test)
+            thread_safety_regression_test
+            sim_test raft_test dist_db_test)
 cmake -B build-asan -S . -DHTAP_ASAN=ON > /dev/null
 cmake --build build-asan -j "$JOBS" --target "${ASAN_TESTS[@]}"
 for t in "${ASAN_TESTS[@]}"; do
@@ -88,7 +104,8 @@ echo "== tsan: concurrency tests =="
 TSAN_TESTS=(parallel_scan_test parallel_join_test grace_join_test
             columnar_test executor_test common_test sync_test scheduler_test
             vectorized_exec_test vectorized_join_test
-            thread_safety_regression_test)
+            thread_safety_regression_test
+            sim_test raft_test dist_db_test)
 cmake -B build-tsan -S . -DHTAP_TSAN=ON > /dev/null
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
 for t in "${TSAN_TESTS[@]}"; do

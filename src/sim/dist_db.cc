@@ -1,11 +1,43 @@
 #include "sim/dist_db.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "sync/sync.h"
 
 namespace htap {
 namespace sim {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+void LatencyHistogram::Record(Micros v) {
+  if (v < 0) v = 0;
+  const int bucket = std::min<int>(
+      kBuckets - 1, std::bit_width(static_cast<uint64_t>(v)));
+  ++counts[static_cast<size_t>(bucket)];
+  ++total;
+  sum += v;
+  max = std::max(max, v);
+}
+
+Micros LatencyHistogram::Quantile(double q) const {
+  if (total == 0) return 0;
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts[static_cast<size_t>(i)];
+    if (seen >= target) {
+      // Bucket i holds values whose bit_width is i: [2^(i-1), 2^i - 1].
+      const Micros upper =
+          i == 0 ? 0 : static_cast<Micros>((uint64_t{1} << i) - 1);
+      return std::min(upper, max);
+    }
+  }
+  return max;
+}
 
 // ---------------------------------------------------------------------------
 // ShardStateMachine
@@ -93,10 +125,15 @@ bool ShardStateMachine::Apply(const std::string& payload) {
 
   switch (type) {
     case ShardCmdType::kApplyWrites:
+      if (finished_.count(txn_id) != 0) return true;  // duplicate: no-op
+      finished_.insert(txn_id);
       ApplyWrites(csn, writes);
       return true;
 
     case ShardCmdType::kPrepare: {
+      // A duplicate prepare sequenced after the txn's decision must not
+      // re-acquire locks that the decision already released.
+      if (finished_.count(txn_id) != 0) return true;
       // All-or-nothing lock acquisition; deterministic on every replica.
       for (const WriteOp& w : writes) {
         const auto it = locks_.find(w.key);
@@ -108,8 +145,10 @@ bool ShardStateMachine::Apply(const std::string& payload) {
     }
 
     case ShardCmdType::kCommitTxn: {
+      if (finished_.count(txn_id) != 0) return true;  // duplicate: no-op
       const auto it = prepared_.find(txn_id);
       if (it == prepared_.end()) return false;
+      finished_.insert(txn_id);
       ApplyWrites(csn, it->second);
       for (const WriteOp& w : it->second) locks_.erase(w.key);
       prepared_.erase(it);
@@ -117,8 +156,10 @@ bool ShardStateMachine::Apply(const std::string& payload) {
     }
 
     case ShardCmdType::kAbortTxn: {
+      if (finished_.count(txn_id) != 0) return true;
+      finished_.insert(txn_id);
       const auto it = prepared_.find(txn_id);
-      if (it == prepared_.end()) return false;
+      if (it == prepared_.end()) return true;  // prepare never landed here
       for (const WriteOp& w : it->second) locks_.erase(w.key);
       prepared_.erase(it);
       return true;
@@ -156,6 +197,15 @@ bool ShardStateMachine::Get(uint32_t table_id, Key key, Row* out) const {
 
 size_t ShardStateMachine::row_count() const { return data_.size(); }
 
+std::vector<std::pair<Key, Row>> ShardStateMachine::Rows(
+    uint32_t table_id) const {
+  std::vector<std::pair<Key, Row>> out;
+  for (auto it = data_.lower_bound({table_id, std::numeric_limits<Key>::min()});
+       it != data_.end() && it->first.first == table_id; ++it)
+    out.emplace_back(it->first.second, it->second);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // DistributedDb
 // ---------------------------------------------------------------------------
@@ -168,6 +218,7 @@ DistributedDb::DistributedDb(SimEnv* env, Options options)
   tso_ = std::make_unique<SimNode>(env_, tso_id_);
 
   shards_.resize(static_cast<size_t>(options_.num_shards));
+  shard_counters_.resize(static_cast<size_t>(options_.num_shards));
   for (int s = 0; s < options_.num_shards; ++s) {
     ShardRuntime& rt = shards_[static_cast<size_t>(s)];
     std::vector<NodeId> voters;
@@ -226,164 +277,294 @@ void DistributedDb::ScheduleLearnerMerge() {
   });
 }
 
-void DistributedDb::WithLeader(int shard, int attempts,
-                               std::function<void(RaftNode*)> fn,
-                               std::function<void()> on_fail) {
-  RaftNode* leader = groups_[static_cast<size_t>(shard)]->leader();
-  if (leader != nullptr) {
-    fn(leader);
+// ---- Gateway RPC layer (timeout / retry / backoff) ------------------------
+
+void DistributedDb::CallShard(int shard, std::string cmd, bool want_vote,
+                              uint64_t txn_id,
+                              std::function<void(bool, bool)> done) {
+  auto call = std::make_shared<RpcCall>();
+  call->shard = shard;
+  call->cmd = std::move(cmd);
+  call->want_vote = want_vote;
+  call->txn_id = txn_id;
+  call->attempts_left = options_.rpc.max_attempts;
+  call->backoff = options_.rpc.backoff_micros;
+  call->done = std::move(done);
+  StartRpcAttempt(std::move(call));
+}
+
+void DistributedDb::SettleRpc(std::shared_ptr<RpcCall> call, bool ok,
+                              bool vote) {
+  if (call->settled) return;
+  call->settled = true;
+  if (call->done) call->done(ok, vote);
+}
+
+void DistributedDb::RetryRpc(std::shared_ptr<RpcCall> call) {
+  if (call->settled) return;
+  if (--call->attempts_left <= 0) {
+    SettleRpc(std::move(call), false, false);
     return;
   }
-  if (attempts <= 0) {
-    on_fail();
-    return;
-  }
-  env_->Schedule(5000, [this, shard, attempts, fn = std::move(fn),
-                        on_fail = std::move(on_fail)]() mutable {
-    WithLeader(shard, attempts - 1, std::move(fn), std::move(on_fail));
+  ++rpc_retries_;
+  // Invalidate the outstanding timeout so it cannot double-retry while
+  // this retry waits out its backoff.
+  ++call->attempt_serial;
+  const Micros delay = call->backoff;
+  call->backoff = std::min<Micros>(
+      static_cast<Micros>(static_cast<double>(call->backoff) *
+                          options_.rpc.backoff_multiplier),
+      options_.rpc.max_backoff_micros);
+  env_->Schedule(delay, [this, call = std::move(call)] {
+    StartRpcAttempt(call);
   });
+}
+
+void DistributedDb::StartRpcAttempt(std::shared_ptr<RpcCall> call) {
+  if (call->settled) return;
+  ++rpc_attempts_;
+  RaftNode* leader = groups_[static_cast<size_t>(call->shard)]->leader();
+  if (leader == nullptr) {
+    // Election window: back off and re-resolve.
+    ++rpc_no_leader_;
+    RetryRpc(std::move(call));
+    return;
+  }
+  const int my = ++call->attempt_serial;
+  const NodeId leader_id = leader->id();
+  const int shard = call->shard;
+
+  // Per-attempt timeout at the gateway; stale timeouts (a newer attempt
+  // superseded this one) are ignored.
+  env_->Schedule(options_.rpc.timeout_micros, [this, call, my] {
+    if (!call->settled && call->attempt_serial == my) {
+      ++rpc_timeouts_;
+      RetryRpc(call);
+    }
+  });
+
+  net_.Send(gateway_id_, leader_id, [this, call, my, leader, leader_id,
+                                     shard] {
+    leader->Execute(options_.raft.rpc_cpu_cost, [this, call, my, leader,
+                                                 leader_id, shard] {
+      // Replies travel the network back to the gateway. A success settles
+      // the call even if it raced a newer attempt (the command is
+      // idempotent); a failure only retries if it is the current attempt.
+      auto reply = [this, call, my, leader_id](bool ok, bool vote) {
+        net_.Send(leader_id, gateway_id_, [this, call, my, ok, vote] {
+          if (call->settled) return;
+          if (ok) {
+            SettleRpc(call, true, vote);
+          } else if (call->attempt_serial == my) {
+            RetryRpc(call);
+          }
+        });
+      };
+      const bool accepted = leader->Propose(
+          call->cmd,
+          [this, call, leader_id, shard, reply](bool committed, uint64_t) {
+            bool vote = true;
+            if (committed && call->want_vote) {
+              // Deterministic 2PC vote: read it off the serving node's
+              // machine (the entry has been applied there).
+              const auto& machines =
+                  shards_[static_cast<size_t>(shard)].machines;
+              const auto it = machines.find(leader_id);
+              vote = it != machines.end() &&
+                     it->second->PrepareSucceeded(call->txn_id);
+            }
+            reply(committed, vote);
+          });
+      if (!accepted) reply(false, false);  // lost leadership in flight
+    });
+  });
+}
+
+void DistributedDb::FetchCsn(std::function<void(bool, CSN)> done) {
+  auto call = std::make_shared<TsoCall>();
+  call->attempts_left = options_.rpc.max_attempts;
+  call->done = std::move(done);
+  StartTsoAttempt(std::move(call));
+}
+
+void DistributedDb::StartTsoAttempt(std::shared_ptr<TsoCall> call) {
+  if (call->settled) return;
+  if (--call->attempts_left < 0) {
+    call->settled = true;
+    call->done(false, 0);
+    return;
+  }
+  const int my = ++call->serial;
+  env_->Schedule(options_.rpc.timeout_micros, [this, call, my] {
+    if (!call->settled && call->serial == my) {
+      ++rpc_timeouts_;
+      StartTsoAttempt(call);
+    }
+  });
+  net_.Send(gateway_id_, tso_id_, [this, call] {
+    tso_->Execute(options_.tso_cpu_cost, [this, call] {
+      const CSN csn = next_csn_++;
+      net_.Send(tso_id_, gateway_id_, [call, csn] {
+        if (call->settled) return;
+        call->settled = true;
+        call->done(true, csn);
+      });
+    });
+  });
+}
+
+// ---- Transactions ---------------------------------------------------------
+
+void DistributedDb::FinishTxn(bool committed, CSN csn, Micros start,
+                              std::function<void(bool)> done) {
+  if (committed) {
+    ++committed_;
+    commit_times_[csn] = env_->Now();
+    commit_latency_.Record(env_->Now() - start);
+  } else {
+    ++aborted_;
+  }
+  if (done) done(committed);
 }
 
 void DistributedDb::ExecuteTxn(std::vector<WriteOp> writes,
                                std::function<void(bool)> done) {
-  gateway_->Execute(options_.gateway_cpu_cost, [this, writes = std::move(writes),
+  const Micros start = env_->Now();
+  gateway_->Execute(options_.gateway_cpu_cost, [this, start,
+                                                writes = std::move(writes),
                                                 done = std::move(done)]() mutable {
     std::map<int, std::vector<WriteOp>> by_shard;
     for (WriteOp& w : writes) by_shard[ShardOf(w.key)].push_back(std::move(w));
+    if (by_shard.empty()) {
+      done(true);
+      return;
+    }
     const uint64_t txn_id = next_txn_id_++;
 
-    // Fetch a commit timestamp from the TSO (one network round trip).
-    net_.Send(gateway_id_, tso_id_, [this, txn_id,
-                                     by_shard = std::move(by_shard),
-                                     done = std::move(done)]() mutable {
-      tso_->Execute(options_.tso_cpu_cost, [this, txn_id,
-                                            by_shard = std::move(by_shard),
-                                            done = std::move(done)]() mutable {
-        const CSN csn = next_csn_++;
-        net_.Send(tso_id_, gateway_id_, [this, txn_id, csn,
-                                         by_shard = std::move(by_shard),
-                                         done = std::move(done)]() mutable {
-          if (by_shard.size() == 1) {
-            // Single-shard fast path: one Raft proposal.
-            const int shard = by_shard.begin()->first;
-            const std::string cmd = ShardStateMachine::EncodeApplyWrites(
-                txn_id, csn, by_shard.begin()->second);
-            WithLeader(
-                shard, 40,
-                [this, cmd, csn, done](RaftNode* leader) mutable {
-                  const bool ok = leader->Propose(
-                      cmd, [this, csn, done](bool committed, uint64_t) {
-                        if (committed) {
-                          ++committed_;
-                          commit_times_[csn] = env_->Now();
-                          done(true);
-                        } else {
-                          ++aborted_;
-                          done(false);
-                        }
-                      });
-                  if (!ok) {
-                    ++aborted_;
-                    done(false);
-                  }
-                },
-                [this, done] {
-                  ++aborted_;
-                  done(false);
-                });
-          } else {
-            RunTwoPhaseCommit(txn_id, csn, std::move(by_shard),
-                              std::move(done));
-          }
-        });
-      });
+    // Fetch a commit timestamp from the TSO (one retried round trip).
+    FetchCsn([this, start, txn_id, by_shard = std::move(by_shard),
+              done = std::move(done)](bool ok, CSN csn) mutable {
+      if (!ok) {
+        ++aborted_;
+        done(false);
+        return;
+      }
+      if (by_shard.size() == 1) {
+        // Single-shard fast path: one Raft proposal.
+        ++single_shard_txns_;
+        const int shard = by_shard.begin()->first;
+        CallShard(shard,
+                  ShardStateMachine::EncodeApplyWrites(
+                      txn_id, csn, by_shard.begin()->second),
+                  /*want_vote=*/false, txn_id,
+                  [this, shard, csn, start, done = std::move(done)](
+                      bool committed, bool) {
+                    if (committed)
+                      ++shard_counters_[static_cast<size_t>(shard)]
+                            .single_shard_commits;
+                    FinishTxn(committed, csn, start, done);
+                  });
+      } else {
+        ++multi_shard_txns_;
+        RunTwoPhaseCommit(txn_id, csn, std::move(by_shard), start,
+                          std::move(done));
+      }
     });
   });
 }
 
 void DistributedDb::RunTwoPhaseCommit(
     uint64_t txn_id, CSN csn, std::map<int, std::vector<WriteOp>> by_shard,
-    std::function<void(bool)> done) {
-  struct TpcState {
+    Micros start, std::function<void(bool)> done) {
+  struct Phase1 {
     size_t waiting = 0;
-    bool any_failed = false;
+    bool all_yes = true;
     std::vector<int> shards;
   };
-  auto st = std::make_shared<TpcState>();
+  auto st = std::make_shared<Phase1>();
   for (const auto& [shard, writes] : by_shard) st->shards.push_back(shard);
   st->waiting = st->shards.size();
 
-  auto self = this;
-  auto finish_phase2 = [self, st, txn_id, csn, done](bool commit) {
-    auto remaining = std::make_shared<size_t>(st->shards.size());
-    for (int shard : st->shards) {
-      const std::string cmd =
-          commit ? ShardStateMachine::EncodeCommitTxn(txn_id, csn)
-                 : ShardStateMachine::EncodeAbortTxn(txn_id);
-      self->WithLeader(
-          shard, 40,
-          [cmd, remaining, commit, self, csn, done](RaftNode* leader) {
-            leader->Propose(cmd, [remaining, commit, self, csn, done](
-                                     bool, uint64_t) {
-              if (--(*remaining) == 0) {
-                if (commit) {
-                  ++self->committed_;
-                  self->commit_times_[csn] = self->env_->Now();
-                } else {
-                  ++self->aborted_;
-                }
-                done(commit);
-              }
-            });
-          },
-          [remaining, commit, self, done, csn] {
-            if (--(*remaining) == 0) {
-              if (commit) {
-                ++self->committed_;
-                self->commit_times_[csn] = self->env_->Now();
-              } else {
-                ++self->aborted_;
-              }
-              done(commit);
-            }
-          });
-    }
-  };
-
-  // Phase 1: PREPARE on every shard through its Raft log.
+  // Phase 1: PREPARE on every shard through its Raft log. Each prepare RPC
+  // retries through leader changes; its settled vote is final.
   for (const auto& [shard, writes] : by_shard) {
-    const std::string cmd = ShardStateMachine::EncodePrepare(txn_id, writes);
-    const int shard_copy = shard;
-    WithLeader(
-        shard, 40,
-        [this, cmd, st, txn_id, shard_copy, finish_phase2](RaftNode* leader) {
-          const NodeId leader_id = leader->id();
-          const bool ok = leader->Propose(
-              cmd, [this, st, txn_id, shard_copy, leader_id, finish_phase2](
-                       bool committed, uint64_t) {
-                bool vote_yes = false;
-                if (committed) {
-                  // Deterministic outcome: read it off the leader's machine.
-                  const auto& machines =
-                      shards_[static_cast<size_t>(shard_copy)].machines;
-                  const auto it = machines.find(leader_id);
-                  vote_yes = it != machines.end() &&
-                             it->second->PrepareSucceeded(txn_id);
-                }
-                if (!vote_yes) st->any_failed = true;
-                if (--st->waiting == 0) finish_phase2(!st->any_failed);
-              });
-          if (!ok) {
-            st->any_failed = true;
-            if (--st->waiting == 0) finish_phase2(false);
+    const int s = shard;
+    CallShard(
+        s, ShardStateMachine::EncodePrepare(txn_id, writes),
+        /*want_vote=*/true, txn_id,
+        [this, st, s, txn_id, csn, start, done](bool ok, bool vote) {
+          const bool yes = ok && vote;
+          auto& counters = shard_counters_[static_cast<size_t>(s)];
+          if (yes)
+            ++counters.prepares_ok;
+          else
+            ++counters.prepares_failed;
+          if (!yes) st->all_yes = false;
+          if (--st->waiting != 0) return;
+
+          // Decision point (presumed commit): all prepares are in the
+          // Raft logs, so the outcome is now durable. Commit accounting
+          // happens here; the client callback fires once every shard has
+          // applied the decision (locks released everywhere).
+          const bool commit = st->all_yes;
+          if (commit) {
+            ++committed_;
+            commit_times_[csn] = env_->Now();
+          } else {
+            ++aborted_;
           }
-        },
-        [st, finish_phase2] {
-          st->any_failed = true;
-          if (--st->waiting == 0) finish_phase2(false);
+          PendingDecision d;
+          d.commit = commit;
+          d.csn = csn;
+          d.start = start;
+          d.done = done;
+          for (int sh : st->shards) {
+            d.shards.insert(sh);
+            auto& c = shard_counters_[static_cast<size_t>(sh)];
+            if (commit)
+              ++c.tpc_commits;
+            else
+              ++c.tpc_aborts;
+          }
+          pending_decisions_[txn_id] = std::move(d);
+          for (int sh : st->shards) DriveDecision(txn_id, sh);
         });
   }
 }
+
+void DistributedDb::DriveDecision(uint64_t txn_id, int shard) {
+  const auto it = pending_decisions_.find(txn_id);
+  if (it == pending_decisions_.end() || it->second.shards.count(shard) == 0)
+    return;
+  const bool commit = it->second.commit;
+  const std::string cmd =
+      commit ? ShardStateMachine::EncodeCommitTxn(txn_id, it->second.csn)
+             : ShardStateMachine::EncodeAbortTxn(txn_id);
+  CallShard(shard, cmd, /*want_vote=*/false, txn_id,
+            [this, txn_id, shard](bool ok, bool) {
+              const auto it = pending_decisions_.find(txn_id);
+              if (it == pending_decisions_.end()) return;
+              if (ok) {
+                it->second.shards.erase(shard);
+                if (!it->second.shards.empty()) return;
+                PendingDecision d = std::move(it->second);
+                pending_decisions_.erase(it);
+                if (d.commit)
+                  commit_latency_.Record(env_->Now() - d.start);
+                if (d.done) d.done(d.commit);
+                return;
+              }
+              // RPC budget exhausted (shard partitioned / leaderless for
+              // long): the resolver re-drives the decision until applied.
+              ++resolver_retries_;
+              env_->Schedule(options_.resolver_retry_interval,
+                             [this, txn_id, shard] {
+                               DriveDecision(txn_id, shard);
+                             });
+            });
+}
+
+// ---- Reads & scans --------------------------------------------------------
 
 bool DistributedDb::Read(uint32_t table_id, Key key, Row* out) {
   const int shard = ShardOf(key);
@@ -470,6 +651,41 @@ void DistributedDb::SyncLearners() {
   }
 }
 
+// ---- Fault injection ------------------------------------------------------
+
+NodeId DistributedDb::CrashShardLeader(int shard) {
+  RaftNode* leader = groups_[static_cast<size_t>(shard)]->leader();
+  if (leader == nullptr) return -1;
+  ++crashes_injected_;
+  leader->Crash();
+  return leader->id();
+}
+
+void DistributedDb::RestartDeadNodes() {
+  for (auto& g : groups_) {
+    for (NodeId id : g->voter_ids()) {
+      RaftNode* n = g->node(id);
+      if (!n->alive()) n->Restart();
+    }
+    for (NodeId id : g->learner_ids()) {
+      RaftNode* n = g->node(id);
+      if (!n->alive()) n->Restart();
+    }
+  }
+}
+
+void DistributedDb::IsolateNode(int shard, NodeId node) {
+  ++partitions_injected_;
+  RaftGroup* g = groups_[static_cast<size_t>(shard)].get();
+  for (NodeId id : g->voter_ids())
+    if (id != node) net_.Partition(node, id);
+  for (NodeId id : g->learner_ids())
+    if (id != node) net_.Partition(node, id);
+  net_.Partition(node, gateway_id_);
+}
+
+// ---- Observability --------------------------------------------------------
+
 CSN DistributedDb::LearnerMergedCsn(uint32_t table_id) const {
   CSN csn = 0;
   for (const auto& rt : shards_) {
@@ -494,6 +710,133 @@ CSN DistributedDb::LearnerReplicatedCsn(uint32_t) const {
 Micros DistributedDb::CommitTimeOf(CSN csn) const {
   const auto it = commit_times_.lower_bound(csn);
   return it == commit_times_.end() ? 0 : it->second;
+}
+
+Micros DistributedDb::FreshnessLagMicros(CSN frontier) const {
+  if (commit_times_.empty()) return 0;
+  if (frontier >= commit_times_.rbegin()->first) return 0;
+  // Age of the oldest committed change the frontier has not yet covered.
+  const auto it = commit_times_.upper_bound(frontier);
+  if (it == commit_times_.end()) return 0;
+  return env_->Now() - it->second;
+}
+
+bool DistributedDb::Converged() const {
+  if (!pending_decisions_.empty()) return false;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const RaftGroup* g = groups_[s].get();
+    RaftNode* leader = g->leader();
+    if (leader == nullptr) return false;
+    const uint64_t commit = leader->commit_index();
+    if (leader->last_applied() != commit) return false;
+    for (NodeId id : g->voter_ids()) {
+      RaftNode* n = g->node(id);
+      if (!n->alive()) continue;  // a crashed voter catches up on Restart
+      if (n->commit_index() != commit || n->last_applied() != commit)
+        return false;
+    }
+    // The learner anchors freshness: it must be live and fully applied.
+    for (NodeId id : g->learner_ids()) {
+      RaftNode* n = g->node(id);
+      if (!n->alive() || n->commit_index() != commit ||
+          n->last_applied() != commit)
+        return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<Key, Row>> DistributedDb::LeaderRows(
+    uint32_t table_id) const {
+  std::vector<std::pair<Key, Row>> out;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    RaftNode* leader = groups_[s]->leader();
+    if (leader == nullptr) continue;
+    const auto it = shards_[s].machines.find(leader->id());
+    if (it == shards_[s].machines.end()) continue;
+    auto part = it->second->Rows(table_id);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<std::pair<Key, Row>> DistributedDb::LearnerRows(
+    uint32_t table_id) const {
+  std::vector<std::pair<Key, Row>> out;
+  for (const auto& rt : shards_) {
+    if (rt.learner_id < 0) continue;
+    const auto it = rt.machines.find(rt.learner_id);
+    if (it == rt.machines.end()) continue;
+    auto part = it->second->Rows(table_id);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+ClusterStats DistributedDb::GetClusterStats() const {
+  ClusterStats stats;
+  stats.committed = committed_;
+  stats.aborted = aborted_;
+  stats.single_shard_txns = single_shard_txns_;
+  stats.multi_shard_txns = multi_shard_txns_;
+  stats.rpc_attempts = rpc_attempts_;
+  stats.rpc_timeouts = rpc_timeouts_;
+  stats.rpc_no_leader = rpc_no_leader_;
+  stats.rpc_retries = rpc_retries_;
+  stats.resolver_retries = resolver_retries_;
+  stats.unresolved_txns = pending_decisions_.size();
+  stats.crashes_injected = crashes_injected_;
+  stats.partitions_injected = partitions_injected_;
+  stats.messages_sent = net_.messages_sent();
+  stats.messages_dropped = net_.messages_dropped();
+  stats.commit_latency = commit_latency_;
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ClusterStats::Shard sh;
+    sh.shard = static_cast<int>(s);
+    const RaftGroup* g = groups_[s].get();
+    RaftNode* leader = g->leader();
+    if (leader != nullptr) {
+      sh.leader = leader->id();
+      sh.term = leader->term();
+      sh.log_entries = leader->log_size();
+    }
+    for (NodeId id : g->voter_ids()) {
+      sh.elections_started += g->node(id)->elections_started();
+      sh.leader_changes += g->node(id)->leaderships_won();
+    }
+    const ShardCounters& c = shard_counters_[s];
+    sh.single_shard_commits = c.single_shard_commits;
+    sh.prepares_ok = c.prepares_ok;
+    sh.prepares_failed = c.prepares_failed;
+    sh.tpc_commits = c.tpc_commits;
+    sh.tpc_aborts = c.tpc_aborts;
+    stats.shards.push_back(sh);
+  }
+
+  std::vector<uint32_t> table_ids;
+  table_ids.reserve(schemas_.size());
+  for (const auto& [tid, schema] : schemas_) table_ids.push_back(tid);
+  std::sort(table_ids.begin(), table_ids.end());
+  const CSN leader_csn =
+      commit_times_.empty() ? 0 : commit_times_.rbegin()->first;
+  for (uint32_t tid : table_ids) {
+    ClusterStats::TableFreshness f;
+    f.table_id = tid;
+    f.leader_csn = leader_csn;
+    f.replicated_csn = LearnerReplicatedCsn(tid);
+    f.merged_csn = LearnerMergedCsn(tid);
+    f.replication_lag_micros = FreshnessLagMicros(f.replicated_csn);
+    f.merge_lag_micros = FreshnessLagMicros(f.merged_csn);
+    stats.tables.push_back(f);
+  }
+  return stats;
 }
 
 }  // namespace sim

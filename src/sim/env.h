@@ -114,6 +114,11 @@ class SimNetwork {
     env_->Schedule(options_.base_latency_micros + jitter, std::move(handler));
   }
 
+  /// Runtime fault knob: message-loss probability for every subsequent
+  /// Send (the constructor option seeds the initial value).
+  void set_drop_probability(double p) { options_.drop_probability = p; }
+  double drop_probability() const { return options_.drop_probability; }
+
   void Partition(NodeId a, NodeId b) {
     partitions_.insert({std::min(a, b), std::max(a, b)});
   }

@@ -43,6 +43,7 @@ void RaftNode::Crash() {
   FailPendingProposals();
   next_index_.clear();
   match_index_.clear();
+  append_inflight_.clear();
   votes_received_ = 0;
   ++timer_epoch_;  // cancels outstanding timers
 }
@@ -71,6 +72,7 @@ void RaftNode::ArmElectionTimer() {
 }
 
 void RaftNode::StartElection() {
+  ++elections_started_;
   ++term_;
   role_ = RaftRole::kCandidate;
   voted_for_ = id_;
@@ -137,6 +139,7 @@ void RaftNode::BecomeFollower(uint64_t term) {
 
 void RaftNode::BecomeLeader() {
   if (role_ != RaftRole::kCandidate) return;
+  ++leaderships_won_;
   role_ = RaftRole::kLeader;
   leader_hint_ = id_;
   ++timer_epoch_;  // stop election timer
@@ -150,8 +153,9 @@ void RaftNode::BecomeLeader() {
     next_index_[peer] = LastLogIndex() + 1;
     match_index_[peer] = 0;
   }
+  append_inflight_.clear();
   match_index_[id_] = LastLogIndex();
-  BroadcastAppend();
+  BroadcastAppend(/*force=*/true);
   ArmHeartbeat();
 }
 
@@ -163,15 +167,20 @@ bool RaftNode::Propose(std::string payload,
   match_index_[id_] = index;
   if (on_commit) pending_[index] = std::move(on_commit);
   if (voters_.size() == 1) AdvanceLeaderCommit();
-  BroadcastAppend();
+  BroadcastAppend(/*force=*/false);
   return true;
 }
 
-void RaftNode::BroadcastAppend() {
+void RaftNode::BroadcastAppend(bool force) {
+  // force=false (Propose path): skip peers with an append already in
+  // flight — their reply triggers the next send, which then carries every
+  // entry queued meanwhile (natural batching). force=true (heartbeat,
+  // new-leader probe): send regardless, recovering from dropped messages.
   if (!IsLeader()) return;
   for (NodeId peer : voters_)
-    if (peer != id_) SendAppendTo(peer);
-  for (NodeId peer : learners_) SendAppendTo(peer);
+    if (peer != id_ && (force || !append_inflight_[peer])) SendAppendTo(peer);
+  for (NodeId peer : learners_)
+    if (force || !append_inflight_[peer]) SendAppendTo(peer);
 }
 
 void RaftNode::ArmHeartbeat() {
@@ -182,7 +191,7 @@ void RaftNode::ArmHeartbeat() {
   env_->Schedule(config_.heartbeat_interval, [this, epoch, term_snapshot] {
     if (!alive_ || epoch != timer_epoch_ || term_ != term_snapshot) return;
     if (role_ != RaftRole::kLeader) return;
-    BroadcastAppend();
+    BroadcastAppend(/*force=*/true);
     ArmHeartbeat();
   });
 }
@@ -202,6 +211,7 @@ void RaftNode::SendAppendTo(NodeId peer) {
        i <= last && args.entries.size() < config_.max_entries_per_append; ++i)
     args.entries.push_back(log_[i - 1]);
 
+  append_inflight_[peer] = true;
   RaftNode* p = resolve_(peer);
   net_->Send(id_, peer, [p, args] {
     const Micros cost = p->config_.rpc_cpu_cost +
@@ -261,6 +271,7 @@ void RaftNode::HandleAppendReply(const AppendReply& reply) {
     return;
   }
   if (!IsLeader() || reply.term != term_) return;
+  append_inflight_[reply.from] = false;
   if (reply.success) {
     match_index_[reply.from] =
         std::max(match_index_[reply.from], reply.match_index);
@@ -329,10 +340,15 @@ RaftGroup::RaftGroup(SimEnv* env, SimNetwork* net,
   for (auto& [id, node] : nodes_) node->Start();
 }
 
-RaftNode* RaftGroup::leader() {
+RaftNode* RaftGroup::leader() const {
+  // A partitioned stale leader can coexist with the real one until it sees
+  // the higher term; prefer the highest-term claimant so clients route to
+  // the leader that can actually commit.
+  RaftNode* best = nullptr;
   for (auto& [id, node] : nodes_)
-    if (node->IsLeader()) return node.get();
-  return nullptr;
+    if (node->IsLeader() && (best == nullptr || node->term() > best->term()))
+      best = node.get();
+  return best;
 }
 
 RaftNode* RaftGroup::WaitForLeader(Micros deadline_from_now) {

@@ -71,6 +71,10 @@ class RaftNode : public SimNode {
   uint64_t term() const { return term_; }
   uint64_t commit_index() const { return commit_index_; }
   uint64_t last_applied() const { return last_applied_; }
+  /// Elections this node has started (ClusterStats observability).
+  uint64_t elections_started() const { return elections_started_; }
+  /// Times this node has won an election (leader changes ≈ group sum).
+  uint64_t leaderships_won() const { return leaderships_won_; }
   size_t log_size() const { return log_.size(); }
   const RaftEntry& log_entry(uint64_t index) const {
     return log_[index - 1];
@@ -113,7 +117,7 @@ class RaftNode : public SimNode {
   void StartElection();
   void BecomeFollower(uint64_t term);
   void BecomeLeader();
-  void BroadcastAppend();
+  void BroadcastAppend(bool force);
   void ArmHeartbeat();
   void SendAppendTo(NodeId peer);
   void AdvanceLeaderCommit();
@@ -137,6 +141,10 @@ class RaftNode : public SimNode {
   NodeId voted_for_ = -1;
   std::vector<RaftEntry> log_;  // log_[i] is entry index i+1
 
+  // Observability counters (monotone; survive Crash/Restart).
+  uint64_t elections_started_ = 0;
+  uint64_t leaderships_won_ = 0;
+
   // Volatile state.
   RaftRole role_ = RaftRole::kFollower;
   uint64_t commit_index_ = 0;
@@ -146,6 +154,13 @@ class RaftNode : public SimNode {
   size_t votes_received_ = 0;
   std::map<NodeId, uint64_t> next_index_;
   std::map<NodeId, uint64_t> match_index_;
+  // Flow control: true while an AppendEntries to the peer awaits a reply.
+  // Propose() skips such peers (their reply continues the stream, batching
+  // queued entries); heartbeats send regardless and so double as the
+  // retransmit timer when an append or its reply was dropped. Without this
+  // cap a follower that falls behind gets the full unacked suffix re-sent
+  // on every Propose, saturates its CPU, and never catches up.
+  std::map<NodeId, bool> append_inflight_;
   std::map<uint64_t, std::function<void(bool, uint64_t)>> pending_;
 };
 
@@ -156,8 +171,10 @@ class RaftGroup {
             std::vector<NodeId> learner_ids, RaftConfig config,
             std::function<RaftApplyFn(NodeId)> apply_factory);
 
-  RaftNode* node(NodeId id) { return nodes_.at(id).get(); }
-  RaftNode* leader();  // nullptr if none elected
+  RaftNode* node(NodeId id) const { return nodes_.at(id).get(); }
+  /// The live leader with the highest term (a stale partitioned leader can
+  /// coexist with the real one); nullptr if none elected.
+  RaftNode* leader() const;
   const std::vector<NodeId>& voter_ids() const { return voter_ids_; }
   const std::vector<NodeId>& learner_ids() const { return learner_ids_; }
 

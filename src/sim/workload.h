@@ -1,0 +1,165 @@
+// Sharded TPC-C-style workload driver for the sim cluster (DESIGN.md §14).
+//
+// Closed-loop clients issue NewOrder- and Payment-shaped multi-table
+// transactions against a DistributedDb, hash-routed across shards. Each
+// warehouse is anchored to a home shard by probing ShardOf() for keys that
+// land there, so most transactions are single-shard; `cross_shard_fraction`
+// of NewOrders source one order line from a remote warehouse and
+// `cross_shard_fraction` of Payments pay a remote customer, exercising 2PC.
+// A periodic analytical client scans order lines on the learners and samples
+// the freshness-lag gauges.
+//
+// Everything is deterministic given a seed: values written are pure
+// functions of the transaction parameters (no read-modify-write), so
+// RPC-level retries stay idempotent and runs are byte-reproducible.
+
+#ifndef HTAP_SIM_WORKLOAD_H_
+#define HTAP_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/dist_db.h"
+
+namespace htap {
+namespace sim {
+
+/// Fixed table ids for the workload's mini TPC-C schema.
+struct TpccTables {
+  static constexpr uint32_t kWarehouse = 1;
+  static constexpr uint32_t kDistrict = 2;
+  static constexpr uint32_t kCustomer = 3;
+  static constexpr uint32_t kOrder = 4;
+  static constexpr uint32_t kOrderLine = 5;
+  static constexpr uint32_t kStock = 6;
+};
+
+struct WorkloadOptions {
+  int warehouses = 4;
+  int districts_per_warehouse = 2;
+  int customers_per_district = 8;
+  int stock_items = 32;            // per warehouse
+  int clients = 16;                // closed-loop terminals
+  double new_order_pct = 0.45;
+  double payment_pct = 0.45;       // remainder: single-row stock touches
+  double cross_shard_fraction = 0.15;
+  int order_lines_min = 3;
+  int order_lines_max = 6;
+  int max_txn_attempts = 8;        // client-level retry on abort
+  Micros retry_backoff_micros = 20000;
+  Micros think_time_micros = 1000; // between a client's transactions
+  Micros ap_scan_interval = 200000;  // 0 disables the analytical client
+  uint64_t seed = 42;
+};
+
+struct WorkloadStats {
+  uint64_t new_orders_committed = 0;
+  uint64_t new_orders_aborted = 0;
+  uint64_t payments_committed = 0;
+  uint64_t payments_aborted = 0;
+  uint64_t stock_touches_committed = 0;
+  uint64_t stock_touches_aborted = 0;
+  uint64_t client_retries = 0;      // re-submissions after an abort
+  uint64_t cross_shard_issued = 0;  // txns spanning >1 shard by design
+  uint64_t ap_scans = 0;
+  uint64_t ap_rows_read = 0;
+  Micros repl_lag_max = 0;   // max FreshnessLag(replicated) seen by AP scans
+  Micros merge_lag_max = 0;  // max FreshnessLag(merged) seen by AP scans
+  Micros duration_micros = 0;
+
+  uint64_t committed() const {
+    return new_orders_committed + payments_committed + stock_touches_committed;
+  }
+  uint64_t aborted() const {
+    return new_orders_aborted + payments_aborted + stock_touches_aborted;
+  }
+  /// TPC-C's headline metric in virtual time: committed NewOrders/minute.
+  double TpmC() const {
+    return duration_micros == 0
+               ? 0.0
+               : static_cast<double>(new_orders_committed) * 60e6 /
+                     static_cast<double>(duration_micros);
+  }
+};
+
+/// Drives a DistributedDb with the mixed workload. Use:
+///   TpccWorkload w(&db, opts);
+///   w.RegisterTables();   // before db.Bootstrap() is fine, or after
+///   db.Bootstrap();
+///   w.Load();             // populate warehouses (runs the sim)
+///   w.Run(2'000'000);     // closed loop for 2 virtual seconds
+class TpccWorkload {
+ public:
+  TpccWorkload(DistributedDb* db, WorkloadOptions options);
+
+  /// Registers the six tables with the database.
+  void RegisterTables();
+
+  /// Synchronously (in virtual time) inserts the initial rows: warehouses,
+  /// districts, customers, and stock.
+  void Load();
+
+  /// Runs `clients` closed-loop terminals plus the analytical client for
+  /// `duration` of virtual time, then drains in-flight transactions.
+  void Run(Micros duration);
+
+  const WorkloadStats& stats() const { return stats_; }
+
+  /// Home-shard key pool: the `index`-th key of `warehouse` that hashes to
+  /// the warehouse's home shard (deterministic, probed at construction).
+  Key HomeKey(int warehouse, int index) const {
+    return home_keys_[static_cast<size_t>(warehouse)]
+                     [static_cast<size_t>(index) % kHomeKeysPerWarehouse];
+  }
+  int HomeShard(int warehouse) const {
+    return home_shards_[static_cast<size_t>(warehouse)];
+  }
+
+ private:
+  static constexpr size_t kHomeKeysPerWarehouse = 4096;
+
+  struct Txn {
+    std::vector<WriteOp> writes;
+    bool is_new_order = false;
+    bool is_payment = false;
+    bool cross_shard = false;
+  };
+
+  Txn MakeNewOrder(int client);
+  Txn MakePayment(int client);
+  Txn MakeStockTouch(int client);
+  void RunClient(int client, Micros deadline);
+  void SubmitWithRetry(int client, Txn txn, int attempts_left,
+                       Micros deadline);
+  void ScheduleApScan(Micros deadline);
+
+  Key WarehouseKey(int w) const { return HomeKey(w, 0); }
+  Key DistrictKey(int w, int d) const { return HomeKey(w, 1 + d); }
+  Key CustomerKey(int w, int d, int c) const {
+    return HomeKey(w, 1 + options_.districts_per_warehouse +
+                          d * options_.customers_per_district + c);
+  }
+  Key StockKey(int w, int i) const {
+    return HomeKey(w, 1 + options_.districts_per_warehouse +
+                          options_.districts_per_warehouse *
+                              options_.customers_per_district +
+                          i);
+  }
+  Key OrderKey(int w, uint64_t serial) const;
+  Key OrderLineKey(int w, uint64_t serial, int line) const;
+
+  DistributedDb* db_;
+  WorkloadOptions options_;
+  Random rng_;
+  WorkloadStats stats_;
+  std::vector<int> home_shards_;
+  std::vector<std::vector<Key>> home_keys_;
+  uint64_t next_order_serial_ = 1;
+  uint64_t inflight_ = 0;
+};
+
+}  // namespace sim
+}  // namespace htap
+
+#endif  // HTAP_SIM_WORKLOAD_H_

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/dist_db.h"
+#include "sim/workload.h"
 
 namespace htap {
 namespace sim {
@@ -53,6 +54,18 @@ class DistDbTest : public ::testing::Test {
       if (shards.insert(s).second) keys.push_back(k);
     }
     return keys;
+  }
+
+  /// Heals every fault and pumps the sim until the cluster converges
+  /// (every log applied everywhere, no outstanding 2PC decision).
+  bool HealAndConverge(Micros budget = 60'000'000) {
+    db_->SetMessageLoss(0);
+    db_->HealNetwork();
+    db_->RestartDeadNodes();
+    const Micros deadline = env_->Now() + budget;
+    while (!db_->Converged() && env_->Now() < deadline)
+      env_->RunUntil(env_->Now() + 10'000);
+    return db_->Converged();
   }
 
   std::unique_ptr<SimEnv> env_;
@@ -187,7 +200,7 @@ TEST_F(DistDbTest, ThroughputScalesWithShardsInVirtualTime) {
   auto run = [&](int shards) {
     MakeDb(shards);
     const Micros start = env_->Now();
-    constexpr int kTxns = 60;
+    constexpr int kTxns = 600;
     int done = 0;
     for (int i = 0; i < kTxns; ++i)
       db_->ExecuteTxn({Put(i + 1, i)}, [&](bool ok) { done += ok ? 1 : 0; });
@@ -197,6 +210,143 @@ TEST_F(DistDbTest, ThroughputScalesWithShardsInVirtualTime) {
   const Micros t1 = run(1);
   const Micros t4 = run(4);
   EXPECT_LT(t4, t1);
+}
+
+TEST_F(DistDbTest, LeaderCrashMidTwoPhaseCommitStaysAtomic) {
+  // Crash a participant's leader while the prepare is on the wire: the
+  // gateway retries against the new leader, the resolver drives phase 2,
+  // and the outcome is atomic either way — never half a transaction.
+  MakeDb(3);
+  const auto keys = KeysOnDistinctShards(2);
+  ASSERT_EQ(keys.size(), 2u);
+  bool done = false, committed = false;
+  db_->ExecuteTxn({Put(keys[0], 7), Put(keys[1], 7)}, [&](bool c) {
+    done = true;
+    committed = c;
+  });
+  ASSERT_NE(db_->CrashShardLeader(db_->ShardOf(keys[1])), -1);
+  const Micros deadline = env_->Now() + 30'000'000;
+  while (!done && env_->Now() < deadline) env_->RunUntil(env_->Now() + 1000);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(HealAndConverge());
+  Row a, b;
+  const bool has_a = db_->Read(1, keys[0], &a);
+  const bool has_b = db_->Read(1, keys[1], &b);
+  EXPECT_EQ(has_a, committed);
+  EXPECT_EQ(has_b, committed);
+  // Committed state also survived to the learners.
+  EXPECT_EQ(db_->LearnerRows(1), db_->LeaderRows(1));
+}
+
+TEST_F(DistDbTest, PartitionDuringPrepareEventuallyResolves) {
+  // Isolate a participant's leader mid-2PC: the prepare times out and
+  // retries; after the heal the decision is applied on every shard and no
+  // lock is left behind.
+  MakeDb(3);
+  const auto keys = KeysOnDistinctShards(2);
+  bool done = false, committed = false;
+  db_->ExecuteTxn({Put(keys[0], 9), Put(keys[1], 9)}, [&](bool c) {
+    done = true;
+    committed = c;
+  });
+  const int victim = db_->ShardOf(keys[1]);
+  RaftNode* leader = db_->shard_group(victim)->leader();
+  ASSERT_NE(leader, nullptr);
+  db_->IsolateNode(victim, leader->id());
+  env_->RunUntil(env_->Now() + 500'000);  // let timeouts/elections play out
+  ASSERT_TRUE(HealAndConverge());
+  const Micros deadline = env_->Now() + 30'000'000;
+  while (!done && env_->Now() < deadline) env_->RunUntil(env_->Now() + 1000);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(db_->unresolved_txns(), 0u);
+  Row a, b;
+  EXPECT_EQ(db_->Read(1, keys[0], &a), committed);
+  EXPECT_EQ(db_->Read(1, keys[1], &b), committed);
+}
+
+TEST_F(DistDbTest, MessageLossLosesNoCommittedUpdates) {
+  // Under 5% message loss, every transaction the gateway reported as
+  // committed must be present on the leaders AND on the learners after the
+  // network heals — retries may duplicate log entries, but idempotent
+  // commands apply once and nothing committed is lost.
+  MakeDb(2);
+  db_->SetMessageLoss(0.05);
+  std::set<Key> committed_keys;
+  int done = 0;
+  constexpr int kTxns = 40;
+  for (int i = 0; i < kTxns; ++i) {
+    const Key k = 1000 + i;
+    db_->ExecuteTxn({Put(k, i)}, [&, k](bool c) {
+      ++done;
+      if (c) committed_keys.insert(k);
+    });
+  }
+  const Micros deadline = env_->Now() + 60'000'000;
+  while (done < kTxns && env_->Now() < deadline)
+    env_->RunUntil(env_->Now() + 1000);
+  ASSERT_EQ(done, kTxns);
+  ASSERT_TRUE(HealAndConverge());
+  db_->SyncLearners();
+  const auto leader_rows = db_->LeaderRows(1);
+  EXPECT_EQ(db_->LearnerRows(1), leader_rows);
+  std::set<Key> leader_keys;
+  for (const auto& [k, row] : leader_rows) leader_keys.insert(k);
+  for (Key k : committed_keys)
+    EXPECT_TRUE(leader_keys.count(k)) << "lost committed key " << k;
+}
+
+TEST_F(DistDbTest, ClusterStatsCountersAreCoherent) {
+  MakeDb(3);
+  const auto keys = KeysOnDistinctShards(2);
+  ASSERT_TRUE(Execute({Put(500, 1)}));
+  ASSERT_TRUE(Execute({Put(keys[0], 2), Put(keys[1], 2)}));
+  const ClusterStats s = db_->GetClusterStats();
+  EXPECT_EQ(s.committed, db_->committed());
+  EXPECT_EQ(s.single_shard_txns, 1u);
+  EXPECT_EQ(s.multi_shard_txns, 1u);
+  EXPECT_EQ(s.commit_latency.total, s.committed);
+  EXPECT_GT(s.commit_latency.Quantile(0.99), 0u);
+  EXPECT_EQ(s.shards.size(), 3u);
+  uint64_t single = 0, tpc = 0;
+  for (const auto& sh : s.shards) {
+    EXPECT_NE(sh.leader, -1);
+    single += sh.single_shard_commits;
+    tpc += sh.tpc_commits;
+  }
+  EXPECT_EQ(single, 1u);
+  EXPECT_EQ(tpc, 2u);  // one 2PC commit applied on two shards
+  ASSERT_EQ(s.tables.size(), 1u);
+  EXPECT_GT(s.tables[0].leader_csn, 0u);
+}
+
+TEST_F(DistDbTest, WorkloadIsDeterministicAcrossRuns) {
+  // Identical seeds produce byte-identical workload outcomes — the property
+  // the bench_scaleout determinism gate (ci.sh) relies on.
+  auto run = [](uint64_t seed) {
+    SimEnv env(seed);
+    DistributedDb::Options opts;
+    opts.num_shards = 3;
+    DistributedDb db(&env, opts);
+    WorkloadOptions wopts;
+    wopts.clients = 8;
+    wopts.seed = 99;
+    TpccWorkload w(&db, wopts);
+    w.RegisterTables();
+    db.Bootstrap();
+    w.Load();
+    w.Run(300'000);
+    return w.stats();
+  };
+  const WorkloadStats a = run(7), b = run(7);
+  EXPECT_EQ(a.committed(), b.committed());
+  EXPECT_EQ(a.aborted(), b.aborted());
+  EXPECT_EQ(a.cross_shard_issued, b.cross_shard_issued);
+  EXPECT_EQ(a.duration_micros, b.duration_micros);
+  EXPECT_GT(a.committed(), 0u);
+  EXPECT_GT(a.new_orders_committed, 0u);
+  EXPECT_GT(a.payments_committed, 0u);
+  EXPECT_GT(a.cross_shard_issued, 0u);
+  EXPECT_GT(a.TpmC(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,428 @@
+// TP front-end scaling curve (DESIGN.md §15): optimistic latch coupling +
+// sharded commits vs the single-latch designs they replaced.
+//
+// Section 1 ("index") runs a deterministic mixed lookup/insert/churn
+// workload over two primary-key indexes holding the same data:
+//
+//   * olc    — the production OLC B+-tree (latch-free validated readers,
+//              per-node version latches, EBR reclamation)
+//   * coarse — std::map under one RWLatch, the pre-§15 design: every
+//              lookup takes the latch shared, every mutation exclusive
+//
+// at 1/2/4/8 threads. The workload is a pure function of the operation
+// index, so the final index contents are independent of thread count and
+// tree type; an FNV-1a hash over the full key/payload scan is compared
+// across every (tree, threads) cell and the bench aborts on any mismatch
+// (byte-identical results across thread counts). One JSON line per cell:
+//
+//   {"bench":"tp_scaling","section":"index","tree":"olc","threads":4,
+//    "ops_per_sec":...}
+//
+// plus one ratio line per thread count:
+//
+//   {"bench":"tp_scaling","section":"index_ratio","threads":4,
+//    "olc_vs_coarse":...}
+//
+// Section 2 ("txn") drives NewOrder/Payment-style transactions (snapshot
+// read both rows, update both rows, commit) through the sharded-commit
+// TransactionManager + MvccRowStore at 1/2/4/8 threads, each thread over a
+// disjoint account partition. Total balance is conserved and checked after
+// every cell. One JSON line per thread count:
+//
+//   {"bench":"tp_scaling","section":"txn","threads":4,"txns_per_sec":...}
+//
+// plus the retention summary (throughput at max threads / throughput at 1
+// thread — >= 1 means the commit path does not collapse under threads;
+// > 1 needs real cores):
+//
+//   {"bench":"tp_scaling","section":"txn_scaling","threads_max":8,
+//    "scaling_efficiency":...}
+//
+// `bench_tp_scaling smoke` is the CI configuration: a smaller workload and
+// fewer reps, ENFORCING the OLC-vs-coarse acceptance bar at 8 threads
+// (re-measured once before failing, like bench_parallel_join, to ride out
+// scheduler blips). The bar is host-aware, same policy as
+// bench_parallel_join's speedup bar: with >= 4 cores the coarse latch pays
+// for serialized writers and futex convoys on top of its per-op cost, and
+// the full 3x bar applies; on a 1–2 core host threads only time-slice, the
+// measurable gap is per-op cost alone (~3x +/- scheduler noise), so the
+// hard bar drops to 2x and the checked-in BENCH_baseline.json row (via
+// check_bench_regression.py) carries the 3x evidence.
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/latch.h"
+#include "index/btree.h"
+#include "storage/mvcc_row_store.h"
+#include "txn/txn_manager.h"
+
+namespace htap {
+namespace bench {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Section 1: index scaling
+// ---------------------------------------------------------------------------
+
+/// The pre-§15 baseline: one reader/writer latch around an ordered map.
+class CoarseTree {
+ public:
+  bool Insert(Key key, uint64_t value) {
+    WriteGuard g(latch_);
+    return map_.emplace(key, value).second;
+  }
+  bool Erase(Key key) {
+    WriteGuard g(latch_);
+    return map_.erase(key) > 0;
+  }
+  bool Lookup(Key key, uint64_t* value) const {
+    ReadGuard g(latch_);
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    *value = it->second;
+    return true;
+  }
+  // Same std::function call shape as the production BTree API, so neither
+  // side gets an inlining advantage in the comparison.
+  void Scan(Key lo, Key hi,
+            const std::function<bool(Key, uint64_t)>& visit) const {
+    ReadGuard g(latch_);
+    for (auto it = map_.lower_bound(lo); it != map_.end() && it->first <= hi;
+         ++it)
+      if (!visit(it->first, it->second)) return;
+  }
+  void ScanAll(const std::function<bool(Key, uint64_t)>& visit) const {
+    ReadGuard g(latch_);
+    for (const auto& [k, v] : map_)
+      if (!visit(k, v)) return;
+  }
+
+ private:
+  mutable RWLatch latch_;
+  std::map<Key, uint64_t> map_;
+};
+
+constexpr uint64_t PayloadOf(Key k) {
+  return static_cast<uint64_t>(k) * 2 + 1;
+}
+
+/// Operation `i` of the index workload, a pure function of `i` — the shape
+/// of a NewOrder/Payment index profile:
+///   i % 10 <= 5 : point lookup of a preloaded key
+///   i % 10 == 6/7 : short range scan (~32 entries, an order-line fetch)
+///   i % 10 == 8 : insert of a unique new key (kept)
+///   i % 10 == 9 : insert + erase of a unique key (structural churn)
+/// Preloaded keys are even; op-generated keys are odd, so the final
+/// contents are exactly preload + the i%10==8 keys for ANY thread count.
+template <typename Tree>
+void RunOp(Tree* tree, size_t i, size_t preload) {
+  uint64_t payload;
+  switch (i % 10) {
+    case 6:
+    case 7: {
+      const Key lo = static_cast<Key>(2 * ((i * 31) % preload));
+      tree->Scan(lo, lo + 63, [](Key k, uint64_t p) {
+        if (p != PayloadOf(k)) {
+          std::fprintf(stderr, "FATAL: scan payload mismatch at key %lld\n",
+                       static_cast<long long>(k));
+          std::abort();
+        }
+        return true;
+      });
+      break;
+    }
+    case 8: {
+      const Key k = static_cast<Key>(2 * i + 1);
+      tree->Insert(k, PayloadOf(k));
+      break;
+    }
+    case 9: {
+      const Key k = static_cast<Key>(2 * i + 1);
+      tree->Insert(k, PayloadOf(k));
+      tree->Erase(k);
+      break;
+    }
+    default: {
+      const Key k = static_cast<Key>(2 * ((i * 31) % preload));
+      if (tree->Lookup(k, &payload) && payload != PayloadOf(k)) {
+        std::fprintf(stderr, "FATAL: lookup payload mismatch at key %lld\n",
+                     static_cast<long long>(k));
+        std::abort();
+      }
+      break;
+    }
+  }
+}
+
+/// FNV-1a over the full ordered (key, payload) stream.
+template <typename Tree>
+uint64_t ContentHash(const Tree& tree) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (x >> (8 * b)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  tree.ScanAll([&](Key k, uint64_t p) {
+    mix(static_cast<uint64_t>(k));
+    mix(p);
+    return true;
+  });
+  return h;
+}
+
+struct IndexCell {
+  double ops_per_sec = 0;
+  uint64_t content_hash = 0;
+};
+
+template <typename Tree>
+IndexCell RunIndexCell(size_t threads, size_t preload, size_t ops, int reps) {
+  IndexCell cell;
+  for (int rep = 0; rep < reps; ++rep) {
+    Tree tree;
+    for (size_t p = 0; p < preload; ++p) {
+      const Key k = static_cast<Key>(2 * p);
+      tree.Insert(k, PayloadOf(k));
+    }
+    // Start barrier: exclude thread spawn (milliseconds on a loaded host,
+    // a fixed cost that would bias the faster tree's short cells).
+    std::atomic<size_t> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        ready.fetch_add(1, std::memory_order_acq_rel);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        // Contiguous block per thread: op identity is thread-independent.
+        const size_t lo = ops * t / threads;
+        const size_t hi = ops * (t + 1) / threads;
+        for (size_t i = lo; i < hi; ++i) RunOp(&tree, i, preload);
+      });
+    }
+    while (ready.load(std::memory_order_acquire) < threads)
+      std::this_thread::yield();
+    Stopwatch sw;
+    go.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    const double sec = sw.ElapsedSeconds();
+    cell.ops_per_sec += static_cast<double>(ops) / sec;
+    cell.content_hash = ContentHash(tree);
+  }
+  cell.ops_per_sec /= reps;
+  return cell;
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: transactional scaling (sharded commits)
+// ---------------------------------------------------------------------------
+
+Schema AccountSchema() {
+  return Schema({{"id", Type::kInt64}, {"balance", Type::kInt64}});
+}
+
+constexpr int64_t kInitialBalance = 1000;
+
+/// Payment-style transfers: each thread owns a disjoint account partition,
+/// so no transaction ever aborts and every cell commits exactly `txns`
+/// transactions. Returns txns/sec.
+double RunTxnCell(size_t threads, size_t accounts, size_t txns) {
+  TransactionManager mgr(nullptr);
+  MvccRowStore store(1, AccountSchema(), &mgr, nullptr);
+  {
+    auto txn = mgr.Begin();
+    for (size_t a = 0; a < accounts; ++a) {
+      if (!store.Insert(txn.get(), Row{Value(static_cast<Key>(a)),
+                                       Value(kInitialBalance)})
+               .ok()) {
+        std::fprintf(stderr, "FATAL: account preload failed\n");
+        std::abort();
+      }
+    }
+    if (!mgr.Commit(txn.get()).ok()) std::abort();
+  }
+
+  Stopwatch sw;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const size_t part = accounts / threads;
+      const size_t base = t * part;
+      const size_t n = txns / threads;
+      for (size_t i = 0; i < n; ++i) {
+        const Key from = static_cast<Key>(base + (i * 7) % part);
+        const Key to = static_cast<Key>(base + (i * 7 + 1 + i % (part - 1)) %
+                                                   part);
+        const int64_t amount = 1 + static_cast<int64_t>(i % 9);
+        // Retry loop, like a real TP driver: even with disjoint partitions
+        // a transfer can conflict transiently, because the visible
+        // watermark is the min per-shard frontier — a straggler commit on
+        // another shard briefly hides this thread's own previous commit,
+        // and first-updater-wins then rejects the stale update
+        // (DESIGN.md §15). The straggler finishing unblocks the retry.
+        for (int attempt = 0;; ++attempt) {
+          if (attempt >= 1'000'000) {
+            std::fprintf(stderr, "FATAL: transfer starved of retries\n");
+            std::abort();
+          }
+          auto txn = mgr.Begin();
+          Row a, b;
+          if (!store.Get(txn->snapshot(), from, &a).ok() ||
+              !store.Get(txn->snapshot(), to, &b).ok()) {
+            mgr.Abort(txn.get());
+            std::this_thread::yield();
+            continue;
+          }
+          if (!store
+                   .Update(txn.get(), Row{Value(from),
+                                          Value(a.Get(1).AsInt64() - amount)})
+                   .ok() ||
+              !store
+                   .Update(txn.get(),
+                           Row{Value(to), Value(b.Get(1).AsInt64() + amount)})
+                   .ok() ||
+              !mgr.Commit(txn.get()).ok()) {
+            mgr.Abort(txn.get());
+            std::this_thread::yield();
+            continue;
+          }
+          break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double sec = sw.ElapsedSeconds();
+
+  // Conservation: the committed state sums to the preloaded total.
+  int64_t sum = 0;
+  Row out;
+  for (size_t a = 0; a < accounts; ++a) {
+    if (!store.Get(mgr.CurrentSnapshot(), static_cast<Key>(a), &out).ok())
+      std::abort();
+    sum += out.Get(1).AsInt64();
+  }
+  if (sum != static_cast<int64_t>(accounts) * kInitialBalance) {
+    std::fprintf(stderr, "FATAL: balance total drifted (%lld)\n",
+                 static_cast<long long>(sum));
+    std::abort();
+  }
+  return static_cast<double>(txns) / sec;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace htap
+
+int main(int argc, char** argv) {
+  using namespace htap;
+  using namespace htap::bench;
+
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "smoke") == 0;
+  const size_t preload = smoke ? 50'000 : 200'000;
+  const size_t index_ops = smoke ? 200'000 : 400'000;
+  const size_t accounts = 1024;
+  const size_t txns = smoke ? 8'000 : 32'000;
+  const int reps = smoke ? 2 : 3;
+  const size_t kThreadCounts[] = {1, 2, 4, 8};
+  const size_t max_threads = 8;
+  // Host-aware acceptance bar (see header comment): the full 3x needs real
+  // cores for the coarse latch's serialization to show; a time-slicing host
+  // can only measure the per-op gap, gated at 2x here and at 3x-with-25%-
+  // tolerance by check_bench_regression.py against BENCH_baseline.json.
+  const bool real_cores = std::thread::hardware_concurrency() >= 4;
+  const double bar = real_cores ? 3.0 : 2.0;
+
+  std::printf("TP front-end scaling: OLC B+-tree + sharded commits "
+              "(%zu preload, %zu index ops, %zu txns, %d reps%s)\n",
+              preload, index_ops, txns, reps, smoke ? ", smoke" : "");
+  std::printf("host hardware_concurrency = %u\n\n",
+              std::thread::hardware_concurrency());
+
+  // ---- Section 1: index ------------------------------------------------
+  std::printf("%8s | %12s | %12s | %12s\n", "threads", "olc Mops/s",
+              "coarse Mops/s", "olc/coarse");
+  PrintRule(56);
+  uint64_t expect_hash = 0;
+  double ratio_at_max = 0;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    for (size_t threads : kThreadCounts) {
+      const IndexCell olc =
+          RunIndexCell<BTree>(threads, preload, index_ops, reps);
+      const IndexCell coarse =
+          RunIndexCell<CoarseTree>(threads, preload, index_ops, reps);
+      if (expect_hash == 0) expect_hash = olc.content_hash;
+      if (olc.content_hash != expect_hash ||
+          coarse.content_hash != expect_hash) {
+        std::fprintf(stderr,
+                     "FATAL: index contents differ across thread counts "
+                     "(threads=%zu olc=%016llx coarse=%016llx want=%016llx)\n",
+                     threads,
+                     static_cast<unsigned long long>(olc.content_hash),
+                     static_cast<unsigned long long>(coarse.content_hash),
+                     static_cast<unsigned long long>(expect_hash));
+        return 1;
+      }
+      const double ratio = olc.ops_per_sec / coarse.ops_per_sec;
+      if (threads == max_threads) ratio_at_max = ratio;
+      std::printf("%8zu | %12.2f | %12.2f | %12.2f\n", threads,
+                  olc.ops_per_sec / 1e6, coarse.ops_per_sec / 1e6, ratio);
+      std::printf("{\"bench\":\"tp_scaling\",\"section\":\"index\","
+                  "\"tree\":\"olc\",\"threads\":%zu,\"ops_per_sec\":%.0f}\n",
+                  threads, olc.ops_per_sec);
+      std::printf("{\"bench\":\"tp_scaling\",\"section\":\"index\","
+                  "\"tree\":\"coarse\",\"threads\":%zu,"
+                  "\"ops_per_sec\":%.0f}\n",
+                  threads, coarse.ops_per_sec);
+      std::printf("{\"bench\":\"tp_scaling\",\"section\":\"index_ratio\","
+                  "\"threads\":%zu,\"olc_vs_coarse\":%.3f}\n", threads,
+                  ratio);
+    }
+    if (!smoke || ratio_at_max >= bar) break;
+    std::printf("(olc/coarse %.2fx below the %.0fx bar at %zu threads — "
+                "re-measuring)\n",
+                ratio_at_max, bar, max_threads);
+  }
+  PrintRule(56);
+  if (smoke && ratio_at_max < bar) {
+    std::fprintf(stderr,
+                 "FAIL: OLC tree %.2fx of coarse-latch tree at %zu threads "
+                 "after re-measure (acceptance bar is %.0fx with %u cores)\n",
+                 ratio_at_max, max_threads, bar,
+                 std::thread::hardware_concurrency());
+    return 1;
+  }
+
+  // ---- Section 2: txn --------------------------------------------------
+  std::printf("\n%8s | %12s | %10s\n", "threads", "txns/s", "retention");
+  PrintRule(38);
+  double tps_at_1 = 0, tps_at_max = 0;
+  for (size_t threads : kThreadCounts) {
+    double tps = 0;
+    for (int rep = 0; rep < reps; ++rep)
+      tps += RunTxnCell(threads, accounts, txns);
+    tps /= reps;
+    if (threads == 1) tps_at_1 = tps;
+    if (threads == max_threads) tps_at_max = tps;
+    std::printf("%8zu | %12.0f | %10.2f\n", threads, tps, tps / tps_at_1);
+    std::printf("{\"bench\":\"tp_scaling\",\"section\":\"txn\","
+                "\"threads\":%zu,\"txns_per_sec\":%.0f}\n", threads, tps);
+  }
+  PrintRule(38);
+  const double efficiency = tps_at_max / tps_at_1;
+  std::printf("{\"bench\":\"tp_scaling\",\"section\":\"txn_scaling\","
+              "\"threads_max\":%zu,\"scaling_efficiency\":%.3f}\n",
+              max_threads, efficiency);
+
+  std::printf("\nAll index contents byte-identical across thread counts and "
+              "tree types; balance totals conserved.\n");
+  return 0;
+}

@@ -1,33 +1,64 @@
 #!/usr/bin/env bash
-# CI pipeline:
-#   1. tier-1: Release build + full ctest
-#   2. bench smoke + regression gate (vs BENCH_baseline.json)
-#   3. lock-rank tree (-DHTAP_LOCK_RANK=ON): full ctest under the runtime
-#      lock-order checker, including the lock_rank death tests
-#   4. asan+ubsan suite over the memory-heavy executor/join/spill tests
-#   5. tsan suite over the concurrency tests
-#   6. clang thread-safety build (-DHTAP_THREAD_SAFETY=ON, -Werror) —
-#      skipped with a notice when clang++ is not installed
-#   7. clang-tidy over every first-party TU — skipped with a notice when
-#      clang-tidy is not installed
-#   8. spill-run leak check
-# Sanitizer/test failures are accumulated per suite (not fail-fast) and the
-# failing tree is named in the summary; any failure exits nonzero.
-# Usage: ./ci.sh [jobs]
+# CI pipeline, runnable whole or as one suite (the GitHub workflow fans the
+# suites out as matrix jobs with per-job ccache keys):
+#
+#   ./ci.sh [suite] [jobs]      suite defaults to `all`; a numeric first
+#   ./ci.sh [jobs]              argument still means jobs (back-compat)
+#
+# Suites:
+#   tier1  — Release build + full ctest
+#   bench  — bench smokes + regression gate (vs BENCH_baseline.json)
+#   rank   — -DHTAP_LOCK_RANK=ON: full ctest under the runtime lock-order
+#            checker, including the lock_rank death tests
+#   asan   — ASan+UBSan over the memory-heavy executor/join/spill tests and
+#            the EBR/OLC concurrency tests
+#   tsan   — TSan over the concurrency tests (zero suppressions)
+#   static — clang thread-safety build (-DHTAP_THREAD_SAFETY=ON, -Werror)
+#            — skipped with a notice when clang++ is not installed
+#   tidy   — clang-tidy over every first-party TU — skipped with a notice
+#            when clang-tidy is not installed
+#   all    — everything above plus the spill-run leak check
+#
+# Sanitizer test output is additionally scraped for report markers
+# (ThreadSanitizer:, ERROR: AddressSanitizer, runtime error:) so a report
+# that does not change the exit code — e.g. under halt_on_error=0 or an
+# exitcode-swallowing wrapper — still fails the suite.
+# Failures are accumulated per suite (not fail-fast) and the failing tree
+# is named in the summary; any failure exits nonzero.
 set -euo pipefail
 cd "$(dirname "$0")"
-JOBS="${1:-$(nproc)}"
+
+SUITE="all"
+JOBS="$(nproc)"
+if [[ $# -ge 1 ]]; then
+  if [[ "$1" =~ ^[0-9]+$ ]]; then
+    JOBS="$1"
+  else
+    SUITE="$1"
+    [[ $# -ge 2 ]] && JOBS="$2"
+  fi
+fi
 
 FAILED_SUITES=()
 
-# run_suite <tree-label> <binary> [args...] — runs one test binary,
-# recording (instead of aborting on) failure so every suite reports.
-run_suite() {
-  local tree="$1"; shift
-  echo "-- $1 ($tree)"
-  if ! "$@"; then
-    echo "FAIL: $1 in $tree tree" >&2
-    FAILED_SUITES+=("$tree/$1")
+# run_sanitized <tree> <binary> [args...] — runs one test binary, recording
+# (instead of aborting on) failure so every suite reports, tees the output
+# to build-<tree>/logs/, and fails on sanitizer report markers even when
+# the process exits 0.
+run_sanitized() {
+  local tree="$1" bin="$2"; shift 2
+  local name; name="$(basename "$bin")"
+  local log="build-$tree/logs/$name.log"
+  mkdir -p "build-$tree/logs"
+  echo "-- $name ($tree)"
+  local ok=0
+  "$@" 2>&1 | tee "$log" || ok=$?
+  if ((ok != 0)); then
+    echo "FAIL: $name in $tree tree (exit $ok)" >&2
+    FAILED_SUITES+=("$tree/$name")
+  elif grep -qE 'ThreadSanitizer:|ERROR: AddressSanitizer|ERROR: LeakSanitizer|runtime error:' "$log"; then
+    echo "FAIL: $name in $tree tree (sanitizer report at exit 0, see $log)" >&2
+    FAILED_SUITES+=("$tree/$name-report")
   fi
 }
 
@@ -36,125 +67,184 @@ run_suite() {
 SPILL_DIR="${TMPDIR:-/tmp}"
 rm -f "$SPILL_DIR"/htap-spill-*
 
-echo "== tier-1: build + ctest =="
-cmake -B build -S . > /dev/null
-cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+suite_tier1() {
+  echo "== tier-1: build + ctest =="
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+}
 
-echo "== bench smoke: parallel join + grace spill + batch-vs-row (1.5x bar) =="
-cmake --build build -j "$JOBS" --target bench_parallel_join
-if ! ./build/bench/bench_parallel_join smoke | tee build/bench_smoke.log; then
-  echo "FAIL: parallel join smoke (batch-vs-row 1.5x acceptance bar)" >&2
-  FAILED_SUITES+=("bench/parallel-join")
-fi
-
-echo "== bench smoke: vectorized scan (compressed-domain vs decode, 3x bar) =="
-cmake --build build -j "$JOBS" --target bench_vectorized_scan
-if ! ./build/bench/bench_vectorized_scan smoke | tee -a build/bench_smoke.log
-then
-  echo "FAIL: vectorized scan smoke (3x acceptance bar)" >&2
-  FAILED_SUITES+=("bench/vectorized-scan")
-fi
-
-echo "== bench smoke: scale-out cluster (determinism + Table 1 curves) =="
-cmake --build build -j "$JOBS" --target bench_scaleout
-# Run twice and byte-compare: the sim is virtual-time-deterministic, so any
-# diff means nondeterminism crept into the cluster model. The run itself
-# fails if a config loses committed work or fails to converge.
-if ./build/bench/bench_scaleout smoke > build/bench_scaleout_1.log &&
-   ./build/bench/bench_scaleout smoke > build/bench_scaleout_2.log &&
-   cmp -s build/bench_scaleout_1.log build/bench_scaleout_2.log; then
-  cat build/bench_scaleout_1.log | tee -a build/bench_smoke.log
-else
-  echo "FAIL: scaleout smoke (nondeterministic output or lost work)" >&2
-  diff build/bench_scaleout_1.log build/bench_scaleout_2.log >&2 || true
-  FAILED_SUITES+=("bench/scaleout")
-fi
-
-echo "== bench regression gate (vs BENCH_baseline.json) =="
-# Accumulated, not fail-fast: a throughput blip on a noisy runner must not
-# mask correctness-suite results below.
-if ! python3 scripts/check_bench_regression.py build/bench_smoke.log \
-    BENCH_baseline.json; then
-  echo "FAIL: bench regression gate" >&2
-  FAILED_SUITES+=("bench/regression-gate")
-fi
-
-echo "== lock-rank: full ctest under the runtime lock-order checker =="
-cmake -B build-rank -S . -DHTAP_LOCK_RANK=ON > /dev/null
-cmake --build build-rank -j "$JOBS"
-if ! ctest --test-dir build-rank --output-on-failure -j "$JOBS"; then
-  echo "FAIL: ctest in lock-rank tree" >&2
-  FAILED_SUITES+=("rank/ctest")
-fi
-
-echo "== asan+ubsan: executor/join/spill tests =="
-ASAN_TESTS=(executor_test parallel_scan_test parallel_join_test
-            grace_join_test columnar_test vectorized_exec_test
-            vectorized_join_test encoding_property_test
-            thread_safety_regression_test
-            sim_test raft_test dist_db_test)
-cmake -B build-asan -S . -DHTAP_ASAN=ON > /dev/null
-cmake --build build-asan -j "$JOBS" --target "${ASAN_TESTS[@]}"
-for t in "${ASAN_TESTS[@]}"; do
-  run_suite asan "./build-asan/tests/$t" --gtest_brief=1
-done
-
-echo "== tsan: concurrency tests =="
-TSAN_TESTS=(parallel_scan_test parallel_join_test grace_join_test
-            columnar_test executor_test common_test sync_test scheduler_test
-            vectorized_exec_test vectorized_join_test
-            thread_safety_regression_test
-            sim_test raft_test dist_db_test)
-cmake -B build-tsan -S . -DHTAP_TSAN=ON > /dev/null
-cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
-for t in "${TSAN_TESTS[@]}"; do
-  run_suite tsan "./build-tsan/tests/$t" --gtest_brief=1
-done
-
-echo "== clang thread-safety analysis (-Werror=thread-safety) =="
-if command -v clang++ > /dev/null 2>&1; then
-  CC=clang CXX=clang++ cmake -B build-ts -S . -DHTAP_THREAD_SAFETY=ON \
-    > /dev/null
-  if ! cmake --build build-ts -j "$JOBS"; then
-    echo "FAIL: thread-safety analysis in build-ts tree" >&2
-    FAILED_SUITES+=("ts/build")
+suite_bench() {
+  echo "== bench smoke: parallel join + grace spill + batch-vs-row (1.5x bar) =="
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$JOBS" --target bench_parallel_join
+  if ! ./build/bench/bench_parallel_join smoke | tee build/bench_smoke.log
+  then
+    echo "FAIL: parallel join smoke (batch-vs-row 1.5x acceptance bar)" >&2
+    FAILED_SUITES+=("bench/parallel-join")
   fi
-else
-  echo "SKIPPED: clang++ not installed (the GitHub workflow runs this gate)"
-fi
 
-echo "== clang-tidy (bugprone-*, concurrency-*, performance-*) =="
-if command -v clang-tidy > /dev/null 2>&1; then
-  # Use the thread-safety tree's compile_commands.json when clang built it
-  # above, else the Release tree's.
-  TIDY_BUILD=build
-  [[ -f build-ts/compile_commands.json ]] && TIDY_BUILD=build-ts
-  # First-party TUs minus suppressed paths (.clang-tidy-suppressions:
-  # substring-per-line, comments/blank lines ignored; third-party only).
-  mapfile -t TIDY_FILES < <(
-    find src tests bench examples -name '*.cc' |
-      grep -v -F -f <(grep -v '^\s*#' .clang-tidy-suppressions |
-                      grep -v '^\s*$' || true) || true
-  )
-  if ! printf '%s\n' "${TIDY_FILES[@]}" |
-       xargs -P "$JOBS" -n 8 clang-tidy -p "$TIDY_BUILD" --quiet; then
-    echo "FAIL: clang-tidy findings (tidy tree: $TIDY_BUILD)" >&2
-    FAILED_SUITES+=("tidy/clang-tidy")
+  echo "== bench smoke: vectorized scan (compressed-domain vs decode, 3x bar) =="
+  cmake --build build -j "$JOBS" --target bench_vectorized_scan
+  if ! ./build/bench/bench_vectorized_scan smoke | tee -a build/bench_smoke.log
+  then
+    echo "FAIL: vectorized scan smoke (3x acceptance bar)" >&2
+    FAILED_SUITES+=("bench/vectorized-scan")
   fi
-else
-  echo "SKIPPED: clang-tidy not installed (the GitHub workflow runs this gate)"
-fi
 
-echo "== spill-run leak check =="
-leaks=$(find "$SPILL_DIR" -maxdepth 1 -name 'htap-spill-*' 2>/dev/null || true)
-if [[ -n "$leaks" ]]; then
-  echo "FAIL: leaked spill runs:" >&2
-  echo "$leaks" >&2
-  FAILED_SUITES+=("spill/leak-check")
-else
-  echo "no leaked htap-spill-* files"
-fi
+  echo "== bench smoke: TP scaling (OLC vs coarse latch, host-aware bar) =="
+  cmake --build build -j "$JOBS" --target bench_tp_scaling
+  # The OLC-vs-coarse bar is enforced inside the bench (3x with >= 4 cores,
+  # 2x on smaller hosts); the content-hash identity check always hard-fails.
+  if ! ./build/bench/bench_tp_scaling smoke | tee -a build/bench_smoke.log
+  then
+    echo "FAIL: tp scaling smoke (OLC-vs-coarse bar or identity check)" >&2
+    FAILED_SUITES+=("bench/tp-scaling")
+  fi
+
+  echo "== bench smoke: scale-out cluster (determinism + Table 1 curves) =="
+  cmake --build build -j "$JOBS" --target bench_scaleout
+  # Run twice and byte-compare: the sim is virtual-time-deterministic, so any
+  # diff means nondeterminism crept into the cluster model. The run itself
+  # fails if a config loses committed work or fails to converge.
+  if ./build/bench/bench_scaleout smoke > build/bench_scaleout_1.log &&
+     ./build/bench/bench_scaleout smoke > build/bench_scaleout_2.log &&
+     cmp -s build/bench_scaleout_1.log build/bench_scaleout_2.log; then
+    cat build/bench_scaleout_1.log | tee -a build/bench_smoke.log
+  else
+    echo "FAIL: scaleout smoke (nondeterministic output or lost work)" >&2
+    diff build/bench_scaleout_1.log build/bench_scaleout_2.log >&2 || true
+    FAILED_SUITES+=("bench/scaleout")
+  fi
+
+  echo "== bench regression gate (vs BENCH_baseline.json) =="
+  # Accumulated, not fail-fast: a throughput blip on a noisy runner must not
+  # mask correctness-suite results below.
+  if ! python3 scripts/check_bench_regression.py build/bench_smoke.log \
+      BENCH_baseline.json; then
+    echo "FAIL: bench regression gate" >&2
+    FAILED_SUITES+=("bench/regression-gate")
+  fi
+}
+
+suite_rank() {
+  echo "== lock-rank: full ctest under the runtime lock-order checker =="
+  cmake -B build-rank -S . -DHTAP_LOCK_RANK=ON > /dev/null
+  cmake --build build-rank -j "$JOBS"
+  if ! ctest --test-dir build-rank --output-on-failure -j "$JOBS"; then
+    echo "FAIL: ctest in lock-rank tree" >&2
+    FAILED_SUITES+=("rank/ctest")
+  fi
+}
+
+suite_asan() {
+  echo "== asan+ubsan: executor/join/spill + EBR/OLC tests =="
+  local ASAN_TESTS=(executor_test parallel_scan_test parallel_join_test
+                    grace_join_test columnar_test vectorized_exec_test
+                    vectorized_join_test encoding_property_test
+                    thread_safety_regression_test
+                    ebr_test tp_scaling_test
+                    sim_test raft_test dist_db_test)
+  cmake -B build-asan -S . -DHTAP_ASAN=ON > /dev/null
+  cmake --build build-asan -j "$JOBS" --target "${ASAN_TESTS[@]}"
+  for t in "${ASAN_TESTS[@]}"; do
+    run_sanitized asan "$t" "./build-asan/tests/$t" --gtest_brief=1
+  done
+}
+
+suite_tsan() {
+  echo "== tsan: concurrency tests =="
+  local TSAN_TESTS=(parallel_scan_test parallel_join_test grace_join_test
+                    columnar_test executor_test common_test sync_test
+                    scheduler_test vectorized_exec_test vectorized_join_test
+                    thread_safety_regression_test
+                    ebr_test tp_scaling_test
+                    sim_test raft_test dist_db_test)
+  cmake -B build-tsan -S . -DHTAP_TSAN=ON > /dev/null
+  cmake --build build-tsan -j "$JOBS" --target "${TSAN_TESTS[@]}"
+  for t in "${TSAN_TESTS[@]}"; do
+    run_sanitized tsan "$t" "./build-tsan/tests/$t" --gtest_brief=1
+  done
+}
+
+suite_static() {
+  echo "== clang thread-safety analysis (-Werror=thread-safety) =="
+  if command -v clang++ > /dev/null 2>&1; then
+    CC=clang CXX=clang++ cmake -B build-ts -S . -DHTAP_THREAD_SAFETY=ON \
+      > /dev/null
+    if ! cmake --build build-ts -j "$JOBS"; then
+      echo "FAIL: thread-safety analysis in build-ts tree" >&2
+      FAILED_SUITES+=("ts/build")
+    fi
+  else
+    echo "SKIPPED: clang++ not installed (the GitHub workflow runs this gate)"
+  fi
+}
+
+suite_tidy() {
+  echo "== clang-tidy (bugprone-*, concurrency-*, performance-*) =="
+  if command -v clang-tidy > /dev/null 2>&1; then
+    # Use the thread-safety tree's compile_commands.json when clang built it
+    # above, else the Release tree's.
+    local TIDY_BUILD=build
+    [[ -f build-ts/compile_commands.json ]] && TIDY_BUILD=build-ts
+    if [[ ! -f "$TIDY_BUILD/compile_commands.json" ]]; then
+      cmake -B build -S . > /dev/null
+    fi
+    # First-party TUs minus suppressed paths (.clang-tidy-suppressions:
+    # substring-per-line, comments/blank lines ignored; third-party only).
+    local TIDY_FILES
+    mapfile -t TIDY_FILES < <(
+      find src tests bench examples -name '*.cc' |
+        grep -v -F -f <(grep -v '^\s*#' .clang-tidy-suppressions |
+                        grep -v '^\s*$' || true) || true
+    )
+    if ! printf '%s\n' "${TIDY_FILES[@]}" |
+         xargs -P "$JOBS" -n 8 clang-tidy -p "$TIDY_BUILD" --quiet; then
+      echo "FAIL: clang-tidy findings (tidy tree: $TIDY_BUILD)" >&2
+      FAILED_SUITES+=("tidy/clang-tidy")
+    fi
+  else
+    echo "SKIPPED: clang-tidy not installed (the GitHub workflow runs this gate)"
+  fi
+}
+
+suite_spill_check() {
+  echo "== spill-run leak check =="
+  local leaks
+  leaks=$(find "$SPILL_DIR" -maxdepth 1 -name 'htap-spill-*' 2>/dev/null || true)
+  if [[ -n "$leaks" ]]; then
+    echo "FAIL: leaked spill runs:" >&2
+    echo "$leaks" >&2
+    FAILED_SUITES+=("spill/leak-check")
+  else
+    echo "no leaked htap-spill-* files"
+  fi
+}
+
+case "$SUITE" in
+  tier1)  suite_tier1 ;;
+  bench)  suite_bench ;;
+  rank)   suite_rank ;;
+  asan)   suite_asan ;;
+  tsan)   suite_tsan ;;
+  static) suite_static ;;
+  tidy)   suite_tidy ;;
+  all)
+    suite_tier1
+    suite_bench
+    suite_rank
+    suite_asan
+    suite_tsan
+    suite_static
+    suite_tidy
+    suite_spill_check
+    ;;
+  *)
+    echo "unknown suite: $SUITE (want all|tier1|bench|rank|asan|tsan|static|tidy)" >&2
+    exit 2
+    ;;
+esac
 
 if ((${#FAILED_SUITES[@]} > 0)); then
   echo "CI FAILED in: ${FAILED_SUITES[*]}" >&2

@@ -29,7 +29,9 @@ import sys
 HIGHER_IS_BETTER = {"probe_rows_per_sec", "speedup", "rows_per_sec",
                     "direct_vs_decode", "row_probe_rows_per_sec",
                     "batch_probe_rows_per_sec", "batch_vs_row",
-                    "tpmc", "committed"}
+                    "tpmc", "committed",
+                    "ops_per_sec", "txns_per_sec", "olc_vs_coarse",
+                    "scaling_efficiency"}
 LOWER_IS_BETTER = {"join_ms",
                    "repl_lag_ms", "merge_lag_ms", "txn_p50_ms", "txn_p99_ms"}
 # Tracked counters that vary with any behavior change but have no better/
@@ -45,6 +47,15 @@ METRICS = HIGHER_IS_BETTER | LOWER_IS_BETTER | NEUTRAL
 THRESHOLD_OVERRIDE = {m: 0.05 for m in
                       ("tpmc", "committed", "repl_lag_ms", "merge_lag_ms",
                        "txn_p50_ms", "txn_p99_ms")}
+# bench_tp_scaling cells are short wall-clock runs (hundreds of ms in smoke
+# mode) that oversubscribe small CI hosts by design, so raw rates swing far
+# more than the long-running join/scan benches; the OLC-vs-coarse ratio and
+# the scaling-efficiency metric cancel most host noise and get tighter (but
+# still generous) gates. The hard 3x evidence lives in the olc_vs_coarse
+# baseline rows: a drop below ~2x at 8 threads fails here even on hosts
+# where the bench's own host-aware bar relaxed to 2x.
+THRESHOLD_OVERRIDE.update({"ops_per_sec": 0.5, "txns_per_sec": 0.5,
+                           "olc_vs_coarse": 0.35, "scaling_efficiency": 0.5})
 
 
 def parse_records(path):

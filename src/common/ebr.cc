@@ -1,0 +1,166 @@
+#include "common/ebr.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace htap {
+
+namespace {
+
+std::atomic<uint64_t> g_manager_serial{1};
+std::atomic<uint64_t> g_thread_serial{1};
+
+uint64_t ThisThreadSerial() {
+  thread_local uint64_t serial =
+      g_thread_serial.fetch_add(1, std::memory_order_relaxed);
+  return serial;
+}
+
+/// One-entry slot cache: the hot path (every index operation pins the
+/// global manager) resolves to a serial compare + pointer load.
+struct SlotCache {
+  uint64_t manager_serial = 0;
+  EpochManager::Slot* slot = nullptr;
+};
+thread_local SlotCache tl_slot_cache;
+
+}  // namespace
+
+EpochManager::EpochManager()
+    : serial_(g_manager_serial.fetch_add(1, std::memory_order_relaxed)),
+      slots_(kMaxSlots) {}
+
+EpochManager::~EpochManager() {
+  // By contract no thread touches the protected structures once the manager
+  // dies; free everything still in limbo so ASan/LSan see no leaks.
+  MutexLock lk(&limbo_mu_);
+  for (auto& bucket : limbo_) {
+    for (const LimboItem& item : bucket) {
+      item.deleter(item.ptr);
+      reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    bucket.clear();
+  }
+}
+
+EpochManager& EpochManager::Global() {
+  // Function-local static: destroyed after main() returns (and after every
+  // joined worker), so the destructor's limbo sweep leaves nothing for the
+  // leak checker to find.
+  static EpochManager mgr;
+  return mgr;
+}
+
+EpochManager::Slot* EpochManager::ClaimSlot() {
+  const uint64_t me = ThisThreadSerial();
+  if (tl_slot_cache.manager_serial == serial_ &&
+      tl_slot_cache.slot != nullptr &&
+      tl_slot_cache.slot->owner.load(std::memory_order_relaxed) == me) {
+    return tl_slot_cache.slot;
+  }
+  // Slow path: claim the first unowned slot (or find one we already own —
+  // possible when the cache was evicted by another manager).
+  const size_t known = slot_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < kMaxSlots; ++i) {
+    Slot& s = slots_[i];
+    uint64_t owner = s.owner.load(std::memory_order_acquire);
+    if (owner == me) {
+      tl_slot_cache = {serial_, &s};
+      return &s;
+    }
+    if (owner == 0 &&
+        s.owner.compare_exchange_strong(owner, me,
+                                        std::memory_order_acq_rel)) {
+      if (i >= known) {
+        // Publish a high-water mark so epoch scans can stop early.
+        size_t cur = slot_count_.load(std::memory_order_relaxed);
+        while (cur < i + 1 &&
+               !slot_count_.compare_exchange_weak(
+                   cur, i + 1, std::memory_order_acq_rel)) {
+        }
+      }
+      tl_slot_cache = {serial_, &s};
+      return &s;
+    }
+  }
+  std::fprintf(stderr,
+               "EpochManager: slot table exhausted (%zu threads)\n",
+               kMaxSlots);
+  std::abort();
+}
+
+EpochManager::Guard::Guard(EpochManager& mgr) : slot_(mgr.ClaimSlot()) {
+  if (slot_->depth++ > 0) return;  // nested pin: already in an epoch
+  // Publish our epoch and re-check: the store must land while the epoch is
+  // still current, else a concurrent advance could free a generation we are
+  // about to read. seq_cst on both sides makes the pin/advance race safe.
+  uint64_t e = mgr.epoch_.load(std::memory_order_seq_cst);
+  while (true) {
+    slot_->state.store(e, std::memory_order_seq_cst);
+    const uint64_t now = mgr.epoch_.load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;
+  }
+}
+
+EpochManager::Guard::~Guard() {
+  if (--slot_->depth > 0) return;
+  slot_->state.store(kQuiescent, std::memory_order_release);
+}
+
+void EpochManager::Retire(void* ptr, void (*deleter)(void*)) {
+  const uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  {
+    MutexLock lk(&limbo_mu_);
+    limbo_[e % 3].push_back(LimboItem{ptr, deleter});
+  }
+  // Amortized housekeeping: try to turn the crank every few retirements so
+  // limbo stays bounded without a dedicated reclamation thread.
+  if (retire_count_.fetch_add(1, std::memory_order_relaxed) % 64 == 63)
+    TryAdvance();
+}
+
+bool EpochManager::TryAdvance() {
+  const uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  const size_t n = slot_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t s = slots_[i].state.load(std::memory_order_seq_cst);
+    if (s != kQuiescent && s != e) return false;  // a reader lags behind
+  }
+  uint64_t expected = e;
+  if (!epoch_.compare_exchange_strong(expected, e + 1,
+                                      std::memory_order_seq_cst)) {
+    return false;  // someone else advanced; let them do the freeing
+  }
+  // Generation e-1 is now two advances old: every pinned reader is at e or
+  // e+1, and anything retired at e-1 was unlinked before they pinned.
+  FreeBucket((e - 1) % 3);
+  return true;
+}
+
+void EpochManager::FreeBucket(size_t idx) {
+  std::vector<LimboItem> doomed;
+  {
+    MutexLock lk(&limbo_mu_);
+    doomed.swap(limbo_[idx]);
+  }
+  for (const LimboItem& item : doomed) item.deleter(item.ptr);
+  reclaimed_.fetch_add(doomed.size(), std::memory_order_relaxed);
+}
+
+void EpochManager::Quiesce() {
+  // Three successful advances walk the window past every current bucket;
+  // stop early the moment a pinned reader blocks progress.
+  for (int i = 0; i < 3; ++i) {
+    if (!TryAdvance()) return;
+  }
+}
+
+size_t EpochManager::limbo_size() const {
+  MutexLock lk(&limbo_mu_);
+  return limbo_[0].size() + limbo_[1].size() + limbo_[2].size();
+}
+
+}  // namespace htap

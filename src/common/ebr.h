@@ -1,0 +1,134 @@
+// Epoch-based memory reclamation (EBR) for optimistic, latch-free readers
+// (DESIGN.md §15). A reader pins the current global epoch for the duration
+// of its traversal; a writer that unlinks a node Retire()s it instead of
+// freeing it. The global epoch only advances when every pinned thread has
+// caught up to it, and a retired node is freed two epoch advances after its
+// retirement — by which point no reader that could still hold a reference
+// to it can be pinned. This is the classic three-epoch scheme (Fraser '04;
+// crossbeam/folly use the same grace-period arithmetic).
+//
+// Usage:
+//   EpochManager::Guard g(EpochManager::Global());   // pin (re-entrant)
+//   ... traverse latch-free structure ...
+//   // writer side, with the node already unlinked from every parent:
+//   mgr.Retire(node, [](void* p) { delete static_cast<Node*>(p); });
+//
+// Threads register themselves lazily on first pin (a fixed slot table,
+// claimed by CAS, cached in a thread_local). Slots are never returned — a
+// dead thread's slot reads quiescent forever and never blocks advancement.
+// The manager's destructor frees everything still in limbo (by then no
+// thread may touch the protected structure).
+
+#ifndef HTAP_COMMON_EBR_H_
+#define HTAP_COMMON_EBR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace htap {
+
+class EpochManager {
+ public:
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Process-wide instance used by the B+-tree (one shared slot table keeps
+  /// the per-operation pin to a single thread_local hit).
+  static EpochManager& Global();
+
+  struct Slot;
+
+  /// RAII epoch pin. Re-entrant: nested guards on the same thread share one
+  /// pin; only the outermost enters/leaves the epoch.
+  class Guard {
+   public:
+    explicit Guard(EpochManager& mgr);
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Slot* const slot_;
+  };
+
+  /// Defers `deleter(ptr)` until no pinned reader can still reach `ptr`.
+  /// The caller must have already unlinked `ptr` from the shared structure.
+  /// Safe to call while pinned (the free is deferred past our own pin).
+  void Retire(void* ptr, void (*deleter)(void*));
+
+  /// Advances the global epoch if every pinned thread has observed it, and
+  /// frees the limbo generation that just became unreachable. Returns true
+  /// if the epoch advanced. Cheap enough to call opportunistically.
+  bool TryAdvance();
+
+  /// Drives TryAdvance until everything retire-able has been freed or a
+  /// pinned thread blocks further progress. With no concurrent pins this
+  /// drains the limbo lists completely.
+  void Quiesce();
+
+  // Observability / test hooks.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  size_t limbo_size() const;                 // items awaiting reclamation
+  uint64_t reclaimed() const {               // deleters run so far
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+  size_t registered_threads() const {
+    return slot_count_.load(std::memory_order_acquire);
+  }
+
+  /// Slot table capacity: more distinct threads than this pinning one
+  /// manager over its lifetime aborts (slots are never recycled).
+  static constexpr size_t kMaxSlots = 512;
+
+  struct alignas(64) Slot {
+    /// Pinned epoch, or kQuiescent when the owning thread is not inside a
+    /// guarded section.
+    std::atomic<uint64_t> state{kQuiescent};
+    /// Owning thread serial; 0 = unclaimed. Claimed once by CAS, kept for
+    /// the thread's lifetime.
+    std::atomic<uint64_t> owner{0};
+    /// Guard nesting depth — touched only by the owning thread.
+    uint32_t depth = 0;
+  };
+
+  static constexpr uint64_t kQuiescent = ~0ULL;
+
+ private:
+  struct LimboItem {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  Slot* ClaimSlot();
+  void FreeBucket(size_t idx);
+
+  /// Unique per-manager serial so a thread_local slot cache entry can never
+  /// be mistaken for one belonging to a destroyed manager at the same
+  /// address.
+  const uint64_t serial_;
+
+  std::atomic<uint64_t> epoch_{2};  // start above the free-window lookback
+  std::atomic<size_t> slot_count_{0};
+  std::vector<Slot> slots_;  // sized kMaxSlots up front; never reallocates
+
+  // Three limbo generations, indexed by retirement epoch % 3. A bucket is
+  // freed when the epoch has advanced twice past its generation, at which
+  // point the index is about to be reused for the new epoch.
+  mutable Mutex limbo_mu_{LockRank::kEbr, "ebr-limbo"};
+  std::vector<LimboItem> limbo_[3] GUARDED_BY(limbo_mu_);
+
+  std::atomic<uint64_t> reclaimed_{0};
+  std::atomic<uint64_t> retire_count_{0};
+};
+
+}  // namespace htap
+
+#endif  // HTAP_COMMON_EBR_H_

@@ -42,7 +42,8 @@ namespace htap {
 /// chains in the code — see DESIGN.md §11 for the evidence per edge.
 enum class LockRank : uint16_t {
   kSyncDaemon = 100,    // SyncDaemon::tasks_mu_ (outermost: holds across SyncTo)
-  kTxnCommit = 200,     // TransactionManager::commit_mu_ (serializes commit stamping)
+  kTxnCommit = 200,     // TransactionManager::publish_mu_ (orders sink publication)
+  kTxnShard = 210,      // TransactionManager per-shard commit frontier (inflight CSNs)
   kTxnSinks = 250,      // TransactionManager::sinks_mu_ (held while notifying engines)
   kEngineTableSync = 280,  // per-TableState IMCS merge mutex (disk engine;
                            // held across the generation snapshot + drain)
@@ -52,8 +53,9 @@ enum class LockRank : uint16_t {
   kDiskHeap = 450,      // DiskRowStore::mu_ (heap file + buffer pool)
   kTableLatch = 500,    // ColumnTable::latch_ (RWLatch over row groups)
   kDeltaStore = 550,    // delta-store mutexes (in-memory, L1/L2, log)
-  kStoreChains = 600,   // MvccRowStore::chains_latch_ (chain directory)
-  kBtree = 650,         // BTree::latch_ (index RWLatch)
+  kStoreChains = 600,   // MvccRowStore chain-directory stripes
+  kBtree = 650,         // BTree::smo_mu_ (serializes merges/root collapse)
+  kEbr = 660,           // EpochManager::limbo_mu_ (taken under SMO via Retire)
   kVersionChain = 700,  // per-VersionChain SpinLatch
   kTxnActive = 750,     // TransactionManager::active_mu_ (taken under chain latch
                         // via Visible() -> GetCommitInfo())

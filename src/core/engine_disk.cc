@@ -107,7 +107,7 @@ DiskHtapEngine::DiskHtapEngine(const DatabaseOptions& options,
     : options_(options),
       catalog_(catalog),
       wal_(MakeWal(options, "diskrow")),
-      layer_(wal_.get()),
+      layer_(wal_.get(), options.commit_shards),
       ap_(options_) {
   layer_.txn_mgr()->RegisterSink(this);
   layer_.txn_mgr()->RegisterSink(&freshness_);

@@ -54,6 +54,12 @@ struct DatabaseOptions {
   /// How often table statistics are recomputed (in commits).
   uint64_t stats_refresh_interval = 4096;
 
+  /// Commit-path sharding (DESIGN.md §15): the transaction manager's
+  /// in-flight CSN frontier and active-transaction map are partitioned
+  /// across this many mutexes; the published committed CSN is the min of
+  /// the per-shard frontiers. 1 = the old single-mutex behaviour.
+  size_t commit_shards = 8;
+
   /// Plan-time join ordering (DESIGN.md §10): catalog statistics more than
   /// this many commits behind the engine's committed CSN are considered
   /// stale, and join planning falls back to the execution-time sampling

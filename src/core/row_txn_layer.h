@@ -25,7 +25,10 @@ namespace htap {
 
 class RowTxnLayer {
  public:
-  explicit RowTxnLayer(WalWriter* wal) : txn_mgr_(wal) {}
+  explicit RowTxnLayer(WalWriter* wal,
+                       size_t commit_shards =
+                           TransactionManager::kDefaultCommitShards)
+      : txn_mgr_(wal, commit_shards) {}
 
   Status AddTable(const TableInfo& info, WalWriter* wal) {
     if (stores_.count(info.id) != 0)

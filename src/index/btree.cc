@@ -1,246 +1,596 @@
 #include "index/btree.h"
 
-#include <algorithm>
 #include <cassert>
 #include <limits>
+#include <thread>
+#include <utility>
+
+#include "common/ebr.h"
 
 namespace htap {
 
+// Node layout for optimistic latch coupling. Every field that can change
+// after the node is published is std::atomic: readers access them without
+// latches and rely on version validation to discard torn states, and the
+// all-atomic layout keeps the seqlock protocol race-free under TSan.
+//
+// `vals` doubles as the payload array (leaves, parallel to keys) and the
+// child-pointer array (internal nodes, count+1 entries). Capacity is fixed
+// at construction (order_ keys / order_+1 vals) so the arrays never move.
 struct BTree::Node {
-  bool leaf = true;
-  std::vector<Key> keys;
-  std::vector<uint64_t> payloads;   // leaves only; parallel to keys
-  std::vector<Node*> children;      // internal only; keys.size()+1
-  Node* parent = nullptr;
-  Node* next = nullptr;             // leaf chain
-  Node* prev = nullptr;
+  static constexpr uint64_t kObsoleteBit = 1;  // unlinked; readers restart
+  static constexpr uint64_t kLockedBit = 2;    // writer owns the node
+  static constexpr uint64_t kVersionInc = 4;   // counter step per unlock
 
-  int IndexInParent() const {
-    for (size_t i = 0; i < parent->children.size(); ++i)
-      if (parent->children[i] == this) return static_cast<int>(i);
-    assert(false && "node not found in parent");
-    return -1;
+  Node(bool is_leaf, int key_capacity)
+      : leaf(is_leaf),
+        keys(new std::atomic<Key>[static_cast<size_t>(key_capacity)]),
+        vals(new std::atomic<uint64_t>[static_cast<size_t>(key_capacity) + 1]) {
+    // Zero every slot: a torn reader may index past `count`, and a stale
+    // slot must then hold nullptr/0, never uninitialized bits.
+    for (int i = 0; i < key_capacity; ++i)
+      keys[i].store(0, std::memory_order_relaxed);
+    for (int i = 0; i <= key_capacity; ++i)
+      vals[i].store(0, std::memory_order_relaxed);
+  }
+
+  const bool leaf;
+  std::atomic<uint64_t> version{0};
+  std::atomic<uint32_t> count{0};
+  std::atomic<Node*> next{nullptr};  // leaf chain (forward only)
+  std::unique_ptr<std::atomic<Key>[]> keys;
+  std::unique_ptr<std::atomic<uint64_t>[]> vals;
+
+  Node* Child(int i) const {
+    return reinterpret_cast<Node*>(vals[i].load(std::memory_order_acquire));
+  }
+  // Release pairs with Child()'s acquire: a freshly split sibling's
+  // constructor writes (version/count/arrays are plain stores until the
+  // node is published) must happen-before any reader that reaches the
+  // node through this pointer.
+  void SetChild(int i, Node* c) {
+    vals[i].store(reinterpret_cast<uint64_t>(c), std::memory_order_release);
+  }
+
+  /// Spins past any in-flight writer and returns an unlocked version word
+  /// (which may carry the obsolete bit — callers must check).
+  uint64_t StableVersion() const {
+    uint64_t v = version.load(std::memory_order_acquire);
+    int spins = 0;
+    while (v & kLockedBit) {
+      if (++spins >= 128) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+      v = version.load(std::memory_order_acquire);
+    }
+    return v;
+  }
+
+  /// True iff the node has not been modified since `expected` was read.
+  bool Validate(uint64_t expected) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return version.load(std::memory_order_relaxed) == expected;
+  }
+
+  /// Single-attempt writer latch: succeeds only if the version is still
+  /// exactly `expected` (unlocked, not obsolete). On success every field
+  /// is pinned to the state observed at `expected`.
+  bool TryLock(uint64_t expected) {
+    return version.compare_exchange_strong(expected, expected | kLockedBit,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed);
+  }
+
+  /// Blocking writer latch for the single serialized SMO path. Returns
+  /// false if the node became obsolete before we latched it.
+  bool LockBlocking() {
+    while (true) {
+      const uint64_t v = StableVersion();
+      if (v & kObsoleteBit) return false;
+      if (TryLock(v)) return true;
+    }
+  }
+
+  void Unlock() {
+    version.store(
+        (version.load(std::memory_order_relaxed) & ~kLockedBit) + kVersionInc,
+        std::memory_order_release);
+  }
+
+  /// Unlock + mark unlinked: every optimistic reader that still holds a
+  /// reference observes the obsolete bit and restarts from the root.
+  void UnlockObsolete() {
+    version.store(((version.load(std::memory_order_relaxed) & ~kLockedBit) +
+                   kVersionInc) |
+                      kObsoleteBit,
+                  std::memory_order_release);
+  }
+
+  int LowerBound(uint32_t cnt, Key key) const {
+    int lo = 0, hi = static_cast<int>(cnt);
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (keys[mid].load(std::memory_order_relaxed) < key)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  /// First child whose subtree may contain `key`: children[i] holds keys in
+  /// [keys[i-1], keys[i]).
+  int UpperBound(uint32_t cnt, Key key) const {
+    int lo = 0, hi = static_cast<int>(cnt);
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (keys[mid].load(std::memory_order_relaxed) <= key)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
   }
 };
 
 BTree::BTree(int order)
     : order_(order < 4 ? 4 : order),
       min_keys_((order_ - 1) / 2),
-      root_(new Node()) {}
+      root_(nullptr) {
+  root_.store(new Node(/*is_leaf=*/true, order_), std::memory_order_release);
+}
 
-BTree::~BTree() { FreeSubtree(root_); }
+BTree::~BTree() {
+  FreeSubtree(root_.load(std::memory_order_relaxed));
+  // Nodes this tree retired may still sit in the global limbo lists; give
+  // the reclaimer a chance to drain them while the process is quiet.
+  EpochManager::Global().Quiesce();
+}
+
+BTree::Node* BTree::NewNode(bool leaf) {
+  node_count_.fetch_add(1, std::memory_order_relaxed);
+  return new Node(leaf, order_);
+}
+
+void BTree::RetireNode(Node* node) {
+  node_count_.fetch_sub(1, std::memory_order_relaxed);
+  EpochManager::Global().Retire(
+      node, [](void* p) { delete static_cast<Node*>(p); });
+}
 
 void BTree::FreeSubtree(Node* node) {
-  if (!node->leaf)
-    for (Node* c : node->children) FreeSubtree(c);
+  if (!node->leaf) {
+    const uint32_t cnt = node->count.load(std::memory_order_relaxed);
+    for (uint32_t i = 0; i <= cnt; ++i) {
+      Node* c = node->Child(static_cast<int>(i));
+      if (c != nullptr) FreeSubtree(c);
+    }
+  }
   delete node;
 }
 
-BTree::Node* BTree::FindLeaf(Key key) const {
-  Node* n = root_;
-  while (!n->leaf) {
-    // First child whose subtree may contain `key`: children[i] holds keys in
-    // [keys[i-1], keys[i]).
-    const size_t i = static_cast<size_t>(
-        std::upper_bound(n->keys.begin(), n->keys.end(), key) -
-        n->keys.begin());
-    n = n->children[i];
-  }
-  return n;
-}
-
-bool BTree::Insert(Key key, uint64_t payload) {
-  WriteGuard g(latch_);
-  Node* leaf = FindLeaf(key);
-  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
-  const size_t pos = static_cast<size_t>(it - leaf->keys.begin());
-  if (it != leaf->keys.end() && *it == key) {
-    leaf->payloads[pos] = payload;
+bool BTree::DescendToLeaf(Key key, Node** leaf, uint64_t* version) const {
+  Node* node = root_.load(std::memory_order_acquire);
+  uint64_t v = node->StableVersion();
+  // Re-check the root pointer *after* stabilizing the version: a root split
+  // publishes the new root before unlocking the old one, so a descent that
+  // stabilized a post-split version here would otherwise silently search
+  // only the left half of the key space.
+  if ((v & Node::kObsoleteBit) ||
+      root_.load(std::memory_order_acquire) != node)
     return false;
+  while (!node->leaf) {
+    const uint32_t cnt = node->count.load(std::memory_order_acquire);
+    const int idx = node->UpperBound(cnt, key);
+    Node* child = node->Child(idx);
+    if (child == nullptr) return false;  // torn read beyond live slots
+    // Dereferencing before validating is safe: any pointer ever stored in a
+    // live node stays allocated until an epoch grace period passes, and our
+    // caller holds an epoch pin.
+    const uint64_t cv = child->StableVersion();
+    if (!node->Validate(v)) return false;
+    if (cv & Node::kObsoleteBit) return false;
+    node = child;
+    v = cv;
   }
-  leaf->keys.insert(it, key);
-  leaf->payloads.insert(leaf->payloads.begin() + static_cast<long>(pos),
-                        payload);
-  ++size_;
-
-  if (static_cast<int>(leaf->keys.size()) < order_) return true;
-
-  // Split the leaf.
-  Node* right = new Node();
-  right->leaf = true;
-  const size_t mid = leaf->keys.size() / 2;
-  right->keys.assign(leaf->keys.begin() + static_cast<long>(mid),
-                     leaf->keys.end());
-  right->payloads.assign(leaf->payloads.begin() + static_cast<long>(mid),
-                         leaf->payloads.end());
-  leaf->keys.resize(mid);
-  leaf->payloads.resize(mid);
-  right->next = leaf->next;
-  if (right->next) right->next->prev = right;
-  right->prev = leaf;
-  leaf->next = right;
-  InsertIntoParent(leaf, right->keys.front(), right);
+  *leaf = node;
+  *version = v;
   return true;
-}
-
-void BTree::InsertIntoParent(Node* left, Key sep, Node* right) {
-  if (left->parent == nullptr) {
-    Node* new_root = new Node();
-    new_root->leaf = false;
-    new_root->keys.push_back(sep);
-    new_root->children = {left, right};
-    left->parent = new_root;
-    right->parent = new_root;
-    root_ = new_root;
-    return;
-  }
-  Node* parent = left->parent;
-  right->parent = parent;
-  const int idx = left->IndexInParent();
-  parent->keys.insert(parent->keys.begin() + idx, sep);
-  parent->children.insert(parent->children.begin() + idx + 1, right);
-
-  if (static_cast<int>(parent->keys.size()) < order_) return;
-
-  // Split the internal node: middle key moves up.
-  Node* sibling = new Node();
-  sibling->leaf = false;
-  const size_t mid = parent->keys.size() / 2;
-  const Key up = parent->keys[mid];
-  sibling->keys.assign(parent->keys.begin() + static_cast<long>(mid) + 1,
-                       parent->keys.end());
-  sibling->children.assign(
-      parent->children.begin() + static_cast<long>(mid) + 1,
-      parent->children.end());
-  for (Node* c : sibling->children) c->parent = sibling;
-  parent->keys.resize(mid);
-  parent->children.resize(mid + 1);
-  InsertIntoParent(parent, up, sibling);
-}
-
-bool BTree::Erase(Key key) {
-  WriteGuard g(latch_);
-  Node* leaf = FindLeaf(key);
-  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
-  if (it == leaf->keys.end() || *it != key) return false;
-  const size_t pos = static_cast<size_t>(it - leaf->keys.begin());
-  leaf->keys.erase(it);
-  leaf->payloads.erase(leaf->payloads.begin() + static_cast<long>(pos));
-  --size_;
-  RebalanceAfterErase(leaf);
-  return true;
-}
-
-void BTree::RebalanceAfterErase(Node* node) {
-  if (node == root_) {
-    if (!node->leaf && node->keys.empty()) {
-      root_ = node->children[0];
-      root_->parent = nullptr;
-      delete node;
-    }
-    return;
-  }
-  if (static_cast<int>(node->keys.size()) >= min_keys_) return;
-
-  Node* parent = node->parent;
-  const int idx = node->IndexInParent();
-  Node* left = idx > 0 ? parent->children[static_cast<size_t>(idx) - 1] : nullptr;
-  Node* right = static_cast<size_t>(idx) + 1 < parent->children.size()
-                    ? parent->children[static_cast<size_t>(idx) + 1]
-                    : nullptr;
-
-  if (node->leaf) {
-    if (left && static_cast<int>(left->keys.size()) > min_keys_) {
-      node->keys.insert(node->keys.begin(), left->keys.back());
-      node->payloads.insert(node->payloads.begin(), left->payloads.back());
-      left->keys.pop_back();
-      left->payloads.pop_back();
-      parent->keys[static_cast<size_t>(idx) - 1] = node->keys.front();
-      return;
-    }
-    if (right && static_cast<int>(right->keys.size()) > min_keys_) {
-      node->keys.push_back(right->keys.front());
-      node->payloads.push_back(right->payloads.front());
-      right->keys.erase(right->keys.begin());
-      right->payloads.erase(right->payloads.begin());
-      parent->keys[static_cast<size_t>(idx)] = right->keys.front();
-      return;
-    }
-    // Merge with a sibling (into the left one of the pair).
-    Node* dst = left ? left : node;
-    Node* src = left ? node : right;
-    const int sep_idx = left ? idx - 1 : idx;
-    dst->keys.insert(dst->keys.end(), src->keys.begin(), src->keys.end());
-    dst->payloads.insert(dst->payloads.end(), src->payloads.begin(),
-                         src->payloads.end());
-    dst->next = src->next;
-    if (dst->next) dst->next->prev = dst;
-    parent->keys.erase(parent->keys.begin() + sep_idx);
-    parent->children.erase(parent->children.begin() + sep_idx + 1);
-    delete src;
-    RebalanceAfterErase(parent);
-    return;
-  }
-
-  // Internal node.
-  if (left && static_cast<int>(left->keys.size()) > min_keys_) {
-    node->keys.insert(node->keys.begin(),
-                      parent->keys[static_cast<size_t>(idx) - 1]);
-    parent->keys[static_cast<size_t>(idx) - 1] = left->keys.back();
-    left->keys.pop_back();
-    Node* moved = left->children.back();
-    left->children.pop_back();
-    moved->parent = node;
-    node->children.insert(node->children.begin(), moved);
-    return;
-  }
-  if (right && static_cast<int>(right->keys.size()) > min_keys_) {
-    node->keys.push_back(parent->keys[static_cast<size_t>(idx)]);
-    parent->keys[static_cast<size_t>(idx)] = right->keys.front();
-    right->keys.erase(right->keys.begin());
-    Node* moved = right->children.front();
-    right->children.erase(right->children.begin());
-    moved->parent = node;
-    node->children.push_back(moved);
-    return;
-  }
-  Node* dst = left ? left : node;
-  Node* src = left ? node : right;
-  const int sep_idx = left ? idx - 1 : idx;
-  dst->keys.push_back(parent->keys[static_cast<size_t>(sep_idx)]);
-  dst->keys.insert(dst->keys.end(), src->keys.begin(), src->keys.end());
-  for (Node* c : src->children) c->parent = dst;
-  dst->children.insert(dst->children.end(), src->children.begin(),
-                       src->children.end());
-  parent->keys.erase(parent->keys.begin() + sep_idx);
-  parent->children.erase(parent->children.begin() + sep_idx + 1);
-  delete src;
-  RebalanceAfterErase(parent);
 }
 
 bool BTree::Lookup(Key key, uint64_t* payload) const {
-  ReadGuard g(latch_);
-  Node* leaf = FindLeaf(key);
-  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
-  if (it == leaf->keys.end() || *it != key) return false;
-  *payload = leaf->payloads[static_cast<size_t>(it - leaf->keys.begin())];
+  EpochManager::Guard g(EpochManager::Global());
+  while (true) {
+    Node* leaf;
+    uint64_t v;
+    if (!DescendToLeaf(key, &leaf, &v)) continue;
+    const uint32_t cnt = leaf->count.load(std::memory_order_acquire);
+    const int pos = leaf->LowerBound(cnt, key);
+    bool found = false;
+    uint64_t p = 0;
+    if (pos < static_cast<int>(cnt) &&
+        leaf->keys[pos].load(std::memory_order_relaxed) == key) {
+      found = true;
+      p = leaf->vals[pos].load(std::memory_order_relaxed);
+    }
+    if (!leaf->Validate(v)) continue;
+    if (found) *payload = p;
+    return found;
+  }
+}
+
+bool BTree::Insert(Key key, uint64_t payload) {
+  const uint32_t max_keys = static_cast<uint32_t>(order_ - 1);
+  EpochManager::Guard g(EpochManager::Global());
+  while (true) {
+    Node* node = root_.load(std::memory_order_acquire);
+    uint64_t v = node->StableVersion();
+    if ((v & Node::kObsoleteBit) ||
+        root_.load(std::memory_order_acquire) != node)
+      continue;
+    if (node->count.load(std::memory_order_acquire) >= max_keys) {
+      SplitRoot(node, v);  // grows the tree a level; restart either way
+      continue;
+    }
+    bool restart = false;
+    while (!node->leaf) {
+      const uint32_t cnt = node->count.load(std::memory_order_acquire);
+      const int idx = node->UpperBound(cnt, key);
+      Node* child = node->Child(idx);
+      if (child == nullptr) {
+        restart = true;
+        break;
+      }
+      const uint64_t cv = child->StableVersion();
+      if (!node->Validate(v)) {
+        restart = true;
+        break;
+      }
+      if (cv & Node::kObsoleteBit) {
+        restart = true;
+        break;
+      }
+      if (child->count.load(std::memory_order_acquire) >= max_keys) {
+        // Eager split on the way down: the parent is known non-full, so the
+        // level below always has room and splits never propagate upward.
+        // TryLock pins each node to the state observed at its version, so a
+        // successful pair of CAS latches proves parent is still non-full
+        // and child still full.
+        if (node->TryLock(v)) {
+          if (child->TryLock(cv)) {
+            SplitChild(node, idx, child);  // unlatches both
+          } else {
+            node->Unlock();
+          }
+        }
+        restart = true;
+        break;
+      }
+      node = child;
+      v = cv;
+    }
+    if (restart) continue;
+    if (!node->TryLock(v)) continue;
+    const uint32_t cnt = node->count.load(std::memory_order_relaxed);
+    const int pos = node->LowerBound(cnt, key);
+    if (pos < static_cast<int>(cnt) &&
+        node->keys[pos].load(std::memory_order_relaxed) == key) {
+      node->vals[pos].store(payload, std::memory_order_relaxed);
+      node->Unlock();
+      return false;
+    }
+    for (int i = static_cast<int>(cnt); i > pos; --i) {
+      node->keys[i].store(node->keys[i - 1].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      node->vals[i].store(node->vals[i - 1].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    node->keys[pos].store(key, std::memory_order_relaxed);
+    node->vals[pos].store(payload, std::memory_order_relaxed);
+    node->count.store(cnt + 1, std::memory_order_release);
+    node->Unlock();
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+}
+
+BTree::Node* BTree::SplitLockedNode(Node* node, Key* sep) {
+  const uint32_t cnt = node->count.load(std::memory_order_relaxed);
+  Node* right = NewNode(node->leaf);
+  const uint32_t mid = cnt / 2;
+  if (node->leaf) {
+    for (uint32_t i = mid; i < cnt; ++i) {
+      right->keys[i - mid].store(
+          node->keys[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      right->vals[i - mid].store(
+          node->vals[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    right->count.store(cnt - mid, std::memory_order_relaxed);
+    *sep = right->keys[0].load(std::memory_order_relaxed);
+    right->next.store(node->next.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    // Release: chain-walking scans may reach `right` through this store
+    // before the parent link is published.
+    node->next.store(right, std::memory_order_release);
+  } else {
+    // The middle key moves up; children right of it move to the sibling.
+    *sep = node->keys[mid].load(std::memory_order_relaxed);
+    for (uint32_t i = mid + 1; i < cnt; ++i)
+      right->keys[i - mid - 1].store(
+          node->keys[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    for (uint32_t i = mid + 1; i <= cnt; ++i)
+      right->vals[i - mid - 1].store(
+          node->vals[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    right->count.store(cnt - mid - 1, std::memory_order_relaxed);
+  }
+  node->count.store(mid, std::memory_order_release);
+  return right;
+}
+
+void BTree::SplitRoot(Node* root, uint64_t root_version) {
+  if (!root->TryLock(root_version)) return;
+  if (root_.load(std::memory_order_acquire) != root) {
+    root->Unlock();
+    return;
+  }
+  Key sep;
+  Node* right = SplitLockedNode(root, &sep);
+  Node* new_root = NewNode(/*leaf=*/false);
+  new_root->keys[0].store(sep, std::memory_order_relaxed);
+  new_root->SetChild(0, root);
+  new_root->SetChild(1, right);
+  new_root->count.store(1, std::memory_order_relaxed);
+  // Publish the new root *before* unlocking the old one: a reader that
+  // stabilizes the old root's post-split version is then guaranteed to see
+  // the new root pointer on its re-check and restart.
+  root_.store(new_root, std::memory_order_release);
+  height_.fetch_add(1, std::memory_order_relaxed);
+  root->Unlock();
+}
+
+void BTree::SplitChild(Node* parent, int idx, Node* child) {
+  Key sep;
+  Node* right = SplitLockedNode(child, &sep);
+  const uint32_t pcnt = parent->count.load(std::memory_order_relaxed);
+  for (int i = static_cast<int>(pcnt); i > idx; --i)
+    parent->keys[i].store(parent->keys[i - 1].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  for (int i = static_cast<int>(pcnt) + 1; i > idx + 1; --i)
+    parent->vals[i].store(parent->vals[i - 1].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  parent->keys[idx].store(sep, std::memory_order_relaxed);
+  parent->SetChild(idx + 1, right);
+  parent->count.store(pcnt + 1, std::memory_order_release);
+  child->Unlock();
+  parent->Unlock();
+}
+
+bool BTree::Erase(Key key) {
+  bool need_repair = false;
+  {
+    EpochManager::Guard g(EpochManager::Global());
+    while (true) {
+      Node* leaf;
+      uint64_t v;
+      if (!DescendToLeaf(key, &leaf, &v)) continue;
+      if (!leaf->TryLock(v)) continue;
+      const uint32_t cnt = leaf->count.load(std::memory_order_relaxed);
+      const int pos = leaf->LowerBound(cnt, key);
+      if (pos >= static_cast<int>(cnt) ||
+          leaf->keys[pos].load(std::memory_order_relaxed) != key) {
+        leaf->Unlock();
+        return false;
+      }
+      for (int i = pos; i + 1 < static_cast<int>(cnt); ++i) {
+        leaf->keys[i].store(leaf->keys[i + 1].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+        leaf->vals[i].store(leaf->vals[i + 1].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+      }
+      leaf->count.store(cnt - 1, std::memory_order_release);
+      need_repair = static_cast<int>(cnt - 1) < min_keys_ &&
+                    leaf != root_.load(std::memory_order_acquire);
+      leaf->Unlock();
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  if (need_repair) RepairUnderflow(key);
   return true;
+}
+
+void BTree::RepairUnderflow(Key key) {
+  MutexLock lk(&smo_mu_);
+  EpochManager::Guard g(EpochManager::Global());
+  // Top-down blocking-latch descent to the leaf that covers `key`, holding
+  // only a (parent, child) pair. Blocking is safe here: every other writer
+  // uses single-attempt latches and restarts instead of waiting, and there
+  // is at most one SMO thread (smo_mu_), so no latch cycle can form.
+  while (true) {
+    Node* node = root_.load(std::memory_order_acquire);
+    if (node->leaf) break;  // root leaf never needs repair
+    if (!node->LockBlocking()) continue;
+    if (root_.load(std::memory_order_acquire) != node) {
+      node->Unlock();
+      continue;
+    }
+    bool restart = false;
+    while (true) {
+      const uint32_t cnt = node->count.load(std::memory_order_relaxed);
+      const int idx = node->UpperBound(cnt, key);
+      Node* child = node->Child(idx);
+      if (child == nullptr || !child->LockBlocking()) {
+        node->Unlock();
+        restart = true;
+        break;
+      }
+      if (child->leaf) {
+        RepairLeafLocked(node, idx, child);  // unlatches both
+        break;
+      }
+      node->Unlock();
+      node = child;
+    }
+    if (!restart) break;
+  }
+  CollapseRoot();
+}
+
+void BTree::RepairLeafLocked(Node* parent, int idx, Node* leaf) {
+  const uint32_t lcnt = leaf->count.load(std::memory_order_relaxed);
+  const uint32_t pcnt = parent->count.load(std::memory_order_relaxed);
+  const uint32_t max_keys = static_cast<uint32_t>(order_ - 1);
+  if (static_cast<int>(lcnt) >= min_keys_) {  // refilled concurrently
+    leaf->Unlock();
+    parent->Unlock();
+    return;
+  }
+
+  // Merge only within the shared parent, so the vacated node's leaf-chain
+  // predecessor is always the surviving participant. A sibling too full to
+  // absorb us leaves the leaf underfull — harmless for correctness, and a
+  // later erase will retry. When the sibling sits at min_keys_ the merge
+  // always fits: min + (min-1) <= order-2 < max_keys.
+  if (idx > 0) {
+    Node* left = parent->Child(idx - 1);
+    left->LockBlocking();  // never obsolete: parent latched, we are the SMO
+    const uint32_t ln = left->count.load(std::memory_order_relaxed);
+    if (ln + lcnt <= max_keys) {
+      // Fold leaf into its left sibling and unlink it.
+      for (uint32_t i = 0; i < lcnt; ++i) {
+        left->keys[ln + i].store(
+            leaf->keys[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        left->vals[ln + i].store(
+            leaf->vals[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+      left->next.store(leaf->next.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+      left->count.store(ln + lcnt, std::memory_order_release);
+      for (int i = idx - 1; i + 1 < static_cast<int>(pcnt); ++i)
+        parent->keys[i].store(
+            parent->keys[i + 1].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      for (int i = idx; i < static_cast<int>(pcnt); ++i)
+        parent->vals[i].store(
+            parent->vals[i + 1].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      parent->count.store(pcnt - 1, std::memory_order_release);
+      leaf->UnlockObsolete();
+      RetireNode(leaf);
+      left->Unlock();
+      parent->Unlock();
+      return;
+    }
+    left->Unlock();
+  }
+  if (idx < static_cast<int>(pcnt)) {
+    Node* right = parent->Child(idx + 1);
+    right->LockBlocking();
+    const uint32_t rn = right->count.load(std::memory_order_relaxed);
+    if (lcnt + rn <= max_keys) {
+      // Fold the right sibling into leaf and unlink it.
+      for (uint32_t i = 0; i < rn; ++i) {
+        leaf->keys[lcnt + i].store(
+            right->keys[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        leaf->vals[lcnt + i].store(
+            right->vals[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+      leaf->next.store(right->next.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+      leaf->count.store(lcnt + rn, std::memory_order_release);
+      for (int i = idx; i + 1 < static_cast<int>(pcnt); ++i)
+        parent->keys[i].store(
+            parent->keys[i + 1].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      for (int i = idx + 1; i < static_cast<int>(pcnt); ++i)
+        parent->vals[i].store(
+            parent->vals[i + 1].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      parent->count.store(pcnt - 1, std::memory_order_release);
+      right->UnlockObsolete();
+      RetireNode(right);
+      leaf->Unlock();
+      parent->Unlock();
+      return;
+    }
+    right->Unlock();
+  }
+  leaf->Unlock();
+  parent->Unlock();
+}
+
+void BTree::CollapseRoot() {
+  while (true) {
+    Node* root = root_.load(std::memory_order_acquire);
+    if (root->leaf || root->count.load(std::memory_order_acquire) != 0)
+      return;
+    if (!root->LockBlocking()) continue;
+    if (root_.load(std::memory_order_acquire) != root ||
+        root->count.load(std::memory_order_relaxed) != 0) {
+      root->Unlock();  // raced a concurrent split that refilled the root
+      continue;
+    }
+    Node* child = root->Child(0);
+    root_.store(child, std::memory_order_release);
+    root->UnlockObsolete();
+    RetireNode(root);
+    height_.fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 void BTree::Scan(Key lo, Key hi,
                  const std::function<bool(Key, uint64_t)>& visit) const {
-  ReadGuard g(latch_);
-  const Node* leaf = FindLeaf(lo);
-  size_t i = static_cast<size_t>(
-      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lo) -
-      leaf->keys.begin());
-  while (leaf) {
-    for (; i < leaf->keys.size(); ++i) {
-      if (leaf->keys[i] > hi) return;
-      if (!visit(leaf->keys[i], leaf->payloads[i])) return;
+  if (lo > hi) return;
+  EpochManager::Guard g(EpochManager::Global());
+  Key cur = lo;
+  std::vector<std::pair<Key, uint64_t>> buf;
+  buf.reserve(static_cast<size_t>(order_));
+restart:
+  while (true) {
+    Node* node;
+    uint64_t v;
+    if (!DescendToLeaf(cur, &node, &v)) continue;
+    // Walk the leaf chain, snapshotting each leaf into `buf` and validating
+    // before emitting — the callback never observes a torn node, and `cur`
+    // makes retries/restarts exactly-once per key.
+    while (true) {
+      buf.clear();
+      bool past_hi = false;
+      const uint32_t cnt = node->count.load(std::memory_order_acquire);
+      for (uint32_t i = 0; i < cnt; ++i) {
+        const Key k = node->keys[i].load(std::memory_order_relaxed);
+        if (k < cur) continue;
+        if (k > hi) {
+          past_hi = true;
+          break;
+        }
+        buf.emplace_back(k, node->vals[i].load(std::memory_order_relaxed));
+      }
+      Node* next = node->next.load(std::memory_order_acquire);
+      if (!node->Validate(v)) {
+        v = node->StableVersion();
+        if (v & Node::kObsoleteBit) goto restart;  // unlinked under us
+        continue;  // modified in place: retry this leaf
+      }
+      for (const auto& [k, p] : buf) {
+        if (!visit(k, p)) return;
+        if (k == hi) return;
+        cur = k + 1;  // k < hi, so no overflow
+      }
+      if (past_hi || next == nullptr) return;
+      node = next;
+      v = node->StableVersion();
+      if (v & Node::kObsoleteBit) goto restart;
     }
-    leaf = leaf->next;
-    i = 0;
   }
 }
 
@@ -249,26 +599,12 @@ void BTree::ScanAll(const std::function<bool(Key, uint64_t)>& visit) const {
        visit);
 }
 
-size_t BTree::size() const {
-  ReadGuard g(latch_);
-  return size_;
-}
-
-int BTree::height() const {
-  ReadGuard g(latch_);
-  int h = 1;
-  const Node* n = root_;
-  while (!n->leaf) {
-    n = n->children[0];
-    ++h;
-  }
-  return h;
-}
-
 size_t BTree::MemoryBytes() const {
-  ReadGuard g(latch_);
-  // Estimate from entry count; exact accounting would require a full walk.
-  return size_ * (sizeof(Key) + sizeof(uint64_t)) * 3 / 2 + sizeof(*this);
+  const size_t per_node = sizeof(Node) +
+                          static_cast<size_t>(order_) * sizeof(Key) +
+                          (static_cast<size_t>(order_) + 1) * sizeof(uint64_t);
+  return node_count_.load(std::memory_order_relaxed) * per_node +
+         sizeof(*this);
 }
 
 }  // namespace htap

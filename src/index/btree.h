@@ -4,19 +4,31 @@
 // to the version chain), (2) the key index over TiDB-style log-delta files
 // (payload = offset of the latest delta entry), and (3) secondary indexes.
 //
-// Concurrency: one readers/writer latch for the whole tree. Fine-grained
-// latch coupling is deliberately out of scope — the survey's claims under
-// test concern architecture-level behaviour, not index microcontention.
+// Concurrency: optimistic latch coupling (OLC, DESIGN.md §15). Every node
+// carries a version word (obsolete bit | lock bit | counter). Readers take
+// no latches: they read a node's stable version, read its fields, and
+// validate that the version did not change before trusting what they read —
+// restarting from the root otherwise. Writers CAS the lock bit into the
+// version of only the node(s) they modify (leaf for plain inserts/erases;
+// parent+child for splits) and never block on a latch: a failed CAS means a
+// concurrent modification, so they release everything and restart. Structure
+// shrinkage (leaf merges/borrows, root collapse) is serialized by `smo_mu_`
+// (rank kBtree) — the one blocking path, taken only after an erase leaves a
+// leaf underfull. Unlinked nodes are retired through the global EpochManager
+// (common/ebr.h) so frees never race in-flight optimistic readers.
+//
+// All node fields that can change after publication are std::atomic, so the
+// seqlock-style read/validate protocol is also race-free under TSan.
 
 #ifndef HTAP_INDEX_BTREE_H_
 #define HTAP_INDEX_BTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
-#include "common/latch.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/status.h"
@@ -25,6 +37,7 @@
 namespace htap {
 
 /// B+-tree with configurable fanout. Keys are unique; Insert overwrites.
+/// All public operations are safe to call from any number of threads.
 class BTree {
  public:
   /// `order`: max children of an internal node (max keys = order-1).
@@ -44,16 +57,18 @@ class BTree {
   bool Lookup(Key key, uint64_t* payload) const;
 
   /// Visits entries with lo <= key <= hi in order; stop early by returning
-  /// false from the callback.
+  /// false from the callback. Entries are visited from a validated snapshot
+  /// of each leaf, so a scan never sees a torn node, but entries inserted or
+  /// erased while the scan is in flight may or may not be reflected.
   void Scan(Key lo, Key hi,
             const std::function<bool(Key, uint64_t)>& visit) const;
 
   /// Visits all entries in order.
   void ScanAll(const std::function<bool(Key, uint64_t)>& visit) const;
 
-  size_t size() const;
+  size_t size() const { return size_.load(std::memory_order_acquire); }
   bool empty() const { return size() == 0; }
-  int height() const;
+  int height() const { return height_.load(std::memory_order_acquire); }
 
   /// Approximate heap footprint in bytes.
   size_t MemoryBytes() const;
@@ -61,16 +76,54 @@ class BTree {
  private:
   struct Node;
 
-  Node* FindLeaf(Key key) const REQUIRES_SHARED(latch_);
-  void InsertIntoParent(Node* left, Key sep, Node* right) REQUIRES(latch_);
-  void RebalanceAfterErase(Node* node) REQUIRES(latch_);
-  void FreeSubtree(Node* node) REQUIRES(latch_);
+  Node* NewNode(bool leaf);
+  void RetireNode(Node* node);
+  void FreeSubtree(Node* node);
 
-  const int order_;
-  const int min_keys_;
-  Node* root_ GUARDED_BY(latch_);
-  size_t size_ GUARDED_BY(latch_) = 0;
-  mutable RWLatch latch_{LockRank::kBtree, "btree"};
+  /// Optimistically walks from the root to the leaf that covers `key`.
+  /// On success `*leaf`/`*version` hold the leaf and the version it was
+  /// validated against. Returns false if a concurrent writer forced a
+  /// restart (caller loops). Never takes latches.
+  bool DescendToLeaf(Key key, Node** leaf, uint64_t* version) const;
+
+  /// Splits the full root (leaf or internal) under its latch, growing the
+  /// tree by one level. Caller restarts regardless of the outcome.
+  void SplitRoot(Node* root, uint64_t root_version);
+
+  /// Splits latched full `node`, returning the new right sibling (fully
+  /// initialized but not yet linked into any parent) and the separator key.
+  Node* SplitLockedNode(Node* node, Key* sep);
+
+  /// Splits full `child` (the `idx`-th child of `parent`); both must be
+  /// latched by the caller. Unlatches both before returning.
+  void SplitChild(Node* parent, int idx, Node* child);
+
+  /// Repairs an underfull leaf reached by `key`: merge it with an adjacent
+  /// sibling under the same parent, then collapse empty root levels.
+  /// Serialized by smo_mu_; latches the affected parent/leaf pair. Borrowing
+  /// is intentionally omitted — moving entries between two live leaves
+  /// without obsoleting either would let a concurrent latch-free scan skip
+  /// the moved entry; merges obsolete the vacated node, forcing optimistic
+  /// readers to restart (DESIGN.md §15).
+  void RepairUnderflow(Key key);
+
+  /// Merge step on a latched (parent, leaf) pair; unlatches both.
+  void RepairLeafLocked(Node* parent, int idx, Node* leaf) REQUIRES(smo_mu_);
+
+  /// Collapses root levels whose internal node has no separator left.
+  void CollapseRoot() REQUIRES(smo_mu_);
+
+  const int order_;      // capacity: a node holds at most order_-1 keys
+  const int min_keys_;   // leaves below this (non-root) trigger a merge try
+
+  std::atomic<Node*> root_;
+  std::atomic<size_t> size_{0};
+  std::atomic<int> height_{1};
+  std::atomic<size_t> node_count_{1};
+
+  /// Serializes structure-shrinking modifications (leaf borrow/merge, root
+  /// collapse). Insert/lookup/scan never touch it.
+  mutable Mutex smo_mu_{LockRank::kBtree, "btree-smo"};
 };
 
 }  // namespace htap

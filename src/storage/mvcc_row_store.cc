@@ -16,12 +16,14 @@ MvccRowStore::MvccRowStore(uint32_t table_id, Schema schema,
       wal_(wal) {}
 
 MvccRowStore::~MvccRowStore() {
-  for (auto& chain : chains_) {
-    RowVersion* v = chain->latest;
-    while (v != nullptr) {
-      RowVersion* older = v->older;
-      delete v;
-      v = older;
+  for (ChainStripe& s : stripes_) {
+    for (auto& chain : s.chains) {
+      RowVersion* v = chain->latest;
+      while (v != nullptr) {
+        RowVersion* older = v->older;
+        delete v;
+        v = older;
+      }
     }
   }
 }
@@ -30,12 +32,15 @@ VersionChain* MvccRowStore::GetOrCreateChain(Key key) {
   uint64_t payload;
   if (index_.Lookup(key, &payload))
     return reinterpret_cast<VersionChain*>(payload);
-  SpinGuard g(chains_latch_);
-  // Double-check under the latch: another writer may have created it.
+  ChainStripe& s = stripe(key);
+  SpinGuard g(s.latch);
+  // Double-check under the stripe latch: a same-key writer hashes to the
+  // same stripe, so another creation attempt is either visible in the index
+  // by now or serialized behind us.
   if (index_.Lookup(key, &payload))
     return reinterpret_cast<VersionChain*>(payload);
-  chains_.push_back(std::make_unique<VersionChain>());
-  VersionChain* chain = chains_.back().get();
+  s.chains.push_back(std::make_unique<VersionChain>());
+  VersionChain* chain = s.chains.back().get();
   chain->key = key;
   index_.Insert(key, reinterpret_cast<uint64_t>(chain));
   mem_bytes_.fetch_add(sizeof(VersionChain) + 24, std::memory_order_relaxed);
@@ -389,35 +394,38 @@ void MvccRowStore::RollbackEntry(const UndoEntry& u) {
 
 size_t MvccRowStore::Vacuum(CSN watermark) {
   size_t reclaimed = 0;
-  SpinGuard chains_guard(chains_latch_);
-  for (auto& chain_ptr : chains_) {
-    VersionChain* chain = chain_ptr.get();
-    SpinGuard g(chain->latch);
-    if (chain->latest == nullptr) continue;
-    // Keep the latest version; free any older version whose end CSN is at or
-    // below the watermark (unreachable by every active or future snapshot).
-    RowVersion* keep = chain->latest;
-    RowVersion* v = keep->older;
-    while (v != nullptr) {
-      const uint64_t raw_e = v->end.load(std::memory_order_acquire);
-      if (!IsTxnId(raw_e) && raw_e != kMaxCSN && raw_e <= watermark) {
-        // This and everything older is dead.
-        keep->older = nullptr;
-        while (v != nullptr) {
-          RowVersion* older = v->older;
-          mem_bytes_.fetch_sub(
-              std::min(mem_bytes_.load(std::memory_order_relaxed),
-                       sizeof(RowVersion) + v->data.MemoryBytes()),
-              std::memory_order_relaxed);
-          delete v;
-          versions_.fetch_sub(1, std::memory_order_relaxed);
-          ++reclaimed;
-          v = older;
+  for (ChainStripe& s : stripes_) {
+    SpinGuard chains_guard(s.latch);
+    for (auto& chain_ptr : s.chains) {
+      VersionChain* chain = chain_ptr.get();
+      SpinGuard g(chain->latch);
+      if (chain->latest == nullptr) continue;
+      // Keep the latest version; free any older version whose end CSN is at
+      // or below the watermark (unreachable by every active or future
+      // snapshot).
+      RowVersion* keep = chain->latest;
+      RowVersion* v = keep->older;
+      while (v != nullptr) {
+        const uint64_t raw_e = v->end.load(std::memory_order_acquire);
+        if (!IsTxnId(raw_e) && raw_e != kMaxCSN && raw_e <= watermark) {
+          // This and everything older is dead.
+          keep->older = nullptr;
+          while (v != nullptr) {
+            RowVersion* older = v->older;
+            mem_bytes_.fetch_sub(
+                std::min(mem_bytes_.load(std::memory_order_relaxed),
+                         sizeof(RowVersion) + v->data.MemoryBytes()),
+                std::memory_order_relaxed);
+            delete v;
+            versions_.fetch_sub(1, std::memory_order_relaxed);
+            ++reclaimed;
+            v = older;
+          }
+          break;
         }
-        break;
+        keep = v;
+        v = v->older;
       }
-      keep = v;
-      v = v->older;
     }
   }
   return reclaimed;

@@ -141,11 +141,23 @@ class MvccRowStore {
   TransactionManager* const txn_mgr_;
   WalWriter* const wal_;
 
-  BTree index_;  // key -> VersionChain* (internal latch, rank kBtree)
+  BTree index_;  // key -> VersionChain* (optimistic latch coupling)
+
+  // Chain ownership directory, striped by key hash so concurrent writers
+  // creating chains for different keys rarely contend (a same-key race
+  // serializes on its stripe and double-checks the index under the latch).
   // Chains are owned here and never freed until the store dies (keys are
   // never unindexed; fully-dead chains are invisible to scans).
-  std::deque<std::unique_ptr<VersionChain>> chains_ GUARDED_BY(chains_latch_);
-  SpinLatch chains_latch_{LockRank::kStoreChains, "row-store-chains"};
+  static constexpr size_t kChainStripes = 64;
+  struct alignas(64) ChainStripe {
+    SpinLatch latch{LockRank::kStoreChains, "row-store-chains"};
+    std::deque<std::unique_ptr<VersionChain>> chains GUARDED_BY(latch);
+  };
+  ChainStripe& stripe(Key key) const {
+    return stripes_[static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ULL >>
+                    58];  // top 6 bits of a Fibonacci hash
+  }
+  mutable ChainStripe stripes_[kChainStripes];
 
   std::atomic<size_t> live_rows_{0};
   std::atomic<size_t> versions_{0};

@@ -6,17 +6,33 @@
 
 namespace htap {
 
-TransactionManager::TransactionManager(WalWriter* wal) : wal_(wal) {}
+TransactionManager::TransactionManager(WalWriter* wal, size_t commit_shards)
+    : wal_(wal) {
+  const size_t n = std::clamp<size_t>(commit_shards, 1, 64);
+  shards_.reserve(n);
+  active_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<CommitShard>());
+    active_.push_back(std::make_unique<ActiveShard>());
+  }
+}
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
-  const CSN begin = clock_.load(std::memory_order_acquire);
+  const CSN begin = committed_.load(std::memory_order_acquire);
   auto txn = std::make_unique<Transaction>(id, begin);
+  ActiveShard& as = active_shard(id);
   {
-    MutexLock lk(&active_mu_);
-    active_.emplace(id, txn.get());
+    MutexLock lk(&as.mu);
+    as.txns.emplace(id, txn.get());
   }
   return txn;
+}
+
+void TransactionManager::EraseActive(uint64_t txn_id) {
+  ActiveShard& as = active_shard(txn_id);
+  MutexLock lk(&as.mu);
+  as.txns.erase(txn_id);
 }
 
 Status TransactionManager::Commit(Transaction* txn) {
@@ -25,8 +41,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   if (txn->undo().empty()) {
     // Read-only: nothing to stamp, log, or publish.
     txn->set_state(TxnState::kCommitted);
-    MutexLock lk(&active_mu_);
-    active_.erase(txn->id());
+    EraseActive(txn->id());
     commits_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   }
@@ -39,40 +54,89 @@ Status TransactionManager::Commit(Transaction* txn) {
     HTAP_RETURN_NOT_OK(wal_->Sync());  // group commit point
   }
 
+  // Allocate the CSN and enter it into our shard's in-flight frontier in
+  // one critical section: a concurrent frontier scan either sees this CSN
+  // in the shard or runs before the allocation counter covered it — never
+  // an allocated-but-invisible gap.
+  CommitShard& cs = commit_shard(txn->id());
+  CSN csn;
   {
-    MutexLock commit_lk(&commit_mu_);
-    const CSN csn = clock_.load(std::memory_order_relaxed) + 1;
-    txn->set_commit_csn(csn);
+    MutexLock lk(&cs.mu);
+    csn = allocated_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    cs.inflight.insert(csn);
+  }
+  txn->set_commit_csn(csn);
 
-    // Stamp versions: begin fields of created versions, end fields of
-    // superseded/deleted ones; let the owning store settle its counters.
-    for (const UndoEntry& u : txn->undo()) {
-      if (u.new_version != nullptr)
-        u.new_version->begin.store(csn, std::memory_order_release);
-      if (u.old_version != nullptr)
-        u.old_version->end.store(csn, std::memory_order_release);
-      u.store->AccountCommittedEntry(u);
-    }
-    txn->set_state(TxnState::kCommitted);
-    // Make the CSN visible to new snapshots only after stamping, so a
-    // snapshot at `csn` always sees fully stamped versions or resolves the
-    // txn id through GetCommitInfo.
-    clock_.store(csn, std::memory_order_release);
+  // Stamp versions: begin fields of created versions, end fields of
+  // superseded/deleted ones; let the owning store settle its counters.
+  // No lock needed — the fields are atomic and this CSN stays above the
+  // published watermark until it leaves the frontier below.
+  for (const UndoEntry& u : txn->undo()) {
+    if (u.new_version != nullptr)
+      u.new_version->begin.store(csn, std::memory_order_release);
+    if (u.old_version != nullptr)
+      u.old_version->end.store(csn, std::memory_order_release);
+    u.store->AccountCommittedEntry(u);
+  }
+  txn->set_state(TxnState::kCommitted);
 
-    // Publish in CSN order (still under commit_mu_).
-    if (!txn->changes().empty()) {
-      for (ChangeEvent& ev : txn->changes()) ev.csn = csn;
-      MutexLock slk(&sinks_mu_);
-      for (ChangeSink* sink : sinks_) sink->OnCommit(txn->changes());
-    }
+  // Queue change events before retiring the CSN so publication can never
+  // run ahead of enqueue. The batch is moved out: the Transaction may be
+  // destroyed as soon as we return, possibly before a later committer
+  // drains this CSN from the queue.
+  if (!txn->changes().empty()) {
+    for (ChangeEvent& ev : txn->changes()) ev.csn = csn;
+    MutexLock lk(&publish_mu_);
+    pending_.emplace(csn, std::move(txn->changes()));
   }
 
+  // Retire the CSN from the frontier: every version is stamped, so the
+  // watermark may now advance past it.
   {
-    MutexLock lk(&active_mu_);
-    active_.erase(txn->id());
+    MutexLock lk(&cs.mu);
+    cs.inflight.erase(csn);
   }
+  RecomputeCommitted();
+  DrainPublishQueue();
+
+  EraseActive(txn->id());
   commits_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+void TransactionManager::RecomputeCommitted() {
+  // Load the allocation counter *before* scanning shards: a CSN allocated
+  // after this load is > `bound` and cannot be missed; one allocated before
+  // it is either still in its shard (we lock each shard, so we see it) or
+  // already retired (fully stamped — safe to cover).
+  const CSN bound = allocated_.load(std::memory_order_seq_cst);
+  CSN w = bound;
+  for (const auto& shard : shards_) {
+    MutexLock lk(&shard->mu);
+    if (!shard->inflight.empty())
+      w = std::min(w, *shard->inflight.begin() - 1);
+  }
+  CSN cur = committed_.load(std::memory_order_relaxed);
+  while (cur < w && !committed_.compare_exchange_weak(
+                        cur, w, std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+  }
+}
+
+void TransactionManager::DrainPublishQueue() {
+  MutexLock lk(&publish_mu_);
+  while (!pending_.empty()) {
+    const auto it = pending_.begin();
+    if (it->first > committed_.load(std::memory_order_acquire)) break;
+    {
+      // publish_mu_ (kTxnCommit) -> sinks_mu_ (kTxnSinks): ascending ranks.
+      // Holding publish_mu_ across OnCommit keeps the global CSN order even
+      // when several committers race to drain.
+      MutexLock slk(&sinks_mu_);
+      for (ChangeSink* sink : sinks_) sink->OnCommit(it->second);
+    }
+    pending_.erase(it);
+  }
 }
 
 Status TransactionManager::Abort(Transaction* txn) {
@@ -85,33 +149,37 @@ Status TransactionManager::Abort(Transaction* txn) {
     wal_->Append(rec);  // no sync needed: abort is the default outcome
   }
   txn->set_state(TxnState::kAborted);
-  {
-    MutexLock lk(&active_mu_);
-    active_.erase(txn->id());
-  }
+  EraseActive(txn->id());
   aborts_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 void TransactionManager::RollbackWrites(Transaction* txn) {
   auto& undo = txn->undo();
-  for (auto it = undo.rbegin(); it != undo.rend(); ++it) it->store->RollbackEntry(*it);
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it)
+    it->store->RollbackEntry(*it);
 }
 
 bool TransactionManager::GetCommitInfo(uint64_t txn_id, CSN* commit_csn,
                                        TxnState* state) const {
-  MutexLock lk(&active_mu_);
-  const auto it = active_.find(txn_id);
-  if (it == active_.end()) return false;
+  const ActiveShard& as = active_shard(txn_id);
+  MutexLock lk(&as.mu);
+  const auto it = as.txns.find(txn_id);
+  if (it == as.txns.end()) return false;
   *state = it->second->state();
   *commit_csn = it->second->commit_csn();
   return true;
 }
 
 CSN TransactionManager::Watermark() const {
-  MutexLock lk(&active_mu_);
-  CSN wm = clock_.load(std::memory_order_acquire);
-  for (const auto& [id, txn] : active_) wm = std::min(wm, txn->begin_csn());
+  // committed_ is loaded first and only grows, and every transaction that
+  // begins after this load gets begin_csn >= wm, so the result is a valid
+  // lower bound even though shards are scanned one at a time.
+  CSN wm = committed_.load(std::memory_order_acquire);
+  for (const auto& shard : active_) {
+    MutexLock lk(&shard->mu);
+    for (const auto& [id, txn] : shard->txns) wm = std::min(wm, txn->begin_csn());
+  }
   return wm;
 }
 

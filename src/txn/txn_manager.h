@@ -6,12 +6,24 @@
 // commit record and group-syncs the log, then stamps versions with the
 // commit CSN and publishes the change events to registered sinks (delta
 // stores, replication streams) in strict CSN order.
+//
+// Commit structures are sharded (DESIGN.md §15): CSNs come from a single
+// atomic counter, but the set of in-flight (allocated, not yet fully
+// stamped) CSNs is partitioned across `commit_shards` mutexes keyed by txn
+// id. The published committed CSN — what snapshots read — is the min over
+// all shard frontiers minus one, capped by the allocation counter, so a
+// snapshot can never observe a CSN whose versions are still being stamped.
+// Sink publication stays globally CSN-ordered via a small pending queue
+// drained under `publish_mu_`; no commit ever holds a global mutex across
+// WAL sync, stamping, and publication the way the old `commit_mu_` did.
 
 #ifndef HTAP_TXN_TXN_MANAGER_H_
 #define HTAP_TXN_TXN_MANAGER_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -27,10 +39,15 @@ namespace htap {
 class TransactionManager {
  public:
   /// `wal` may be null (no durability; used by pure in-memory configs).
-  explicit TransactionManager(WalWriter* wal = nullptr);
+  /// `commit_shards` partitions the commit frontier + active-txn maps;
+  /// values are clamped to [1, 64].
+  explicit TransactionManager(WalWriter* wal = nullptr,
+                              size_t commit_shards = kDefaultCommitShards);
 
   TransactionManager(const TransactionManager&) = delete;
   TransactionManager& operator=(const TransactionManager&) = delete;
+
+  static constexpr size_t kDefaultCommitShards = 8;
 
   /// Starts a transaction with a snapshot of everything committed so far.
   std::unique_ptr<Transaction> Begin();
@@ -43,14 +60,20 @@ class TransactionManager {
   /// Rolls back all of the transaction's writes.
   Status Abort(Transaction* txn);
 
-  /// Read-only snapshot at "now".
+  /// Read-only snapshot at "now". Every version with a CSN at or below the
+  /// snapshot is guaranteed fully stamped (min-frontier invariant).
   Snapshot CurrentSnapshot() const {
-    return Snapshot{clock_.load(std::memory_order_acquire), 0};
+    return Snapshot{committed_.load(std::memory_order_acquire), 0};
   }
 
-  /// Latest committed CSN.
+  /// Latest committed CSN (the published min-frontier watermark).
   CSN LastCommittedCsn() const {
-    return clock_.load(std::memory_order_acquire);
+    return committed_.load(std::memory_order_acquire);
+  }
+
+  /// Highest CSN handed out so far (>= LastCommittedCsn; test hook).
+  CSN LastAllocatedCsn() const {
+    return allocated_.load(std::memory_order_acquire);
   }
 
   /// Commit state of an in-flight-or-committing transaction by id. Returns
@@ -58,7 +81,7 @@ class TransactionManager {
   /// version stamp).
   bool GetCommitInfo(uint64_t txn_id, CSN* commit_csn, TxnState* state) const;
 
-  /// Oldest begin CSN among active transactions (or the current clock if
+  /// Oldest begin CSN among active transactions (or the committed CSN if
   /// none): versions dead before this are unreachable and can be vacuumed.
   CSN Watermark() const;
 
@@ -75,20 +98,54 @@ class TransactionManager {
   void RecordConflict() { conflicts_.fetch_add(1, std::memory_order_relaxed); }
 
   WalWriter* wal() const { return wal_; }
+  size_t commit_shard_count() const { return shards_.size(); }
 
  private:
+  /// In-flight commit frontier for one shard: CSNs allocated to committing
+  /// transactions whose versions are not yet fully stamped. Allocation and
+  /// insertion happen atomically under `mu` so a frontier scan can never
+  /// miss an allocated-but-uninserted CSN.
+  struct alignas(64) CommitShard {
+    Mutex mu{LockRank::kTxnShard, "txn-commit-shard"};
+    std::set<CSN> inflight GUARDED_BY(mu);
+  };
+
+  struct alignas(64) ActiveShard {
+    mutable Mutex mu{LockRank::kTxnActive, "txn-active"};
+    std::unordered_map<uint64_t, Transaction*> txns GUARDED_BY(mu);
+  };
+
+  CommitShard& commit_shard(uint64_t txn_id) {
+    return *shards_[txn_id % shards_.size()];
+  }
+  ActiveShard& active_shard(uint64_t txn_id) const {
+    return *active_[txn_id % active_.size()];
+  }
+
+  void EraseActive(uint64_t txn_id);
+
+  /// Recomputes committed_ = min over shards of (min inflight - 1), capped
+  /// by allocated_, and publishes it monotonically (CAS-max).
+  void RecomputeCommitted();
+
+  /// Publishes every pending change batch whose CSN is covered by
+  /// committed_, in CSN order, then drops it from the queue.
+  void DrainPublishQueue();
+
   void RollbackWrites(Transaction* txn);
 
   WalWriter* const wal_;
-  std::atomic<CSN> clock_{1};       // last committed CSN
+  std::atomic<CSN> allocated_{1};   // last CSN handed to a committer
+  std::atomic<CSN> committed_{1};   // published min-frontier watermark
   std::atomic<uint64_t> next_txn_id_{kTxnIdBit | 1};
 
-  mutable Mutex active_mu_{LockRank::kTxnActive, "txn-active"};
-  std::unordered_map<uint64_t, Transaction*> active_ GUARDED_BY(active_mu_);
+  std::vector<std::unique_ptr<CommitShard>> shards_;
+  std::vector<std::unique_ptr<ActiveShard>> active_;
 
-  // Serializes CSN assignment + sink publication; guards no member directly
-  // (the clock is atomic) — it provides the commit-order critical section.
-  Mutex commit_mu_{LockRank::kTxnCommit, "txn-commit"};
+  // Orders sink publication by CSN across concurrent committers. Pending
+  // batches wait here until the watermark covers them.
+  mutable Mutex publish_mu_{LockRank::kTxnCommit, "txn-publish"};
+  std::map<CSN, std::vector<ChangeEvent>> pending_ GUARDED_BY(publish_mu_);
 
   Mutex sinks_mu_{LockRank::kTxnSinks, "txn-sinks"};
   std::vector<ChangeSink*> sinks_ GUARDED_BY(sinks_mu_);

@@ -1,0 +1,165 @@
+// Epoch-based reclamation (common/ebr.h): grace-period arithmetic, pinning,
+// re-entrancy, and concurrent retire/pin churn (the ASan/TSan target).
+
+#include "common/ebr.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace htap {
+namespace {
+
+struct Tracked {
+  explicit Tracked(std::atomic<int>* c) : counter(c) {}
+  ~Tracked() { counter->fetch_add(1, std::memory_order_relaxed); }
+  std::atomic<int>* counter;
+};
+
+void DeleteTracked(void* p) { delete static_cast<Tracked*>(p); }
+
+TEST(EbrTest, DrainOnQuiescence) {
+  EpochManager mgr;
+  std::atomic<int> freed{0};
+  for (int i = 0; i < 10; ++i) mgr.Retire(new Tracked(&freed), &DeleteTracked);
+  EXPECT_EQ(mgr.limbo_size(), 10u);
+  EXPECT_EQ(freed.load(), 0);
+  // With no pinned reader, three advances walk the window past every bucket.
+  mgr.Quiesce();
+  EXPECT_EQ(freed.load(), 10);
+  EXPECT_EQ(mgr.limbo_size(), 0u);
+  EXPECT_EQ(mgr.reclaimed(), 10u);
+}
+
+TEST(EbrTest, NoReclamationWhilePinned) {
+  EpochManager mgr;
+  std::atomic<int> freed{0};
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+
+  std::thread reader([&] {
+    EpochManager::Guard g(mgr);
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  while (!pinned.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  // Retire in the epoch the reader has pinned: the reader could still hold
+  // a reference, so nothing may be freed while it stays pinned. The epoch
+  // can advance at most once past a pinned reader, which is exactly one
+  // advance short of freeing this generation.
+  mgr.Retire(new Tracked(&freed), &DeleteTracked);
+  for (int i = 0; i < 10; ++i) mgr.Quiesce();
+  EXPECT_EQ(freed.load(), 0);
+  EXPECT_EQ(mgr.limbo_size(), 1u);
+
+  release.store(true, std::memory_order_release);
+  reader.join();
+  mgr.Quiesce();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(EbrTest, NestedPinsShareOneSlot) {
+  EpochManager mgr;
+  // Outlives the guard block: the retired Tracked is only destroyed by the
+  // final Quiesce after the outer guard unpins.
+  std::atomic<int> freed{0};
+  {
+    EpochManager::Guard outer(mgr);
+    {
+      EpochManager::Guard inner(mgr);
+      EXPECT_EQ(mgr.registered_threads(), 1u);
+    }
+    // The inner guard's destruction must not unpin the outer scope: an
+    // advance-blocking retire check still sees us pinned.
+    mgr.Retire(new Tracked(&freed), &DeleteTracked);
+    for (int i = 0; i < 10; ++i) mgr.Quiesce();
+    EXPECT_EQ(freed.load(), 0);
+  }
+  mgr.Quiesce();
+  EXPECT_EQ(freed.load(), 1);
+  EXPECT_EQ(mgr.limbo_size(), 0u);
+}
+
+TEST(EbrTest, ManagerDestructorFreesLeftovers) {
+  std::atomic<int> freed{0};
+  {
+    EpochManager mgr;
+    for (int i = 0; i < 5; ++i)
+      mgr.Retire(new Tracked(&freed), &DeleteTracked);
+    // No Quiesce: the destructor must sweep all three limbo generations.
+  }
+  EXPECT_EQ(freed.load(), 5);
+}
+
+TEST(EbrTest, EpochAdvancesOnlyWhenAllReadersCaughtUp) {
+  EpochManager mgr;
+  const uint64_t e0 = mgr.epoch();
+  EXPECT_TRUE(mgr.TryAdvance());
+  EXPECT_EQ(mgr.epoch(), e0 + 1);
+
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    EpochManager::Guard g(mgr);
+    pinned.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  });
+  while (!pinned.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  // Reader pinned the current epoch: one advance succeeds (reader is at the
+  // previous epoch's successor... it pinned e0+1, so advancing to e0+2 needs
+  // the reader at e0+1 — which it is), the next is blocked until it unpins.
+  EXPECT_TRUE(mgr.TryAdvance());
+  EXPECT_FALSE(mgr.TryAdvance());
+  release.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_TRUE(mgr.TryAdvance());
+}
+
+// Concurrent churn: writers retire tracked objects while readers pin/unpin.
+// Run under ASan (use-after-free if a grace period is miscounted) and TSan.
+TEST(EbrTest, ConcurrentRetireAndPinChurn) {
+  EpochManager mgr;
+  std::atomic<int> freed{0};
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr int kPerWriter = 2000;
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        // Simulate an unlink + retire from inside a reader section, the way
+        // the B+-tree SMO path does it.
+        EpochManager::Guard g(mgr);
+        auto* obj = new Tracked(&freed);
+        mgr.Retire(obj, &DeleteTracked);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochManager::Guard g(mgr);
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t r = kWriters; r < threads.size(); ++r) threads[r].join();
+
+  for (int i = 0; i < 10; ++i) mgr.Quiesce();
+  EXPECT_EQ(freed.load(), kWriters * kPerWriter);
+  EXPECT_EQ(mgr.limbo_size(), 0u);
+}
+
+}  // namespace
+}  // namespace htap

@@ -17,6 +17,9 @@
 #            — skipped with a notice when clang++ is not installed
 #   tidy   — clang-tidy over every first-party TU — skipped with a notice
 #            when clang-tidy is not installed
+#   lint   — scripts/htap_lint.py project-invariant pass (concurrency
+#            discipline, EBR pin safety, rank-table drift) plus its fixture
+#            selftest — skipped with a notice when python3 is not installed
 #   all    — everything above plus the spill-run leak check
 #
 # Sanitizer test output is additionally scraped for report markers
@@ -209,6 +212,22 @@ suite_tidy() {
   fi
 }
 
+suite_lint() {
+  echo "== htap-lint: project invariants (DESIGN.md section 16) =="
+  if command -v python3 > /dev/null 2>&1; then
+    if ! python3 scripts/lint_selftest.py; then
+      echo "FAIL: lint selftest (a check no longer fires on its fixture)" >&2
+      FAILED_SUITES+=("lint/selftest")
+    fi
+    if ! python3 scripts/htap_lint.py --ci; then
+      echo "FAIL: htap-lint findings (run scripts/htap_lint.py locally)" >&2
+      FAILED_SUITES+=("lint/htap-lint")
+    fi
+  else
+    echo "SKIPPED: python3 not installed (the GitHub workflow runs this gate)"
+  fi
+}
+
 suite_spill_check() {
   echo "== spill-run leak check =="
   local leaks
@@ -230,6 +249,7 @@ case "$SUITE" in
   tsan)   suite_tsan ;;
   static) suite_static ;;
   tidy)   suite_tidy ;;
+  lint)   suite_lint ;;
   all)
     suite_tier1
     suite_bench
@@ -238,10 +258,11 @@ case "$SUITE" in
     suite_tsan
     suite_static
     suite_tidy
+    suite_lint
     suite_spill_check
     ;;
   *)
-    echo "unknown suite: $SUITE (want all|tier1|bench|rank|asan|tsan|static|tidy)" >&2
+    echo "unknown suite: $SUITE (want all|tier1|bench|rank|asan|tsan|static|tidy|lint)" >&2
     exit 2
     ;;
 esac

@@ -18,6 +18,11 @@ regressions. A baseline record with no counterpart in the new run is also a
 failure (lost coverage); new records absent from the baseline are reported
 but pass, so adding benchmarks never blocks CI.
 
+Every compared metric prints its signed drift even on pass (negative =
+better than baseline, positive = worse), and the run ends with a
+worst-drift summary — so a slow creep toward the threshold is visible in
+green CI logs, not just after it finally trips.
+
 Stdlib only — no pip installs in CI.
 """
 
@@ -101,6 +106,7 @@ def main():
         return 2
 
     failures = []
+    drifts = []  # (drift, metric, key, arrow) for the worst-drift summary
     for key, base_metrics in sorted(base.items()):
         if key not in new:
             failures.append(f"missing record ({describe(key)})")
@@ -110,27 +116,39 @@ def main():
                 continue
             new_val = new[key][metric]
             threshold = THRESHOLD_OVERRIDE.get(metric, args.threshold)
+            # Normalized drift: positive = worse than baseline regardless of
+            # the metric's direction, negative = better.
             if metric in HIGHER_IS_BETTER:
-                change = (base_val - new_val) / base_val
-                arrow = f"{base_val:g} -> {new_val:g}"
+                drift = (base_val - new_val) / base_val
             else:
-                change = (new_val - base_val) / base_val
-                arrow = f"{base_val:g} -> {new_val:g}"
-            status = "FAIL" if change > threshold else "ok"
+                drift = (new_val - base_val) / base_val
+            arrow = f"{base_val:g} -> {new_val:g}"
+            drifts.append((drift, metric, key, arrow))
+            status = "FAIL" if drift > threshold else "ok"
             print(f"[{status}] {metric} ({describe(key)}): {arrow} "
-                  f"({change:+.1%} vs {threshold:.0%} allowed)")
-            if change > threshold:
-                failures.append(f"{metric} ({describe(key)}): {arrow}")
+                  f"(drift {drift:+.1%}, allowed +{threshold:.0%})")
+            if drift > threshold:
+                failures.append(f"{metric} ({describe(key)}): {arrow} "
+                                f"(drift {drift:+.1%})")
 
     for key in sorted(new.keys() - base.keys()):
         print(f"[new ] unbaselined record ({describe(key)})")
+
+    if drifts:
+        worst = max(drifts)
+        best = min(drifts)
+        print(f"\nworst drift: {worst[0]:+.1%} {worst[1]} "
+              f"({describe(worst[2])}): {worst[3]}")
+        print(f"best  drift: {best[0]:+.1%} {best[1]} "
+              f"({describe(best[2])}): {best[3]}")
 
     if failures:
         print(f"\nBench regression gate FAILED ({len(failures)} issue(s)):")
         for f in failures:
             print(f"  - {f}")
         return 1
-    print("\nBench regression gate passed.")
+    print(f"\nBench regression gate passed "
+          f"({len(drifts)} metric(s) compared).")
     return 0
 
 

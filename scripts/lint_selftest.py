@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Selftest for scripts/htap_lint.py against tests/lint_fixtures/.
+
+Every check must fire on its `bad/` fixture (exit 1, finding tagged with the
+check name) and stay quiet on its `good/` twin (exit 0). The suppression
+cases prove justified suppressions are honored and budgeted while malformed
+ones are findings themselves, and the rank-table cases prove both drift
+directions are caught. Runs from any working directory; the `lint_selftest`
+ctest target invokes it from the build tree.
+
+Exit 0 when all cases behave, 1 otherwise (each failing case is printed).
+"""
+
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(ROOT, "scripts", "htap_lint.py")
+FIX = os.path.join(ROOT, "tests", "lint_fixtures")
+
+# (name, extra lint args, expected exit code, substrings expected in output)
+CASES = []
+
+PAIRED_CHECKS = (
+    "raw-mutex",
+    "atomic-order",
+    "order-justify",
+    "guarded-by",
+    "block-under-latch",
+    "ebr-pin",
+)
+
+for check in PAIRED_CHECKS:
+    stem = check.replace("-", "_") + ".cc"
+    CASES.append((
+        f"bad/{stem} fires {check}",
+        ["--only", check, os.path.join(FIX, "bad", stem)],
+        1, [f"[{check}]"]))
+    CASES.append((
+        f"good/{stem} quiet under {check}",
+        ["--only", check, os.path.join(FIX, "good", stem)],
+        0, ["0 findings"]))
+
+RANK_ENUM = os.path.join(FIX, "rank", "enum.h")
+CASES += [
+    ("rank-table matched doc passes",
+     ["--only", "rank-table", "--rank-enum", RANK_ENUM,
+      "--rank-doc", os.path.join(FIX, "rank", "doc_good.md"), RANK_ENUM],
+     0, ["0 findings"]),
+    ("rank-table numeric drift caught",
+     ["--only", "rank-table", "--rank-enum", RANK_ENUM,
+      "--rank-doc", os.path.join(FIX, "rank", "doc_drift.md"), RANK_ENUM],
+     1, ["[rank-table]", "drifted"]),
+    ("rank-table missing row caught",
+     ["--only", "rank-table", "--rank-enum", RANK_ENUM,
+      "--rank-doc", os.path.join(FIX, "rank", "doc_missing.md"), RANK_ENUM],
+     1, ["[rank-table]", "missing from"]),
+    # Suppression mechanics. Budgets are pinned explicitly so the repo's
+    # real budget values cannot mask a regression here.
+    ("justified suppression within budget passes",
+     ["--only", "raw-mutex", "--budget", "raw-mutex=1",
+      os.path.join(FIX, "suppressed", "raw_mutex_suppressed.cc")],
+     0, ["1 justified suppression"]),
+    ("justified suppression over budget fails",
+     ["--only", "raw-mutex", "--budget", "raw-mutex=0",
+      os.path.join(FIX, "suppressed", "raw_mutex_suppressed.cc")],
+     1, ["exceed the budget"]),
+    ("suppression without justification is a finding",
+     ["--only", "raw-mutex", "--budget", "raw-mutex=1",
+      os.path.join(FIX, "suppressed", "raw_mutex_unjustified.cc")],
+     1, ["lacks a justification"]),
+]
+
+
+def main():
+    failures = []
+    for name, args, want_code, want_strs in CASES:
+        proc = subprocess.run(
+            [sys.executable, LINT] + args,
+            capture_output=True, text=True)
+        out = proc.stdout + proc.stderr
+        problems = []
+        if proc.returncode != want_code:
+            problems.append(
+                f"exit {proc.returncode}, wanted {want_code}")
+        for s in want_strs:
+            if s not in out:
+                problems.append(f"output lacks {s!r}")
+        if problems:
+            failures.append((name, problems, out))
+            print(f"FAIL  {name}: {'; '.join(problems)}")
+        else:
+            print(f"ok    {name}")
+    if failures:
+        print(f"\nlint_selftest: {len(failures)}/{len(CASES)} case(s) failed")
+        for name, _, out in failures:
+            print(f"\n--- output of failed case: {name} ---")
+            print(out.rstrip())
+        return 1
+    print(f"lint_selftest: all {len(CASES)} cases passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,27 +42,31 @@ void RecordFreshness(Database* db, bool fresh_scans, SharedCounters* c) {
   }
 }
 
+// Runs after every worker has been joined, so the counter reads are plain
+// statistics reads — relaxed is sufficient (the joins provide the ordering).
 DriverReport Finalize(const SharedCounters& c, double seconds) {
   DriverReport r;
   r.seconds = seconds;
-  r.txns_committed = c.txns.load();
-  r.new_orders = c.new_orders.load();
-  r.txns_aborted = c.aborts.load();
-  r.queries_completed = c.queries.load();
+  r.txns_committed = c.txns.load(std::memory_order_relaxed);
+  r.new_orders = c.new_orders.load(std::memory_order_relaxed);
+  r.txns_aborted = c.aborts.load(std::memory_order_relaxed);
+  r.queries_completed = c.queries.load(std::memory_order_relaxed);
   r.tpm_total = static_cast<double>(r.txns_committed) / seconds * 60.0;
   r.tpmc = static_cast<double>(r.new_orders) / seconds * 60.0;
   r.qph = static_cast<double>(r.queries_completed) / seconds * 3600.0;
   r.avg_query_micros =
       r.queries_completed > 0
-          ? static_cast<double>(c.query_micros.load()) /
+          ? static_cast<double>(c.query_micros.load(std::memory_order_relaxed)) /
                 static_cast<double>(r.queries_completed)
           : 0;
-  const uint64_t samples = c.fresh_samples.load();
+  const uint64_t samples = c.fresh_samples.load(std::memory_order_relaxed);
   r.avg_freshness_lag_micros =
-      samples > 0 ? static_cast<double>(c.fresh_sum.load()) /
-                        static_cast<double>(samples)
-                  : 0;
-  r.max_freshness_lag_micros = static_cast<double>(c.fresh_max.load());
+      samples > 0
+          ? static_cast<double>(c.fresh_sum.load(std::memory_order_relaxed)) /
+                static_cast<double>(samples)
+          : 0;
+  r.max_freshness_lag_micros =
+      static_cast<double>(c.fresh_max.load(std::memory_order_relaxed));
   return r;
 }
 
@@ -113,6 +117,7 @@ DriverReport RunMixedWorkload(Database* db, const ChConfig& ch,
   for (int t = 0; t < cfg.oltp_clients; ++t) {
     workers.emplace_back([&, t] {
       ChTransactions txns(db, ch, cfg.seed + static_cast<uint64_t>(t) * 7919);
+      // order: acquire pairs with the main thread's release stop store.
       while (!stop.load(std::memory_order_acquire)) {
         if (txns.RunOne().ok()) {
           counters.txns.fetch_add(1, std::memory_order_relaxed);
@@ -127,6 +132,7 @@ DriverReport RunMixedWorkload(Database* db, const ChConfig& ch,
   for (int t = 0; t < cfg.olap_clients; ++t) {
     workers.emplace_back([&, t] {
       size_t qi = static_cast<size_t>(t);
+      // order: acquire pairs with the main thread's release stop store.
       while (!stop.load(std::memory_order_acquire)) {
         const Stopwatch qt;
         auto res = db->Query(queries[qi % queries.size()].plan);
@@ -150,6 +156,8 @@ DriverReport RunMixedWorkload(Database* db, const ChConfig& ch,
 
   while (clock.ElapsedMicros() < cfg.duration_micros)
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // order: release pairs with the workers' acquire stop loads so the flag
+  // acts as a clean shutdown edge.
   stop.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
   return Finalize(counters, clock.ElapsedSeconds());

@@ -14,6 +14,8 @@ void ColumnTable::AppendBatch(const std::vector<Row>& rows, CSN up_to_csn) {
     WriteGuard g(latch_);
     AppendBatchLocked(rows);
   }
+  // order: release — freshness probes read merged_csn_ with acquire outside
+  // the latch; the merged rows must be visible before the watermark.
   merged_csn_.store(up_to_csn, std::memory_order_release);
 }
 
@@ -60,6 +62,8 @@ bool ColumnTable::DeleteKey(Key key, CSN csn) {
     found = true;
   }
   if (csn > merged_csn_.load(std::memory_order_relaxed))
+    // order: release — as AppendBatch: the delete must be visible before
+    // the watermark that advertises it.
     merged_csn_.store(csn, std::memory_order_release);
   return found;
 }
@@ -68,6 +72,7 @@ void ColumnTable::Clear() {
   WriteGuard g(latch_);
   groups_.clear();
   key_index_.clear();
+  // order: release — the reset store must not reorder before the clears.
   merged_csn_.store(0, std::memory_order_release);
 }
 

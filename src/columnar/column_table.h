@@ -113,7 +113,7 @@ class ColumnTable {
  private:
   void AppendBatchLocked(const std::vector<Row>& rows) REQUIRES(latch_);
 
-  Schema schema_;
+  const Schema schema_;
   bool advise_encodings_ GUARDED_BY(latch_) = false;
   std::vector<std::unique_ptr<RowGroup>> groups_ GUARDED_BY(latch_);
   std::unordered_map<Key, std::pair<uint32_t, uint32_t>> key_index_

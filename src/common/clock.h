@@ -41,16 +41,21 @@ class WallClock : public Clock {
 class VirtualClock : public Clock {
  public:
   Micros NowMicros() const override {
+    // order: acquire pairs with the release advances — sim state written
+    // before an advance is visible to anyone who observes the new time.
     return now_.load(std::memory_order_acquire);
   }
 
   void AdvanceTo(Micros t) {
     Micros cur = now_.load(std::memory_order_relaxed);
+    // order: release on success pairs with NowMicros()'s acquire.
     while (t > cur &&
            !now_.compare_exchange_weak(cur, t, std::memory_order_release)) {
     }
   }
 
+  // order: acq_rel — advances both publish prior sim state (release) and
+  // observe earlier advances (acquire) so time is monotone across threads.
   void AdvanceBy(Micros d) { now_.fetch_add(d, std::memory_order_acq_rel); }
 
  private:

@@ -62,19 +62,27 @@ EpochManager::Slot* EpochManager::ClaimSlot() {
   }
   // Slow path: claim the first unowned slot (or find one we already own —
   // possible when the cache was evicted by another manager).
+  // order: acquire pairs with the acq_rel high-water-mark CAS below so the
+  // scanned prefix of slots_ is fully published.
   const size_t known = slot_count_.load(std::memory_order_acquire);
   for (size_t i = 0; i < kMaxSlots; ++i) {
     Slot& s = slots_[i];
+    // order: acquire pairs with the claiming CAS's release half — a slot
+    // observed as owned carries its owner's prior slot writes.
     uint64_t owner = s.owner.load(std::memory_order_acquire);
     if (owner == me) {
       tl_slot_cache = {serial_, &s};
       return &s;
     }
+    // order: acq_rel — taking ownership both publishes our claim and
+    // synchronizes with the previous owner's release (if any).
     if (owner == 0 &&
         s.owner.compare_exchange_strong(owner, me,
                                         std::memory_order_acq_rel)) {
       if (i >= known) {
         // Publish a high-water mark so epoch scans can stop early.
+        // order: acq_rel pairs with the acquire loads in ClaimSlot and
+        // TryAdvance.
         size_t cur = slot_count_.load(std::memory_order_relaxed);
         while (cur < i + 1 &&
                !slot_count_.compare_exchange_weak(
@@ -95,10 +103,14 @@ EpochManager::Guard::Guard(EpochManager& mgr) : slot_(mgr.ClaimSlot()) {
   if (slot_->depth++ > 0) return;  // nested pin: already in an epoch
   // Publish our epoch and re-check: the store must land while the epoch is
   // still current, else a concurrent advance could free a generation we are
-  // about to read. seq_cst on both sides makes the pin/advance race safe.
+  // about to read. order: seq_cst on both sides — the pin store and
+  // TryAdvance's scan need a single total order; acquire/release alone
+  // would allow the store-then-recheck and scan-then-advance to interleave
+  // unsafely (classic Dekker-style race).
   uint64_t e = mgr.epoch_.load(std::memory_order_seq_cst);
   while (true) {
-    slot_->state.store(e, std::memory_order_seq_cst);
+    slot_->state.store(e, std::memory_order_seq_cst);  // order: see above
+    // order: seq_cst re-check, same total-order argument.
     const uint64_t now = mgr.epoch_.load(std::memory_order_seq_cst);
     if (now == e) break;
     e = now;
@@ -107,10 +119,15 @@ EpochManager::Guard::Guard(EpochManager& mgr) : slot_(mgr.ClaimSlot()) {
 
 EpochManager::Guard::~Guard() {
   if (--slot_->depth > 0) return;
+  // order: release — every protected read this pin covered happens-before
+  // the quiescent announcement that lets TryAdvance move past us.
   slot_->state.store(kQuiescent, std::memory_order_release);
 }
 
 void EpochManager::Retire(void* ptr, void (*deleter)(void*)) {
+  // order: seq_cst — the bucket choice must be consistent with the single
+  // total order the pin/advance protocol establishes, else an item could
+  // land in a generation the cranker is about to free.
   const uint64_t e = epoch_.load(std::memory_order_seq_cst);
   {
     MutexLock lk(&limbo_mu_);
@@ -123,13 +140,19 @@ void EpochManager::Retire(void* ptr, void (*deleter)(void*)) {
 }
 
 bool EpochManager::TryAdvance() {
+  // order: seq_cst — the epoch read, the slot scan, and the advancing CAS
+  // must sit in one total order with Guard's pin-publish/re-check; see the
+  // Dekker-style argument in Guard's constructor.
   const uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  // order: acquire pairs with ClaimSlot's high-water-mark acq_rel CAS.
   const size_t n = slot_count_.load(std::memory_order_acquire);
   for (size_t i = 0; i < n; ++i) {
+    // order: seq_cst slot scan, same total-order argument as above.
     const uint64_t s = slots_[i].state.load(std::memory_order_seq_cst);
     if (s != kQuiescent && s != e) return false;  // a reader lags behind
   }
   uint64_t expected = e;
+  // order: seq_cst advance CAS, same total-order argument as above.
   if (!epoch_.compare_exchange_strong(expected, e + 1,
                                       std::memory_order_seq_cst)) {
     return false;  // someone else advanced; let them do the freeing

@@ -75,11 +75,14 @@ class EpochManager {
   void Quiesce();
 
   // Observability / test hooks.
+  // order: acquire — a test that observes epoch N also sees the frees that
+  // advancing to N implied.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
   size_t limbo_size() const;                 // items awaiting reclamation
   uint64_t reclaimed() const {               // deleters run so far
     return reclaimed_.load(std::memory_order_relaxed);
   }
+  // order: acquire pairs with ClaimSlot's high-water-mark publication.
   size_t registered_threads() const {
     return slot_count_.load(std::memory_order_acquire);
   }
@@ -117,7 +120,11 @@ class EpochManager {
 
   std::atomic<uint64_t> epoch_{2};  // start above the free-window lookback
   std::atomic<size_t> slot_count_{0};
-  std::vector<Slot> slots_;  // sized kMaxSlots up front; never reallocates
+  // Sized kMaxSlots at construction and never reallocated; each Slot is
+  // internally atomic, so the vector itself needs no lock.
+  // htap-lint: guarded-by — fixed-size at construction; elements are
+  // individually synchronized via their atomic fields.
+  std::vector<Slot> slots_;
 
   // Three limbo generations, indexed by retirement epoch % 3. A bucket is
   // freed when the epoch has advanced twice past its generation, at which

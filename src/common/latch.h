@@ -37,6 +37,8 @@ class CAPABILITY("spin_latch") SpinLatch {
 #endif
     int spins = 0;
     while (true) {
+      // order: acquire pairs with Unlock()'s release — the previous
+      // holder's writes are visible once we own the latch.
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
       while (flag_.load(std::memory_order_relaxed)) {
         if (++spins > 128) {
@@ -48,6 +50,7 @@ class CAPABILITY("spin_latch") SpinLatch {
   }
 
   void Unlock() RELEASE() {
+    // order: release publishes the critical section to the next acquirer.
     flag_.store(false, std::memory_order_release);
 #if HTAP_LOCK_RANK_CHECKS
     lock_rank::OnRelease(this);
@@ -55,6 +58,7 @@ class CAPABILITY("spin_latch") SpinLatch {
   }
 
   bool TryLock() TRY_ACQUIRE(true) {
+    // order: acquire on success, as Lock().
     if (flag_.exchange(true, std::memory_order_acquire)) return false;
 #if HTAP_LOCK_RANK_CHECKS
     lock_rank::OnTryAcquire(this, rank_, name_);

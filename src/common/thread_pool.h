@@ -39,7 +39,7 @@ class TaskGroup {
   void Wait();
 
  private:
-  ThreadPool* pool_;
+  ThreadPool* const pool_;  // set at construction, never reseated
   Mutex mu_{LockRank::kTaskGroup, "task-group"};
   CondVar cv_;
   size_t pending_ GUARDED_BY(mu_) = 0;
@@ -74,11 +74,13 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::string name_;
+  const std::string name_;
   mutable Mutex mu_{LockRank::kThreadPool, "thread-pool"};
   CondVar cv_;       // wakes workers
   CondVar idle_cv_;  // wakes Wait()
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  // htap-lint: guarded-by — filled in the constructor and joined in the
+  // destructor only; no concurrent access phase exists.
   std::vector<std::thread> threads_;
   size_t running_ GUARDED_BY(mu_) = 0;
   size_t quota_ GUARDED_BY(mu_) = 0;  // 0 = unlimited

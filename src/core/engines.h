@@ -105,6 +105,8 @@ class InMemoryHtapEngine : public HtapEngine, public ChangeSink {
 
  private:
   struct TableState {
+    // htap-lint: guarded-by — set in CreateTable before the state is
+    // published into tables_; immutable afterwards.
     TableInfo info;
     std::unique_ptr<InMemoryDeltaStore> delta;
     std::unique_ptr<ColumnTable> columns;
@@ -130,13 +132,16 @@ class InMemoryHtapEngine : public HtapEngine, public ChangeSink {
   /// Refreshes the sampled row-store stats if stale and returns a copy.
   TableStats RefreshedStats(TableState* ts);
 
-  DatabaseOptions options_;
+  const DatabaseOptions options_;
   Catalog* catalog_;
   std::unique_ptr<WalWriter> wal_;
+  // htap-lint: guarded-by — tables register only during engine init /
+  // CreateTable (no concurrent phase); the txn manager and row stores
+  // inside carry their own locks.
   RowTxnLayer layer_;
   FreshnessTracker freshness_;
   ColumnAdvisor advisor_;
-  ApScanRuntime ap_;
+  const ApScanRuntime ap_;  // config + pool, fixed at construction
   // TableState pointers are stable: entries are never erased, so a pointer
   // copied out under the lock stays valid for the engine's lifetime.
   std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_
@@ -177,6 +182,8 @@ class DeltaMainHtapEngine : public HtapEngine, public ChangeSink {
 
  private:
   struct TableState {
+    // htap-lint: guarded-by — set in CreateTable before the state is
+    // published into tables_; immutable afterwards.
     TableInfo info;
     std::unique_ptr<L1L2DeltaStore> delta;   // L1 + L2
     std::unique_ptr<ColumnTable> main;       // the primary column store
@@ -190,12 +197,14 @@ class DeltaMainHtapEngine : public HtapEngine, public ChangeSink {
                                              ScanStats* stats,
                                              std::string* path_desc);
 
-  DatabaseOptions options_;
+  const DatabaseOptions options_;
   Catalog* catalog_;
   std::unique_ptr<WalWriter> wal_;
+  // htap-lint: guarded-by — tables register only during engine init /
+  // CreateTable (no concurrent phase); internals carry their own locks.
   RowTxnLayer layer_;  // the delta row store with MVCC semantics
   FreshnessTracker freshness_;
-  ApScanRuntime ap_;
+  const ApScanRuntime ap_;  // config + pool, fixed at construction
   std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_
       GUARDED_BY(tables_mu_);
   std::unique_ptr<SyncDaemon> daemon_;
@@ -239,6 +248,8 @@ class DiskHtapEngine : public HtapEngine, public ChangeSink {
 
  private:
   struct TableState {
+    // htap-lint: guarded-by — set in CreateTable before the state is
+    // published into tables_; immutable afterwards.
     TableInfo info;
     std::unique_ptr<DiskRowStore> heap;          // durable row heap
     std::unique_ptr<InMemoryDeltaStore> delta;   // staged changes for IMCS
@@ -247,6 +258,9 @@ class DiskHtapEngine : public HtapEngine, public ChangeSink {
     // tables_mu_ and the old store stays alive until the last scan drops it
     // (a scan must never dereference a generation it did not pin).
     std::shared_ptr<ColumnTable> imcs;           // loaded-column store
+    // htap-lint: guarded-by — guarded by the owning engine's tables_mu_
+    // (copied out with imcs under that lock); not expressible lexically
+    // from a nested struct.
     std::vector<int> loaded;                     // base column indexes
     // Serializes "snapshot the current generation + drain the delta +
     // apply" so concurrent scans cannot apply drained batches out of commit
@@ -291,13 +305,15 @@ class DiskHtapEngine : public HtapEngine, public ChangeSink {
   /// catalog) and returns a copy.
   TableStats RefreshedStats(TableState* ts);
 
-  DatabaseOptions options_;
+  const DatabaseOptions options_;
   Catalog* catalog_;
   std::unique_ptr<WalWriter> wal_;
+  // htap-lint: guarded-by — tables register only during engine init /
+  // CreateTable (no concurrent phase); internals carry their own locks.
   RowTxnLayer layer_;
   FreshnessTracker freshness_;
   ColumnAdvisor advisor_;
-  ApScanRuntime ap_;
+  const ApScanRuntime ap_;  // config + pool, fixed at construction
   // TableState pointers are stable (entries never erased); see (a).
   std::unordered_map<uint32_t, std::unique_ptr<TableState>> tables_
       GUARDED_BY(tables_mu_);

@@ -119,11 +119,15 @@ class SyncDaemon {
 
   void Start() {
     if (thread_.joinable()) return;
-    stop_.store(false);
+    // order: relaxed — the std::thread constructor below synchronizes-with
+    // the new thread, so the reset needs no edge of its own.
+    stop_.store(false, std::memory_order_relaxed);
     thread_ = std::thread([this] { Loop(); });
   }
 
   void Stop() {
+    // order: release pairs with Loop()'s acquire — everything written
+    // before the stop request is visible to the loop's final iteration.
     stop_.store(true, std::memory_order_release);
     if (thread_.joinable()) thread_.join();
   }
@@ -139,6 +143,7 @@ class SyncDaemon {
   void Loop() {
     Micros slept = 0;
     const Micros tick = 1000;
+    // order: acquire pairs with Stop()'s release store.
     while (!stop_.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(std::chrono::microseconds(tick));
       slept += tick;
@@ -163,6 +168,8 @@ class SyncDaemon {
   Mutex tasks_mu_{LockRank::kSyncDaemon, "sync-daemon-tasks"};
   std::vector<DataSynchronizer*> tasks_ GUARDED_BY(tasks_mu_);
   std::atomic<bool> stop_{false};
+  // htap-lint: guarded-by — touched only from Start()/Stop()/dtor, which
+  // the owning engine serializes; never from the daemon thread itself.
   std::thread thread_;
 };
 

@@ -42,19 +42,25 @@ struct BTree::Node {
   std::unique_ptr<std::atomic<uint64_t>[]> vals;
 
   Node* Child(int i) const {
+    // order: acquire pairs with SetChild()'s release — the child's
+    // pre-publication constructor writes must be visible before we
+    // dereference the pointer.
     return reinterpret_cast<Node*>(vals[i].load(std::memory_order_acquire));
   }
-  // Release pairs with Child()'s acquire: a freshly split sibling's
-  // constructor writes (version/count/arrays are plain stores until the
-  // node is published) must happen-before any reader that reaches the
-  // node through this pointer.
   void SetChild(int i, Node* c) {
+    // order: release pairs with Child()'s acquire: a freshly split
+    // sibling's constructor writes (version/count/arrays are plain stores
+    // until the node is published) must happen-before any reader that
+    // reaches the node through this pointer.
     vals[i].store(reinterpret_cast<uint64_t>(c), std::memory_order_release);
   }
 
   /// Spins past any in-flight writer and returns an unlocked version word
   /// (which may carry the obsolete bit — callers must check).
   uint64_t StableVersion() const {
+    // order: acquire pairs with the Unlock*() release stores — the version
+    // read must happen-before the speculative field reads the caller will
+    // validate against it.
     uint64_t v = version.load(std::memory_order_acquire);
     int spins = 0;
     while (v & kLockedBit) {
@@ -62,13 +68,16 @@ struct BTree::Node {
         std::this_thread::yield();
         spins = 0;
       }
-      v = version.load(std::memory_order_acquire);
+      v = version.load(std::memory_order_acquire);  // order: same edge
     }
     return v;
   }
 
   /// True iff the node has not been modified since `expected` was read.
   bool Validate(uint64_t expected) const {
+    // order: the acquire fence orders every preceding speculative field
+    // read before the version re-read below, so a torn read can never
+    // survive an unchanged version; pairs with Unlock*()'s release.
     std::atomic_thread_fence(std::memory_order_acquire);
     return version.load(std::memory_order_relaxed) == expected;
   }
@@ -77,6 +86,8 @@ struct BTree::Node {
   /// exactly `expected` (unlocked, not obsolete). On success every field
   /// is pinned to the state observed at `expected`.
   bool TryLock(uint64_t expected) {
+    // order: acquire on success — the writer's field accesses must not
+    // float above taking the latch; a failed CAS needs no edge (restart).
     return version.compare_exchange_strong(expected, expected | kLockedBit,
                                            std::memory_order_acquire,
                                            std::memory_order_relaxed);
@@ -93,6 +104,8 @@ struct BTree::Node {
   }
 
   void Unlock() {
+    // order: release publishes this writer's field stores to the next
+    // StableVersion()/Validate() acquire; the self-load is latch-private.
     version.store(
         (version.load(std::memory_order_relaxed) & ~kLockedBit) + kVersionInc,
         std::memory_order_release);
@@ -101,6 +114,9 @@ struct BTree::Node {
   /// Unlock + mark unlinked: every optimistic reader that still holds a
   /// reference observes the obsolete bit and restarts from the root.
   void UnlockObsolete() {
+    // order: as Unlock() — release publishes the unlink and the obsolete
+    // bit together, so a validating reader restarts instead of trusting
+    // stale slots.
     version.store(((version.load(std::memory_order_relaxed) & ~kLockedBit) +
                    kVersionInc) |
                       kObsoleteBit,
@@ -138,6 +154,8 @@ BTree::BTree(int order)
     : order_(order < 4 ? 4 : order),
       min_keys_((order_ - 1) / 2),
       root_(nullptr) {
+  // order: release publishes the empty root's construction to the acquire
+  // root_ loads in DescendToLeaf/Insert/Erase/Scan.
   root_.store(new Node(/*is_leaf=*/true, order_), std::memory_order_release);
 }
 
@@ -153,12 +171,17 @@ BTree::Node* BTree::NewNode(bool leaf) {
   return new Node(leaf, order_);
 }
 
+// ebr: requires-pin — Retire() hands the node to the epoch reclaimer; the
+// caller's pin anchors the grace period so concurrent readers that already
+// reached the node stay safe.
 void BTree::RetireNode(Node* node) {
   node_count_.fetch_sub(1, std::memory_order_relaxed);
   EpochManager::Global().Retire(
       node, [](void* p) { delete static_cast<Node*>(p); });
 }
 
+// ebr: unpinned-ok — destructor-only teardown; no reader can still hold a
+// reference, so nodes are deleted directly instead of retired.
 void BTree::FreeSubtree(Node* node) {
   if (!node->leaf) {
     const uint32_t cnt = node->count.load(std::memory_order_relaxed);
@@ -170,17 +193,23 @@ void BTree::FreeSubtree(Node* node) {
   delete node;
 }
 
+// ebr: requires-pin — latch-free descent over retire-capable nodes; every
+// public entry point (Lookup/Insert/Erase/Scan) pins around the call.
 bool BTree::DescendToLeaf(Key key, Node** leaf, uint64_t* version) const {
+  // order: acquire pairs with the release root_ stores in the constructor
+  // and SplitRoot — the root's contents must be visible before we read it.
   Node* node = root_.load(std::memory_order_acquire);
   uint64_t v = node->StableVersion();
   // Re-check the root pointer *after* stabilizing the version: a root split
   // publishes the new root before unlocking the old one, so a descent that
   // stabilized a post-split version here would otherwise silently search
-  // only the left half of the key space.
+  // only the left half of the key space. order: acquire as above.
   if ((v & Node::kObsoleteBit) ||
       root_.load(std::memory_order_acquire) != node)
     return false;
   while (!node->leaf) {
+    // order: count acquire pairs with the count-publishing release stores —
+    // slots below cnt are then fully initialized.
     const uint32_t cnt = node->count.load(std::memory_order_acquire);
     const int idx = node->UpperBound(cnt, key);
     Node* child = node->Child(idx);
@@ -205,6 +234,8 @@ bool BTree::Lookup(Key key, uint64_t* payload) const {
     Node* leaf;
     uint64_t v;
     if (!DescendToLeaf(key, &leaf, &v)) continue;
+    // order: count acquire — slots below cnt are initialized (pairs with
+    // the release count publication in Insert/SplitLockedNode).
     const uint32_t cnt = leaf->count.load(std::memory_order_acquire);
     const int pos = leaf->LowerBound(cnt, key);
     bool found = false;
@@ -224,17 +255,21 @@ bool BTree::Insert(Key key, uint64_t payload) {
   const uint32_t max_keys = static_cast<uint32_t>(order_ - 1);
   EpochManager::Guard g(EpochManager::Global());
   while (true) {
+    // order: root acquire pairs with the release root_ publications
+    // (constructor/SplitRoot); same for the re-check below.
     Node* node = root_.load(std::memory_order_acquire);
     uint64_t v = node->StableVersion();
     if ((v & Node::kObsoleteBit) ||
-        root_.load(std::memory_order_acquire) != node)
+        root_.load(std::memory_order_acquire) != node)  // order: as above
       continue;
+    // order: count acquire — slots below the count are initialized.
     if (node->count.load(std::memory_order_acquire) >= max_keys) {
       SplitRoot(node, v);  // grows the tree a level; restart either way
       continue;
     }
     bool restart = false;
     while (!node->leaf) {
+      // order: count acquire — slots below cnt are initialized.
       const uint32_t cnt = node->count.load(std::memory_order_acquire);
       const int idx = node->UpperBound(cnt, key);
       Node* child = node->Child(idx);
@@ -251,6 +286,8 @@ bool BTree::Insert(Key key, uint64_t payload) {
         restart = true;
         break;
       }
+      // order: count acquire — the split decision must see a fully
+      // published count for the child.
       if (child->count.load(std::memory_order_acquire) >= max_keys) {
         // Eager split on the way down: the parent is known non-full, so the
         // level below always has room and splits never propagate upward.
@@ -288,6 +325,8 @@ bool BTree::Insert(Key key, uint64_t payload) {
     }
     node->keys[pos].store(key, std::memory_order_relaxed);
     node->vals[pos].store(payload, std::memory_order_relaxed);
+    // order: release publishes the new slot's key/val before the count that
+    // makes it visible to concurrent acquire count readers.
     node->count.store(cnt + 1, std::memory_order_release);
     node->Unlock();
     size_.fetch_add(1, std::memory_order_relaxed);
@@ -295,6 +334,8 @@ bool BTree::Insert(Key key, uint64_t payload) {
   }
 }
 
+// ebr: requires-pin — operates on latched retire-capable nodes mid-descent;
+// callers (SplitRoot/SplitChild) run under the entry points' pins.
 BTree::Node* BTree::SplitLockedNode(Node* node, Key* sep) {
   const uint32_t cnt = node->count.load(std::memory_order_relaxed);
   Node* right = NewNode(node->leaf);
@@ -312,8 +353,9 @@ BTree::Node* BTree::SplitLockedNode(Node* node, Key* sep) {
     *sep = right->keys[0].load(std::memory_order_relaxed);
     right->next.store(node->next.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
-    // Release: chain-walking scans may reach `right` through this store
-    // before the parent link is published.
+    // order: release — chain-walking scans may reach `right` through this
+    // store before the parent link is published, so its slots must be
+    // visible first.
     node->next.store(right, std::memory_order_release);
   } else {
     // The middle key moves up; children right of it move to the sibling.
@@ -328,12 +370,18 @@ BTree::Node* BTree::SplitLockedNode(Node* node, Key* sep) {
           std::memory_order_relaxed);
     right->count.store(cnt - mid - 1, std::memory_order_relaxed);
   }
+  // order: release — shrinking the count is the moment moved slots stop
+  // being ours; acquire count readers must not see stale upper slots as
+  // live.
   node->count.store(mid, std::memory_order_release);
   return right;
 }
 
+// ebr: requires-pin — latches and splits the (retire-capable) root; Insert
+// holds the pin across the call.
 void BTree::SplitRoot(Node* root, uint64_t root_version) {
   if (!root->TryLock(root_version)) return;
+  // order: acquire pairs with the release root_ publication below.
   if (root_.load(std::memory_order_acquire) != root) {
     root->Unlock();
     return;
@@ -345,14 +393,16 @@ void BTree::SplitRoot(Node* root, uint64_t root_version) {
   new_root->SetChild(0, root);
   new_root->SetChild(1, right);
   new_root->count.store(1, std::memory_order_relaxed);
-  // Publish the new root *before* unlocking the old one: a reader that
-  // stabilizes the old root's post-split version is then guaranteed to see
-  // the new root pointer on its re-check and restart.
+  // order: release publishes the new root *before* unlocking the old one:
+  // a reader that stabilizes the old root's post-split version is then
+  // guaranteed to see the new root pointer on its re-check and restart.
   root_.store(new_root, std::memory_order_release);
   height_.fetch_add(1, std::memory_order_relaxed);
   root->Unlock();
 }
 
+// ebr: requires-pin — both nodes are latched retire-capable tree nodes;
+// Insert holds the pin across the call.
 void BTree::SplitChild(Node* parent, int idx, Node* child) {
   Key sep;
   Node* right = SplitLockedNode(child, &sep);
@@ -365,6 +415,8 @@ void BTree::SplitChild(Node* parent, int idx, Node* child) {
                           std::memory_order_relaxed);
   parent->keys[idx].store(sep, std::memory_order_relaxed);
   parent->SetChild(idx + 1, right);
+  // order: release publishes the shifted slots and the new separator before
+  // the count that exposes them to acquire count readers.
   parent->count.store(pcnt + 1, std::memory_order_release);
   child->Unlock();
   parent->Unlock();
@@ -392,7 +444,10 @@ bool BTree::Erase(Key key) {
         leaf->vals[i].store(leaf->vals[i + 1].load(std::memory_order_relaxed),
                             std::memory_order_relaxed);
       }
+      // order: release — the shrunken count must expose only fully shifted
+      // slots to acquire count readers.
       leaf->count.store(cnt - 1, std::memory_order_release);
+      // order: root acquire pairs with SplitRoot's release publication.
       need_repair = static_cast<int>(cnt - 1) < min_keys_ &&
                     leaf != root_.load(std::memory_order_acquire);
       leaf->Unlock();
@@ -412,10 +467,12 @@ void BTree::RepairUnderflow(Key key) {
   // uses single-attempt latches and restarts instead of waiting, and there
   // is at most one SMO thread (smo_mu_), so no latch cycle can form.
   while (true) {
+    // order: root acquire pairs with the release root_ publications; same
+    // for the post-latch re-check below.
     Node* node = root_.load(std::memory_order_acquire);
     if (node->leaf) break;  // root leaf never needs repair
     if (!node->LockBlocking()) continue;
-    if (root_.load(std::memory_order_acquire) != node) {
+    if (root_.load(std::memory_order_acquire) != node) {  // order: as above
       node->Unlock();
       continue;
     }
@@ -441,6 +498,8 @@ void BTree::RepairUnderflow(Key key) {
   CollapseRoot();
 }
 
+// ebr: requires-pin — merges retire leaf nodes out of the chain; the caller
+// (RepairUnderflow) holds both smo_mu_ and the epoch pin.
 void BTree::RepairLeafLocked(Node* parent, int idx, Node* leaf) {
   const uint32_t lcnt = leaf->count.load(std::memory_order_relaxed);
   const uint32_t pcnt = parent->count.load(std::memory_order_relaxed);
@@ -470,9 +529,11 @@ void BTree::RepairLeafLocked(Node* parent, int idx, Node* leaf) {
             leaf->vals[i].load(std::memory_order_relaxed),
             std::memory_order_relaxed);
       }
+      // order: release — chain scans must see the bypassed link only after
+      // the copied slots; the release count then exposes them as live.
       left->next.store(leaf->next.load(std::memory_order_relaxed),
                        std::memory_order_release);
-      left->count.store(ln + lcnt, std::memory_order_release);
+      left->count.store(ln + lcnt, std::memory_order_release);  // order: ^
       for (int i = idx - 1; i + 1 < static_cast<int>(pcnt); ++i)
         parent->keys[i].store(
             parent->keys[i + 1].load(std::memory_order_relaxed),
@@ -481,6 +542,8 @@ void BTree::RepairLeafLocked(Node* parent, int idx, Node* leaf) {
         parent->vals[i].store(
             parent->vals[i + 1].load(std::memory_order_relaxed),
             std::memory_order_relaxed);
+      // order: release — shifted separator slots must be visible before the
+      // shrunken count that exposes them.
       parent->count.store(pcnt - 1, std::memory_order_release);
       leaf->UnlockObsolete();
       RetireNode(leaf);
@@ -504,9 +567,11 @@ void BTree::RepairLeafLocked(Node* parent, int idx, Node* leaf) {
             right->vals[i].load(std::memory_order_relaxed),
             std::memory_order_relaxed);
       }
+      // order: release — as the left-merge arm: publish copied slots before
+      // the bypassed chain link and the count that exposes them.
       leaf->next.store(right->next.load(std::memory_order_relaxed),
                        std::memory_order_release);
-      leaf->count.store(lcnt + rn, std::memory_order_release);
+      leaf->count.store(lcnt + rn, std::memory_order_release);  // order: ^
       for (int i = idx; i + 1 < static_cast<int>(pcnt); ++i)
         parent->keys[i].store(
             parent->keys[i + 1].load(std::memory_order_relaxed),
@@ -515,6 +580,8 @@ void BTree::RepairLeafLocked(Node* parent, int idx, Node* leaf) {
         parent->vals[i].store(
             parent->vals[i + 1].load(std::memory_order_relaxed),
             std::memory_order_relaxed);
+      // order: release — shifted separator slots must be visible before the
+      // shrunken count that exposes them.
       parent->count.store(pcnt - 1, std::memory_order_release);
       right->UnlockObsolete();
       RetireNode(right);
@@ -528,18 +595,24 @@ void BTree::RepairLeafLocked(Node* parent, int idx, Node* leaf) {
   parent->Unlock();
 }
 
+// ebr: requires-pin — unlinks and retires an empty root; the caller
+// (RepairUnderflow) holds both smo_mu_ and the epoch pin.
 void BTree::CollapseRoot() {
   while (true) {
+    // order: root/count acquire pairs with the release publications — the
+    // root's slots must be visible before we judge it empty.
     Node* root = root_.load(std::memory_order_acquire);
     if (root->leaf || root->count.load(std::memory_order_acquire) != 0)
       return;
     if (!root->LockBlocking()) continue;
+    // order: acquire re-check of root_, as above.
     if (root_.load(std::memory_order_acquire) != root ||
         root->count.load(std::memory_order_relaxed) != 0) {
       root->Unlock();  // raced a concurrent split that refilled the root
       continue;
     }
     Node* child = root->Child(0);
+    // order: release publishes the demoted root to acquire root_ readers.
     root_.store(child, std::memory_order_release);
     root->UnlockObsolete();
     RetireNode(root);
@@ -565,6 +638,7 @@ restart:
     while (true) {
       buf.clear();
       bool past_hi = false;
+      // order: count acquire — slots below cnt are initialized.
       const uint32_t cnt = node->count.load(std::memory_order_acquire);
       for (uint32_t i = 0; i < cnt; ++i) {
         const Key k = node->keys[i].load(std::memory_order_relaxed);
@@ -575,6 +649,8 @@ restart:
         }
         buf.emplace_back(k, node->vals[i].load(std::memory_order_relaxed));
       }
+      // order: acquire pairs with the release next-link stores — the linked
+      // sibling's slots must be visible before we walk into it.
       Node* next = node->next.load(std::memory_order_acquire);
       if (!node->Validate(v)) {
         v = node->StableVersion();

@@ -66,9 +66,11 @@ class BTree {
   /// Visits all entries in order.
   void ScanAll(const std::function<bool(Key, uint64_t)>& visit) const;
 
+  // order: acquire pairs with the release bumps inside Insert/Erase so a
+  // thread that observes the count also sees the tree mutation behind it.
   size_t size() const { return size_.load(std::memory_order_acquire); }
   bool empty() const { return size() == 0; }
-  int height() const { return height_.load(std::memory_order_acquire); }
+  int height() const { return height_.load(std::memory_order_acquire); }  // order: ^
 
   /// Approximate heap footprint in bytes.
   size_t MemoryBytes() const;

@@ -31,6 +31,8 @@ ResourceScheduler::ResourceScheduler(Options options,
 ResourceScheduler::~ResourceScheduler() { Stop(); }
 
 void ResourceScheduler::Stop() {
+  // order: release pairs with ControlLoop's acquire poll; join() below is
+  // the real synchronization, release just keeps the flag conventional.
   stop_.store(true, std::memory_order_release);
   if (controller_.joinable()) controller_.join();
 }
@@ -55,6 +57,7 @@ void ResourceScheduler::Drain() {
 }
 
 void ResourceScheduler::ControlLoop() {
+  // order: acquire pairs with Stop()'s release store of the flag.
   while (!stop_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.adjust_interval_micros));
@@ -104,6 +107,8 @@ void ResourceScheduler::AdjustFreshnessDriven() {
   if (lag > options_.freshness_sla_micros) {
     // Freshness violated: enter shared mode and merge immediately.
     if (cur != ExecutionMode::kShared) {
+      // order: release pairs with mode()'s acquire — a query routed by the
+      // new mode also sees the scheduler state written before the switch.
       mode_.store(ExecutionMode::kShared, std::memory_order_release);
       mode_switches_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -111,7 +116,7 @@ void ResourceScheduler::AdjustFreshnessDriven() {
   } else if (cur == ExecutionMode::kShared &&
              lag < options_.freshness_sla_micros / 4) {
     // Comfortably fresh again: back to isolated execution for throughput.
-    mode_.store(ExecutionMode::kIsolated, std::memory_order_release);
+    mode_.store(ExecutionMode::kIsolated, std::memory_order_release);  // order: ^
     mode_switches_.fetch_add(1, std::memory_order_relaxed);
   }
 }

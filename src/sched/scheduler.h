@@ -66,6 +66,7 @@ class ResourceScheduler {
   /// Waits for both queues to drain.
   void Drain();
 
+  // order: acquire pairs with the control loop's release mode switches.
   ExecutionMode mode() const { return mode_.load(std::memory_order_acquire); }
 
   // Observability.

@@ -39,9 +39,8 @@ VersionChain* MvccRowStore::GetOrCreateChain(Key key) {
   // by now or serialized behind us.
   if (index_.Lookup(key, &payload))
     return reinterpret_cast<VersionChain*>(payload);
-  s.chains.push_back(std::make_unique<VersionChain>());
+  s.chains.push_back(std::unique_ptr<VersionChain>(new VersionChain{key}));
   VersionChain* chain = s.chains.back().get();
-  chain->key = key;
   index_.Insert(key, reinterpret_cast<uint64_t>(chain));
   mem_bytes_.fetch_add(sizeof(VersionChain) + 24, std::memory_order_relaxed);
   return chain;
@@ -56,6 +55,10 @@ VersionChain* MvccRowStore::FindChain(Key key) const {
 bool MvccRowStore::Visible(const RowVersion* v, const Snapshot& snap) const {
   // Resolve the begin stamp.
   while (true) {
+    // order: acquire pairs with the release stores that stamp begin (writer
+    // publish in Insert/Update, CSN re-stamp in TransactionManager::Commit)
+    // so the version's data/older fields written before the stamp are
+    // visible.
     const uint64_t raw_b = v->begin.load(std::memory_order_acquire);
     if (IsTxnId(raw_b)) {
       if (raw_b == snap.txn_id) break;  // our own write
@@ -71,6 +74,8 @@ bool MvccRowStore::Visible(const RowVersion* v, const Snapshot& snap) const {
   }
   // Resolve the end stamp.
   while (true) {
+    // order: acquire pairs with the release end-stamp stores (delete/update
+    // claim, commit re-stamp) — same publication edge as begin above.
     const uint64_t raw_e = v->end.load(std::memory_order_acquire);
     if (raw_e == kMaxCSN) return true;
     if (IsTxnId(raw_e)) {
@@ -107,8 +112,10 @@ Status MvccRowStore::Insert(Transaction* txn, const Row& row) {
 
   RowVersion* latest = chain->latest;
   if (latest != nullptr) {
+    // order: acquire pairs with the commit-time release re-stamp
+    // (TransactionManager::Commit), which runs without the chain latch.
     const uint64_t raw_b = latest->begin.load(std::memory_order_acquire);
-    const uint64_t raw_e = latest->end.load(std::memory_order_acquire);
+    const uint64_t raw_e = latest->end.load(std::memory_order_acquire);  // order: ^
     if (raw_e == kMaxCSN) {
       // A live version exists (or is being created).
       if (IsTxnId(raw_b) && raw_b != txn->id()) {
@@ -129,6 +136,8 @@ Status MvccRowStore::Insert(Transaction* txn, const Row& row) {
   }
 
   auto* v = new RowVersion();
+  // order: release so a latch-free reader that acquires this stamp also
+  // sees the version's construction (Visible() reads data through it).
   v->begin.store(txn->id(), std::memory_order_release);
   v->data = row;
   v->older = latest;
@@ -155,8 +164,10 @@ Status MvccRowStore::Update(Transaction* txn, const Row& row) {
 
   RowVersion* latest = chain->latest;
   if (latest == nullptr) return Status::NotFound("no such key");
+  // order: acquire pairs with the commit-time release re-stamp
+  // (TransactionManager::Commit), which runs without the chain latch.
   const uint64_t raw_b = latest->begin.load(std::memory_order_acquire);
-  const uint64_t raw_e = latest->end.load(std::memory_order_acquire);
+  const uint64_t raw_e = latest->end.load(std::memory_order_acquire);  // order: ^
 
   if (raw_e != kMaxCSN) {
     if (IsTxnId(raw_e)) {
@@ -193,9 +204,13 @@ Status MvccRowStore::Update(Transaction* txn, const Row& row) {
   }
 
   auto* v = new RowVersion();
+  // order: release publishes the new version's construction to latch-free
+  // stamp readers (same edge as the Insert path).
   v->begin.store(txn->id(), std::memory_order_release);
   v->data = row;
   v->older = latest;
+  // order: release so the end claim is never reordered before the new
+  // version's publication above.
   latest->end.store(txn->id(), std::memory_order_release);
   chain->latest = v;
 
@@ -217,8 +232,10 @@ Status MvccRowStore::Delete(Transaction* txn, Key key) {
 
   RowVersion* latest = chain->latest;
   if (latest == nullptr) return Status::NotFound("no such key");
+  // order: acquire pairs with the commit-time release re-stamp
+  // (TransactionManager::Commit), which runs without the chain latch.
   const uint64_t raw_b = latest->begin.load(std::memory_order_acquire);
-  const uint64_t raw_e = latest->end.load(std::memory_order_acquire);
+  const uint64_t raw_e = latest->end.load(std::memory_order_acquire);  // order: ^
 
   if (raw_e != kMaxCSN) {
     if (IsTxnId(raw_e)) {
@@ -241,6 +258,8 @@ Status MvccRowStore::Delete(Transaction* txn, Key key) {
     return Status::Conflict("row written after snapshot");
   }
 
+  // order: release so a latch-free Visible() that acquires this claim also
+  // sees everything this txn wrote before it.
   latest->end.store(txn->id(), std::memory_order_release);
   txn->undo().push_back(
       UndoEntry{UndoEntry::Kind::kDelete, this, chain, nullptr, latest});
@@ -320,12 +339,16 @@ void MvccRowStore::ApplyCommitted(ChangeOp op, Key key, const Row& row,
     case ChangeOp::kInsert:
     case ChangeOp::kUpdate: {
       auto* v = new RowVersion();
+      // order: release/acquire — same begin/end publication edges as the
+      // transactional DML paths; concurrent snapshot readers resolve these
+      // stamps latch-free in Visible().
       v->begin.store(csn, std::memory_order_release);
       v->data = row;
       v->older = chain->latest;
       if (chain->latest != nullptr &&
-          chain->latest->end.load(std::memory_order_acquire) == kMaxCSN) {
-        chain->latest->end.store(csn, std::memory_order_release);
+          chain->latest->end.load(std::memory_order_acquire) ==  // order: ^
+              kMaxCSN) {
+        chain->latest->end.store(csn, std::memory_order_release);  // order: ^
       } else if (chain->latest == nullptr || op == ChangeOp::kInsert) {
         live_rows_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -337,8 +360,9 @@ void MvccRowStore::ApplyCommitted(ChangeOp op, Key key, const Row& row,
     }
     case ChangeOp::kDelete: {
       if (chain->latest != nullptr &&
-          chain->latest->end.load(std::memory_order_acquire) == kMaxCSN) {
-        chain->latest->end.store(csn, std::memory_order_release);
+          chain->latest->end.load(std::memory_order_acquire) ==  // order: ^
+              kMaxCSN) {
+        chain->latest->end.store(csn, std::memory_order_release);  // order: ^
         live_rows_.fetch_sub(1, std::memory_order_relaxed);
       }
       break;
@@ -376,6 +400,8 @@ void MvccRowStore::RollbackEntry(const UndoEntry& u) {
     case UndoEntry::Kind::kUpdate: {
       assert(u.chain->latest == u.new_version);
       u.chain->latest = u.old_version;
+      // order: release — resurrecting the old version is a publication a
+      // latch-free stamp reader may consume with its acquire load.
       u.old_version->end.store(kMaxCSN, std::memory_order_release);
       mem_bytes_.fetch_sub(
           std::min(mem_bytes_.load(std::memory_order_relaxed),
@@ -386,7 +412,7 @@ void MvccRowStore::RollbackEntry(const UndoEntry& u) {
       break;
     }
     case UndoEntry::Kind::kDelete: {
-      u.old_version->end.store(kMaxCSN, std::memory_order_release);
+      u.old_version->end.store(kMaxCSN, std::memory_order_release);  // order: ^
       break;
     }
   }
@@ -406,6 +432,8 @@ size_t MvccRowStore::Vacuum(CSN watermark) {
       RowVersion* keep = chain->latest;
       RowVersion* v = keep->older;
       while (v != nullptr) {
+        // order: acquire pairs with the commit-time release re-stamp so a
+        // freshly retired CSN is read consistently with the version data.
         const uint64_t raw_e = v->end.load(std::memory_order_acquire);
         if (!IsTxnId(raw_e) && raw_e != kMaxCSN && raw_e <= watermark) {
           // This and everything older is dead.

@@ -43,7 +43,7 @@ struct RowVersion {
 
 /// Per-key chain of versions, newest first.
 struct VersionChain {
-  Key key = 0;
+  const Key key;  // chain identity, fixed at creation
   RowVersion* latest GUARDED_BY(latch) = nullptr;
   SpinLatch latch{LockRank::kVersionChain, "version-chain"};
 };

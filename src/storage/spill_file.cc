@@ -40,7 +40,8 @@ Status SpillRun::Open(const std::string& dir, const std::string& tag) {
   const std::string d = dir.empty() ? DefaultSpillDir() : dir;
   path_ = d + "/htap-spill-" +
           std::to_string(static_cast<uint64_t>(::getpid())) + "-" +
-          std::to_string(g_spill_seq.fetch_add(1)) + "-" + tag + ".run";
+          std::to_string(g_spill_seq.fetch_add(1, std::memory_order_relaxed)) +
+          "-" + tag + ".run";
   file_ = std::fopen(path_.c_str(), "wb+");
   if (file_ == nullptr) {
     Status st = Status::IOError("cannot create spill run " + path_ + ": " +

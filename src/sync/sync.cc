@@ -161,6 +161,8 @@ BackgroundSyncer::BackgroundSyncer(DataSynchronizer* sync,
 BackgroundSyncer::~BackgroundSyncer() { Stop(); }
 
 void BackgroundSyncer::Stop() {
+  // order: release pairs with Loop()'s acquire poll; join() below is the
+  // real synchronization, release just keeps the flag conventional.
   stop_.store(true, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
 }
@@ -172,6 +174,7 @@ Status BackgroundSyncer::ForceSync() {
 void BackgroundSyncer::Loop() {
   Micros slept = 0;
   const Micros tick = 1000;  // re-check stop and threshold every 1ms
+  // order: acquire pairs with Stop()'s release store of the flag.
   while (!stop_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(std::chrono::microseconds(tick));
     slept += tick;

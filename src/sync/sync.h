@@ -139,7 +139,7 @@ class DataSynchronizer {
  private:
   const SyncStrategy strategy_;
   ColumnTable* const table_;
-  std::unique_ptr<DeltaSource> source_;
+  const std::unique_ptr<DeltaSource> source_;  // never reseated
   const MvccRowStore* primary_ = nullptr;
   const Clock* clock_;
   SyncStats stats_ GUARDED_BY(mu_);

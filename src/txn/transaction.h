@@ -36,9 +36,12 @@ class Transaction {
 
   uint64_t id() const { return id_; }
   CSN begin_csn() const { return begin_csn_; }
+  // order: acquire pairs with set_commit_csn/set_state release — a scan
+  // that observes kCommitted + CSN through GetCommitInfo must also see the
+  // version stamps the committer wrote first.
   CSN commit_csn() const { return commit_csn_.load(std::memory_order_acquire); }
 
-  TxnState state() const { return state_.load(std::memory_order_acquire); }
+  TxnState state() const { return state_.load(std::memory_order_acquire); }  // order: ^
   bool active() const { return state() == TxnState::kActive; }
 
   Snapshot snapshot() const { return Snapshot{begin_csn_, id_}; }
@@ -53,12 +56,14 @@ class Transaction {
  private:
   friend class TransactionManager;
 
+  // order: release pairs with the acquire accessors above — publishes the
+  // commit outcome (and the stamps written before it) to concurrent scans.
   void set_state(TxnState s) { state_.store(s, std::memory_order_release); }
   // Atomic like state_: the committing thread stamps it under commit_mu_
   // while concurrent scans resolve it through GetCommitInfo, which holds
   // only active_mu_.
   void set_commit_csn(CSN csn) {
-    commit_csn_.store(csn, std::memory_order_release);
+    commit_csn_.store(csn, std::memory_order_release);  // order: ^
   }
 
   const uint64_t id_;

@@ -19,6 +19,9 @@ TransactionManager::TransactionManager(WalWriter* wal, size_t commit_shards)
 
 std::unique_ptr<Transaction> TransactionManager::Begin() {
   const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  // order: acquire pairs with the acq_rel CAS in RecomputeCommitted — every
+  // version stamped at or below this watermark is fully published before we
+  // read at it.
   const CSN begin = committed_.load(std::memory_order_acquire);
   auto txn = std::make_unique<Transaction>(id, begin);
   ActiveShard& as = active_shard(id);
@@ -62,6 +65,9 @@ Status TransactionManager::Commit(Transaction* txn) {
   CSN csn;
   {
     MutexLock lk(&cs.mu);
+    // order: seq_cst — this increment and RecomputeCommitted's bound load
+    // must agree on a single total order so an allocated CSN can never be
+    // both past the bound and missing from every shard's frontier.
     csn = allocated_.fetch_add(1, std::memory_order_seq_cst) + 1;
     cs.inflight.insert(csn);
   }
@@ -72,10 +78,13 @@ Status TransactionManager::Commit(Transaction* txn) {
   // No lock needed — the fields are atomic and this CSN stays above the
   // published watermark until it leaves the frontier below.
   for (const UndoEntry& u : txn->undo()) {
+    // order: release pairs with the acquire stamp loads in
+    // MvccRowStore::Visible — a reader that sees the commit CSN also sees
+    // the row data the transaction wrote.
     if (u.new_version != nullptr)
       u.new_version->begin.store(csn, std::memory_order_release);
     if (u.old_version != nullptr)
-      u.old_version->end.store(csn, std::memory_order_release);
+      u.old_version->end.store(csn, std::memory_order_release);  // order: ^
     u.store->AccountCommittedEntry(u);
   }
   txn->set_state(TxnState::kCommitted);
@@ -109,6 +118,8 @@ void TransactionManager::RecomputeCommitted() {
   // after this load is > `bound` and cannot be missed; one allocated before
   // it is either still in its shard (we lock each shard, so we see it) or
   // already retired (fully stamped — safe to cover).
+  // order: seq_cst — the other side of the total-order argument at the
+  // fetch_add in Commit; see the comment block above.
   const CSN bound = allocated_.load(std::memory_order_seq_cst);
   CSN w = bound;
   for (const auto& shard : shards_) {
@@ -117,6 +128,9 @@ void TransactionManager::RecomputeCommitted() {
       w = std::min(w, *shard->inflight.begin() - 1);
   }
   CSN cur = committed_.load(std::memory_order_relaxed);
+  // order: acq_rel — release publishes all version stamps at or below `w`
+  // to Begin()'s acquire load; acquire keeps the monotonic-advance loop
+  // from acting on a stale frontier.
   while (cur < w && !committed_.compare_exchange_weak(
                         cur, w, std::memory_order_acq_rel,
                         std::memory_order_relaxed)) {
@@ -127,6 +141,8 @@ void TransactionManager::DrainPublishQueue() {
   MutexLock lk(&publish_mu_);
   while (!pending_.empty()) {
     const auto it = pending_.begin();
+    // order: acquire pairs with the watermark CAS release — change events
+    // drain only after every covered version stamp is visible.
     if (it->first > committed_.load(std::memory_order_acquire)) break;
     {
       // publish_mu_ (kTxnCommit) -> sinks_mu_ (kTxnSinks): ascending ranks.
@@ -175,6 +191,8 @@ CSN TransactionManager::Watermark() const {
   // committed_ is loaded first and only grows, and every transaction that
   // begins after this load gets begin_csn >= wm, so the result is a valid
   // lower bound even though shards are scanned one at a time.
+  // order: acquire pairs with the watermark CAS release (same edge as
+  // Begin()); a vacuum driven by this bound must see the covered stamps.
   CSN wm = committed_.load(std::memory_order_acquire);
   for (const auto& shard : active_) {
     MutexLock lk(&shard->mu);

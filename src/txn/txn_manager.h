@@ -63,16 +63,20 @@ class TransactionManager {
   /// Read-only snapshot at "now". Every version with a CSN at or below the
   /// snapshot is guaranteed fully stamped (min-frontier invariant).
   Snapshot CurrentSnapshot() const {
+    // order: acquire pairs with the watermark CAS release in
+    // RecomputeCommitted — stamps covered by the snapshot are visible.
     return Snapshot{committed_.load(std::memory_order_acquire), 0};
   }
 
   /// Latest committed CSN (the published min-frontier watermark).
   CSN LastCommittedCsn() const {
-    return committed_.load(std::memory_order_acquire);
+    return committed_.load(std::memory_order_acquire);  // order: ^
   }
 
   /// Highest CSN handed out so far (>= LastCommittedCsn; test hook).
   CSN LastAllocatedCsn() const {
+    // order: acquire for symmetry with the seq_cst allocation site; callers
+    // compare against the committed watermark read above.
     return allocated_.load(std::memory_order_acquire);
   }
 

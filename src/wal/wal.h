@@ -83,7 +83,7 @@ class WalWriter {
   std::string ContentsForTest() const;
 
  private:
-  Options options_;
+  const Options options_;
   mutable Mutex mu_{LockRank::kWal, "wal-writer"};
   std::string buffer_ GUARDED_BY(mu_);      // unflushed group
   std::string memory_log_ GUARDED_BY(mu_);  // in-memory backend (always kept;

@@ -1,0 +1,13 @@
+// bad: atomic operations relying on the implicit seq_cst default.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<unsigned long> counter{0};
+
+unsigned long Bump() {
+  counter.fetch_add(1);   // no memory_order named
+  return counter.load();  // no memory_order named
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// bad: blocking acquisitions and file I/O while a spin latch is held.
+#include <cstdio>
+
+#include "common/latch.h"
+#include "common/mutex.h"
+
+namespace fixture {
+
+SpinLatch g_latch{LockRank::kLeaf, "fixture"};
+Mutex g_mu{LockRank::kLeaf, "fixture-mu"};
+
+void Bad() {
+  SpinGuard g(g_latch);
+  MutexLock lk(&g_mu);          // blocking lock under a spin latch
+  fwrite("x", 1, 1, stdout);    // file I/O under a spin latch
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// bad: retire-capable node access and Retire() without an EBR pin.
+#include "common/ebr.h"
+
+namespace fixture {
+
+struct Node {
+  int count = 0;
+  Node* next = nullptr;
+};
+
+EpochManager g_ebr;
+
+int ReadUnpinned(Node* n) {
+  return n->count;  // deref with no EpochManager::Guard in scope
+}
+
+void RetireUnpinned(Node* n) {
+  g_ebr.Retire(n, [](void* p) { delete static_cast<Node*>(p); });
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// bad: a mutex-owning class with a mutable member carrying no claim.
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Buffer {
+ public:
+  void Append(const std::string& s);
+
+ private:
+  Mutex mu_{LockRank::kLeaf, "fixture-buffer"};
+  std::string data_;  // mutable, no GUARDED_BY
+  unsigned long bytes_ = 0;  // mutable, no GUARDED_BY
+};
+
+}  // namespace fixture

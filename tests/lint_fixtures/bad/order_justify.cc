@@ -1,0 +1,12 @@
+// bad: non-relaxed orders with no `order:` comment naming the pairing edge.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<bool> ready{false};
+
+void Publish() { ready.store(true, std::memory_order_release); }
+
+bool Consume() { return ready.load(std::memory_order_acquire); }
+
+}  // namespace fixture

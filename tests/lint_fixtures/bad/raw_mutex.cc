@@ -1,0 +1,13 @@
+// bad: names the raw std primitives instead of the ranked htap:: wrappers.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;
+
+int Locked() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// good: every atomic op names its order; a non-atomic receiver with a
+// method that happens to be called `store` is not an atomic op at all.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<unsigned long> counter{0};
+
+struct Registry {
+  void store(int) {}
+};
+
+unsigned long Bump(Registry& reg) {
+  reg.store(7);  // plain method call, not an atomic site
+  counter.fetch_add(1, std::memory_order_relaxed);
+  return counter.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

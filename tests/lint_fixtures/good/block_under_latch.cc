@@ -1,0 +1,23 @@
+// good: the blocking work happens before the spin latch is taken, and the
+// latch scope is confined to the short critical section.
+#include <cstdio>
+
+#include "common/latch.h"
+#include "common/mutex.h"
+
+namespace fixture {
+
+SpinLatch g_latch{LockRank::kLeaf, "fixture"};
+Mutex g_mu{LockRank::kLeaf, "fixture-mu"};
+
+void Good() {
+  fwrite("x", 1, 1, stdout);  // I/O done while holding nothing
+  {
+    MutexLock lk(&g_mu);      // released before the latch below
+  }
+  {
+    SpinGuard g(g_latch);     // only register work inside the latch
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// good: derefs happen inside a pin scope, or under an explicit contract
+// marker that moves the obligation to the caller.
+#include "common/ebr.h"
+
+namespace fixture {
+
+struct Node {
+  int count = 0;
+  Node* next = nullptr;
+};
+
+EpochManager g_ebr;
+
+int ReadPinned(Node* n) {
+  EpochManager::Guard g(&g_ebr);
+  return n->count;  // covered by the guard above
+}
+
+// ebr: requires-pin — caller holds the guard across the traversal.
+int ReadWithContract(Node* n) {
+  return n->next->count;
+}
+
+// ebr: unpinned-ok — destructor-only path, no concurrent readers exist.
+void TearDown(Node* n) {
+  g_ebr.Retire(n, [](void* p) { delete static_cast<Node*>(p); });
+}
+
+}  // namespace fixture

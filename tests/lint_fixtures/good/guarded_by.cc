@@ -1,0 +1,32 @@
+// good: every mutable member of a mutex-owning class is claimed, const,
+// atomic, or of a type that carries its own lock.
+#include <atomic>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Inner {
+ public:
+  void Touch();
+
+ private:
+  Mutex mu_{LockRank::kLeaf, "fixture-inner"};
+  int state_ GUARDED_BY(mu_) = 0;
+};
+
+class Buffer {
+ public:
+  void Append(const std::string& s);
+
+ private:
+  Mutex mu_{LockRank::kLeaf, "fixture-buffer"};
+  std::string data_ GUARDED_BY(mu_);
+  const unsigned long capacity_ = 64;       // immutable: exempt
+  std::atomic<unsigned long> bytes_{0};     // internally ordered: exempt
+  Inner inner_;                             // owns its own lock: exempt
+};
+
+}  // namespace fixture

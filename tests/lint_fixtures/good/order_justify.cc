@@ -1,0 +1,21 @@
+// good: each non-relaxed order carries an `order:` justification, either
+// trailing or in the leading comment block; relaxed needs none.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<bool> ready{false};
+std::atomic<int> hits{0};
+
+void Publish() {
+  // order: release pairs with Consume()'s acquire so the payload written
+  // before the flag is visible to whoever sees the flag.
+  ready.store(true, std::memory_order_release);
+}
+
+bool Consume() {
+  hits.fetch_add(1, std::memory_order_relaxed);
+  return ready.load(std::memory_order_acquire);  // order: pairs w/ Publish
+}
+
+}  // namespace fixture

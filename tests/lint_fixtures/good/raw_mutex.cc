@@ -1,0 +1,13 @@
+// good: locking goes through the ranked wrappers from common/mutex.h.
+#include "common/mutex.h"
+
+namespace fixture {
+
+Mutex g_mu{LockRank::kLeaf, "fixture"};
+
+int Locked() {
+  MutexLock lk(&g_mu);
+  return 1;
+}
+
+}  // namespace fixture

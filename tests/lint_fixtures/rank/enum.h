@@ -1,0 +1,10 @@
+// Miniature LockRank enum for rank-table selftests.
+#ifndef FIXTURE_RANK_ENUM_H_
+#define FIXTURE_RANK_ENUM_H_
+
+enum class LockRank : int {
+  kAlpha = 100,  // alpha-stage lock
+  kBeta = 200,   // beta-stage lock
+};
+
+#endif  // FIXTURE_RANK_ENUM_H_

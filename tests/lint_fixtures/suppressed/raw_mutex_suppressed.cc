@@ -1,0 +1,8 @@
+// Justified suppression: counts against the raw-mutex budget but is not a
+// finding by itself.
+// htap-lint: raw-mutex — fixture proving a justified suppression is honored
+#include <mutex>
+
+namespace fixture {
+int Nothing() { return 0; }
+}  // namespace fixture

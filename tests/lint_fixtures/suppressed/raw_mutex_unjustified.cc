@@ -1,0 +1,7 @@
+// Malformed suppression: names the check but gives no justification, so the
+// suppression itself becomes a finding and the violation still counts.
+#include <mutex>  // htap-lint: raw-mutex —
+
+namespace fixture {
+int Nothing() { return 0; }
+}  // namespace fixture

@@ -11,8 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+// htap-lint: raw-mutex — this test asserts the wrappers are
+// layout-identical to the std types, so it must name them.
 #include <mutex>
-#include <shared_mutex>
+#include <shared_mutex>  // htap-lint: raw-mutex — same layout assertion
 #include <thread>
 
 #include "common/latch.h"
@@ -186,8 +188,11 @@ TEST(LockRankTest, CondVarWaitReacquiresThroughTheCheckedPath) {
 // Zero-cost guarantee: with the checker compiled out the wrappers carry no
 // extra state (also asserted in the headers; duplicated here so this test
 // fails loudly if the header assertions are ever weakened).
+// htap-lint: raw-mutex — sizeof comparison against the std type is the
+// point of the assertion; no lock is ever constructed.
 static_assert(sizeof(Mutex) == sizeof(std::mutex),
               "htap::Mutex must be layout-identical to std::mutex");
+// htap-lint: raw-mutex — same sizeof-only use
 static_assert(sizeof(SharedMutex) == sizeof(std::shared_mutex),
               "htap::SharedMutex must be layout-identical to std::shared_mutex");
 static_assert(sizeof(SpinLatch) == sizeof(std::atomic<bool>),
